@@ -1,0 +1,58 @@
+// Ablation A3: bounding spheres vs bounding rectangles (§II-C).
+//
+// The paper's argument for SS-trees over R-trees on the GPU: a sphere costs
+// one centroid distance +/- radius per child (d+1 stored floats), while a
+// rectangle needs per-facet clamping (2d stored floats and ~2x arithmetic),
+// and sphere nodes are smaller so each fetch moves fewer bytes. Both index
+// variants here share the identical packed structure, leaf order, and PSB
+// traversal — only the bounding shape differs.
+#include "bench_common.hpp"
+#include "knn/branch_and_bound.hpp"
+#include "knn/psb.hpp"
+#include "sstree/builders.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psb;
+  using namespace psb::bench;
+  const BenchConfig cfg = BenchConfig::from_args(argc, argv);
+  print_header(cfg, "Ablation A3 — bounding spheres (SS-tree) vs rectangles (R-tree)");
+
+  Table tab("A3: bounding-shape ablation (PSB traversal)",
+            {"dims", "shape", "internal node KB", "avg time (ms)", "MB/query",
+             "leaves/query", "warp-ins/query"});
+
+  for (const std::size_t dims : {4u, 16u, 64u}) {
+    const PointSet data = make_data(cfg, dims, cfg.stddev);
+    const PointSet queries = make_queries(cfg, data);
+    const double q = static_cast<double>(queries.size());
+
+    for (const auto mode : {sstree::BoundsMode::kSphere, sstree::BoundsMode::kRect}) {
+      sstree::KMeansBuildOptions bopts;
+      bopts.bounds = mode;
+      const auto built = sstree::build_kmeans(data, cfg.degree, bopts);
+      built.tree.validate();
+
+      knn::GpuKnnOptions opts;
+      opts.k = cfg.k;
+      const auto r = knn::psb_batch(built.tree, queries, opts);
+
+      const auto& root = built.tree.node(built.tree.root());
+      tab.add_row({std::to_string(dims),
+                   mode == sstree::BoundsMode::kSphere ? "sphere" : "rect",
+                   fmt(static_cast<double>(built.tree.node_byte_size(root)) / 1024, 1),
+                   fmt(r.timing.avg_query_ms), fmt_mb(r.metrics.total_bytes() / q),
+                   fmt(static_cast<double>(r.stats.leaves_visited) / q, 1),
+                   fmt(static_cast<double>(r.metrics.warp_instructions) / q, 0)});
+    }
+  }
+  emit(tab, cfg, "ablation_bounds");
+
+  std::cout << "\npaper SII-C argues spheres need less state (d+1 vs 2d floats per\n"
+               "child) and less arithmetic per bound — both visible in the node-KB\n"
+               "and warp-instruction columns. The pruning side is data-dependent:\n"
+               "on isotropic Gaussian clusters the MBR's small per-axis extent beats\n"
+               "the sphere's small diameter, so the rect variant visits fewer leaves\n"
+               "here — a known sphere to rectangle trade-off (cf. the SR-tree paper)\n"
+               "that this reproduction surfaces; see EXPERIMENTS.md.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation A2 (DESIGN.md): construction algorithms — bottom-up Hilbert,
+// bottom-up k-means, and classic top-down insertion — compared on build cost,
+// node utilization, tree size, and downstream query performance (the paper's
+// §IV claims: bottom-up builds an order of magnitude faster and yields 100 %
+// leaf utilization and shorter search paths).
+#include "bench_common.hpp"
+#include "knn/branch_and_bound.hpp"
+#include "knn/psb.hpp"
+#include "sstree/builders.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psb;
+  using namespace psb::bench;
+  BenchConfig cfg = BenchConfig::from_args(argc, argv);
+  const std::size_t dims = 16;
+  // Top-down insertion is quadratic-ish in practice; cap the default scale.
+  if (!cfg.paper_scale && cfg.total_points() > 50000) {
+    cfg.points_per_cluster = 500;
+  }
+  print_header(cfg, "Ablation A2 — SS-tree construction algorithms (16-dim)");
+
+  const PointSet data = make_data(cfg, dims, cfg.stddev);
+  const PointSet queries = make_queries(cfg, data);
+  const double q = static_cast<double>(queries.size());
+
+  Table tab("A2: construction ablation",
+            {"builder", "sim build (ms)", "host build (s)", "serialized ops", "nodes",
+             "leaf util (%)", "height", "B&B time (ms)", "PSB time (ms)"});
+
+  auto report = [&](const char* name, const sstree::BuildOutput& out) {
+    out.tree.validate();
+    const auto s = out.tree.stats();
+    knn::GpuKnnOptions opts;
+    opts.k = cfg.k;
+    const auto bnb_r = knn::bnb_batch(out.tree, queries, opts);
+    const auto psb_r = knn::psb_batch(out.tree, queries, opts);
+    (void)q;
+    // Simulated device-side construction time: the build kernels launch one
+    // block per leaf (Ritter) / per chunk (sort, clustering); serialized
+    // top-down insertion shows up in the serial term of the cost model.
+    simt::KernelConfig build_cfg;
+    build_cfg.blocks = static_cast<int>(std::max<std::size_t>(s.leaves, 1));
+    build_cfg.threads_per_block = static_cast<int>(std::min<std::size_t>(cfg.degree, 128));
+    const simt::KernelTiming build_t =
+        simt::estimate(simt::DeviceSpec{}, out.metrics, build_cfg);
+    tab.add_row({name, fmt(build_t.wall_ms, 1), fmt(out.host_build_seconds, 2),
+                 std::to_string(out.metrics.serial_ops), std::to_string(s.nodes),
+                 fmt(s.leaf_utilization * 100, 1), std::to_string(s.height),
+                 fmt(bnb_r.timing.avg_query_ms), fmt(psb_r.timing.avg_query_ms)});
+  };
+
+  report("bottom-up Hilbert", sstree::build_hilbert(data, cfg.degree));
+  report("bottom-up k-means", sstree::build_kmeans(data, cfg.degree));
+  report("top-down insert (reinsert 30%)", sstree::build_topdown(data, cfg.degree));
+  {
+    sstree::TopDownOptions opts;
+    opts.reinsert_fraction = 0;
+    report("top-down insert (no reinsert)", sstree::build_topdown(data, cfg.degree, opts));
+  }
+
+  emit(tab, cfg, "ablation_build");
+  std::cout << "\nexpectation: bottom-up builders reach ~100% leaf utilization with\n"
+               "fewer nodes and orders of magnitude less serialized work (the paper's\n"
+               "SIV claim). Note the flip side this ablation exposes: top-down\n"
+               "insertion with forced reinsertion can produce tighter per-leaf\n"
+               "spheres and hence competitive query times — its cost is the serial,\n"
+               "lock-heavy construction itself.\n";
+  return 0;
+}

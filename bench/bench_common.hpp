@@ -1,0 +1,51 @@
+// Shared plumbing for the figure-reproduction benches.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "bench_util/config.hpp"
+#include "bench_util/table.hpp"
+#include "data/synthetic.hpp"
+
+namespace psb::bench {
+
+using bench_util::BenchConfig;
+using bench_util::fmt;
+using bench_util::fmt_mb;
+using bench_util::Table;
+
+/// Clustered dataset per the paper's §V-A recipe at the configured scale.
+inline PointSet make_data(const BenchConfig& cfg, std::size_t dims, double stddev) {
+  data::ClusteredSpec spec;
+  spec.dims = dims;
+  spec.num_clusters = cfg.clusters;
+  spec.points_per_cluster = cfg.points_per_cluster;
+  spec.stddev = stddev;
+  spec.seed = cfg.seed;
+  return data::make_clustered(spec);
+}
+
+inline PointSet make_queries(const BenchConfig& cfg, const PointSet& data) {
+  return data::sample_queries(data, cfg.num_queries, 0.0, cfg.seed + 1);
+}
+
+inline void emit(const Table& table, const BenchConfig& cfg, const std::string& name) {
+  table.print();
+  if (!cfg.csv_dir.empty()) {
+    const std::string path = cfg.csv_dir + "/" + name + ".csv";
+    table.write_csv(path);
+    std::cout << "csv written: " << path << "\n";
+  }
+}
+
+inline void print_header(const BenchConfig& cfg, const std::string& what) {
+  std::cout << "# " << what << "\n"
+            << "# workload: " << cfg.clusters << " clusters x " << cfg.points_per_cluster
+            << " points (" << cfg.total_points() << " total), " << cfg.num_queries
+            << " queries, k=" << cfg.k << ", degree=" << cfg.degree << ", seed=" << cfg.seed
+            << (cfg.paper_scale ? " [paper scale]" : " [reduced scale; --paper-scale for 1M]")
+            << "\n";
+}
+
+}  // namespace psb::bench

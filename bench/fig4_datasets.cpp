@@ -1,0 +1,77 @@
+// Figure 4: "Distribution of Datasets Projected to the First Two Dimensions"
+// — the paper's scatter plots of the synthetic sigma sweep and the NOAA
+// dataset. This bench reports the distribution statistics that matter for
+// indexing (cluster spread vs space extent, nearest-neighbor distances) and,
+// with --csv-dir, writes 2-D projections for plotting.
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "data/io.hpp"
+#include "data/noaa_synth.hpp"
+
+namespace {
+
+/// Mean nearest-neighbor distance over a sample (2-D projection).
+double mean_nn_2d(const psb::PointSet& ps, std::size_t probes, std::uint64_t seed) {
+  psb::Rng rng(seed);
+  double acc = 0;
+  const std::size_t step = std::max<std::size_t>(1, ps.size() / 3000);
+  for (std::size_t p = 0; p < probes; ++p) {
+    const std::size_t i = rng.next_below(ps.size());
+    float best = psb::kInfinity;
+    for (std::size_t j = 0; j < ps.size(); j += step) {
+      if (j == i) continue;
+      const float dx = ps[i][0] - ps[j][0];
+      const float dy = ps[i][1] - ps[j][1];
+      best = std::min(best, dx * dx + dy * dy);
+    }
+    acc += std::sqrt(static_cast<double>(best));
+  }
+  return acc / static_cast<double>(probes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace psb;
+  using namespace psb::bench;
+  const BenchConfig cfg = BenchConfig::from_args(argc, argv);
+  print_header(cfg, "Fig. 4 — dataset distributions (2-D projections)");
+
+  Table tab("Fig 4: distribution statistics",
+            {"dataset", "points", "extent (dim0)", "mean NN dist (sampled 2-D)"});
+
+  for (const double sigma : {2560.0, 640.0, 160.0, 40.0}) {
+    const PointSet ps = make_data(cfg, 2, sigma);
+    Scalar lo = kInfinity;
+    Scalar hi = -kInfinity;
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      lo = std::min(lo, ps[i][0]);
+      hi = std::max(hi, ps[i][0]);
+    }
+    tab.add_row({"N=100 sigma=" + fmt(sigma, 0), std::to_string(ps.size()),
+                 fmt(static_cast<double>(hi - lo), 0), fmt(mean_nn_2d(ps, 50, cfg.seed), 2)});
+    if (!cfg.csv_dir.empty()) {
+      data::write_csv(ps, cfg.csv_dir + "/fig4_sigma" + fmt(sigma, 0) + ".csv", 20000);
+    }
+  }
+
+  data::NoaaSpec nspec;
+  nspec.seed = cfg.seed;
+  nspec.stations = cfg.paper_scale ? 20000 : 4000;
+  nspec.readings_per_station = 1;
+  const PointSet noaa = data::make_noaa_like(nspec);
+  tab.add_row({"NOAA-like stations", std::to_string(noaa.size()), "360",
+               fmt(mean_nn_2d(noaa, 50, cfg.seed), 3)});
+  if (!cfg.csv_dir.empty()) {
+    data::write_csv(noaa, cfg.csv_dir + "/fig4_noaa.csv", 20000);
+  }
+
+  emit(tab, cfg, "fig4_stats");
+  std::cout << "\npaper expectation: as sigma grows the clusters blur toward uniform\n"
+               "(mean NN distance approaches the uniform expectation); the NOAA-like\n"
+               "stations are heavily clustered on landmasses.\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 5: "Query Processing Performance with Varying Input Distribution
+// (100 clusters)" — SS-Tree(PSB) vs SS-Tree(Branch&Bound) at 64 dims while
+// the per-cluster standard deviation sweeps 10 .. 10240 (clustered ->
+// near-uniform, Fig. 4's spectrum).
+#include "bench_common.hpp"
+#include "knn/branch_and_bound.hpp"
+#include "knn/psb.hpp"
+#include "sstree/builders.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psb;
+  using namespace psb::bench;
+  const BenchConfig cfg = BenchConfig::from_args(argc, argv);
+  const std::size_t dims = 64;
+  print_header(cfg, "Fig. 5 — sensitivity to the input distribution (64-dim)");
+
+  Table time_tab("Fig 5 (left): Average Query Response Time (msec)",
+                 {"stddev", "SS-Tree (PSB)", "SS-Tree (Branch&Bound)"});
+  Table bytes_tab("Fig 5 (right): Average Accessed Bytes (MB)",
+                  {"stddev", "SS-Tree (PSB)", "SS-Tree (Branch&Bound)"});
+
+  for (const double sigma : {10.0, 40.0, 160.0, 640.0, 2560.0, 10240.0}) {
+    const PointSet data = make_data(cfg, dims, sigma);
+    const PointSet queries = make_queries(cfg, data);
+    const sstree::SSTree tree = sstree::build_kmeans(data, cfg.degree).tree;
+
+    knn::GpuKnnOptions opts;
+    opts.k = cfg.k;
+    const auto psb_r = knn::psb_batch(tree, queries, opts);
+    const auto bnb_r = knn::bnb_batch(tree, queries, opts);
+
+    const double q = static_cast<double>(queries.size());
+    time_tab.add_row({fmt(sigma, 0), fmt(psb_r.timing.avg_query_ms),
+                      fmt(bnb_r.timing.avg_query_ms)});
+    bytes_tab.add_row({fmt(sigma, 0), fmt_mb(psb_r.metrics.total_bytes() / q),
+                       fmt_mb(bnb_r.metrics.total_bytes() / q)});
+  }
+  emit(time_tab, cfg, "fig5_time");
+  emit(bytes_tab, cfg, "fig5_bytes");
+
+  std::cout << "\npaper expectation: response time rises ~8x from stddev 40 to 10240 as\n"
+               "the data approaches uniform; accessed bytes converge between PSB and\n"
+               "B&B for stddev >= 640 while PSB stays faster (linear-scan benefit).\n";
+  return 0;
+}

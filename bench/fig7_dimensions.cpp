@@ -1,0 +1,69 @@
+// Figure 7: "Performance with Varying Dimensions (Synthetic Datasets, 100
+// clusters)" — Bruteforce vs SS-tree(PSB) vs SS-tree(Branch&Bound) across
+// dims in {2, 4, 8, 16, 32, 64}; average query response time (ms) and
+// accessed global-memory bytes (MB).
+#include "bench_common.hpp"
+#include "knn/branch_and_bound.hpp"
+#include "knn/brute_force.hpp"
+#include "knn/psb.hpp"
+#include "sstree/builders.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psb;
+  using namespace psb::bench;
+  const BenchConfig cfg = BenchConfig::from_args(argc, argv);
+  print_header(cfg, "Fig. 7 — kNN performance in varying dimensions");
+
+  Table time_tab("Fig 7 (left): Average Query Response Time (msec)",
+                 {"dims", "Bruteforce", "SS-Tree (PSB)", "SS-Tree (Branch&Bound)"});
+  Table bytes_tab("Fig 7 (right): Average Accessed Bytes (MB)",
+                  {"dims", "Bruteforce", "SS-Tree (PSB)", "SS-Tree (Branch&Bound)"});
+
+  for (const std::size_t dims : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    const PointSet data = make_data(cfg, dims, cfg.stddev);
+    const PointSet queries = make_queries(cfg, data);
+    const sstree::SSTree tree = sstree::build_kmeans(data, cfg.degree).tree;
+
+    knn::GpuKnnOptions opts;
+    opts.k = cfg.k;
+    const auto brute = knn::brute_force_batch(data, queries, opts);
+    const auto psb_r = knn::psb_batch(tree, queries, opts);
+    const auto bnb_r = knn::bnb_batch(tree, queries, opts);
+
+    const double q = static_cast<double>(queries.size());
+    time_tab.add_row({std::to_string(dims), fmt(brute.timing.avg_query_ms),
+                      fmt(psb_r.timing.avg_query_ms), fmt(bnb_r.timing.avg_query_ms)});
+    bytes_tab.add_row({std::to_string(dims), fmt_mb(brute.metrics.total_bytes() / q),
+                       fmt_mb(psb_r.metrics.total_bytes() / q),
+                       fmt_mb(bnb_r.metrics.total_bytes() / q)});
+  }
+  emit(time_tab, cfg, "fig7_time");
+  emit(bytes_tab, cfg, "fig7_bytes");
+
+  // §V-D's counterpoint: "When the datasets are in uniform or Zipf's
+  // distribution, it is known that brute-force exhaustive scanning often
+  // performs better than indexing structures in high dimensions."
+  Table counter_tab("Fig 7 counterpoint: uniform / Zipf data (avg time, ms)",
+                    {"distribution", "dims", "Bruteforce", "SS-Tree (PSB)"});
+  for (const std::size_t dims : {8u, 64u}) {
+    for (const int kind : {0, 1}) {
+      const PointSet data =
+          kind == 0 ? data::make_uniform(dims, cfg.total_points(), 65536.0, cfg.seed)
+                    : data::make_zipf(dims, cfg.total_points(), 65536.0, 3.0, cfg.seed);
+      const PointSet queries = make_queries(cfg, data);
+      const sstree::SSTree tree = sstree::build_kmeans(data, cfg.degree).tree;
+      knn::GpuKnnOptions opts;
+      opts.k = cfg.k;
+      counter_tab.add_row({kind == 0 ? "uniform" : "zipf(3)", std::to_string(dims),
+                           fmt(knn::brute_force_batch(data, queries, opts).timing.avg_query_ms),
+                           fmt(knn::psb_batch(tree, queries, opts).timing.avg_query_ms)});
+    }
+  }
+  emit(counter_tab, cfg, "fig7_counterpoint");
+
+  std::cout << "\npaper expectation: SS-trees beat brute force at every dimension on\n"
+               "clustered data; at 64-d PSB is ~4x faster than brute force and ~25%\n"
+               "faster than branch-and-bound. On uniform/Zipf data in high dims the\n"
+               "relationship flips (the SV-D counterpoint table).\n";
+  return 0;
+}

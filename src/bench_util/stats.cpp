@@ -1,0 +1,75 @@
+#include "bench_util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "bench_util/table.hpp"
+
+namespace psb::bench_util {
+namespace {
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+}  // namespace
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  double sum = 0;
+  for (const double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(sorted.size());
+  double sq = 0;
+  for (const double v : sorted) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(sq / static_cast<double>(sorted.size()));
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p50 = percentile(sorted, 50);
+  s.p90 = percentile(sorted, 90);
+  s.p99 = percentile(sorted, 99);
+  return s;
+}
+
+std::string brief(const Summary& s, int precision) {
+  std::ostringstream os;
+  os << fmt(s.mean, precision) << " p50=" << fmt(s.p50, precision)
+     << " p99=" << fmt(s.p99, precision);
+  return os.str();
+}
+
+std::string ascii_histogram(std::span<const double> values, std::size_t buckets,
+                            std::size_t width) {
+  const Summary s = summarize(values);
+  if (s.count == 0 || buckets == 0) return "(empty)";
+  const double lo = s.min;
+  const double hi = s.max;
+  std::vector<std::size_t> counts(buckets, 0);
+  for (const double v : values) {
+    std::size_t b = hi > lo ? static_cast<std::size_t>((v - lo) / (hi - lo) *
+                                                       static_cast<double>(buckets))
+                            : 0;
+    b = std::min(b, buckets - 1);
+    ++counts[b];
+  }
+  const std::size_t peak = *std::max_element(counts.begin(), counts.end());
+  std::ostringstream os;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const double at = lo + (hi - lo) * static_cast<double>(b) / static_cast<double>(buckets);
+    const std::size_t bar =
+        peak == 0 ? 0 : counts[b] * width / peak;
+    os << fmt(at, 2) << " | " << std::string(bar, '#') << ' ' << counts[b] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace psb::bench_util

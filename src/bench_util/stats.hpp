@@ -1,0 +1,36 @@
+// Distribution summaries over per-query measurements — benches report the
+// tail, not just the mean (a traversal's response time is heavily
+// data-dependent, and the paper's "average" hides the spread).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace psb::bench_util {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+  double max = 0;
+};
+
+/// Summarize a sample (empty input yields an all-zero summary). Percentiles
+/// use the nearest-rank method on a sorted copy.
+Summary summarize(std::span<const double> values);
+
+/// "mean p50/p99 [min..max]" one-liner for table cells.
+std::string brief(const Summary& s, int precision = 3);
+
+/// Weighted histogram as ASCII sparkline-ish bars, for quick console
+/// inspection of a distribution (buckets between min and max).
+std::string ascii_histogram(std::span<const double> values, std::size_t buckets = 16,
+                            std::size_t width = 40);
+
+}  // namespace psb::bench_util

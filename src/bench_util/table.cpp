@@ -1,0 +1,76 @@
+#include "bench_util/table.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace psb::bench_util {
+
+std::string fmt(double value, int precision) {
+  std::ostringstream os;
+  if (value != 0 && (std::abs(value) < 0.01 || std::abs(value) >= 1e6)) {
+    os << std::scientific << std::setprecision(precision) << value;
+  } else {
+    os << std::fixed << std::setprecision(precision) << value;
+  }
+  return os.str();
+}
+
+std::string fmt_mb(double bytes) { return fmt(bytes / 1e6, 2); }
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  PSB_REQUIRE(!columns_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  PSB_REQUIRE(cells.size() == columns_.size(), "row width must match the header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+  os << "\n== " << title_ << " ==\n";
+  auto rule = [&] {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      os << '+' << std::string(width[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << "| " << std::left << std::setw(static_cast<int>(width[c])) << cells[c] << ' ';
+    }
+    os << "|\n";
+  };
+  rule();
+  line(columns_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+}
+
+void Table::print() const { print(std::cout); }
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  PSB_REQUIRE(out.good(), "cannot open csv output: " + path);
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out << ',';
+      out << cells[c];
+    }
+    out << '\n';
+  };
+  emit(columns_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace psb::bench_util

@@ -1,0 +1,38 @@
+// Paper-style result tables: aligned console output plus optional CSV
+// emission so each bench binary regenerates one figure's data series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace psb::bench_util {
+
+/// Format a double with `precision` significant-ish decimals, trimming noise.
+std::string fmt(double value, int precision = 3);
+
+/// Format a byte count as MB with 2 decimals.
+std::string fmt_mb(double bytes);
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Aligned plain-text rendering (what the bench prints).
+  void print(std::ostream& os) const;
+  void print() const;  // stdout
+
+  /// Write as CSV (header + rows) for plotting.
+  void write_csv(const std::string& path) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace psb::bench_util

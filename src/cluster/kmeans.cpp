@@ -1,0 +1,205 @@
+#include "cluster/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/geometry.hpp"
+
+namespace psb::cluster {
+namespace {
+
+/// Squared distance with a raw-pointer hot loop the compiler can vectorize.
+inline double dist_sq(const Scalar* a, const Scalar* b, std::size_t d) {
+  double acc = 0;
+  for (std::size_t i = 0; i < d; ++i) {
+    const double t = static_cast<double>(a[i]) - b[i];
+    acc += t * t;
+  }
+  return acc;
+}
+
+/// Squared distance with partial-distance pruning: abandon the accumulation
+/// once it exceeds `bound` (checked every 16 dims so the inner loop still
+/// vectorizes). Exact: a prefix of squared terms only underestimates.
+inline double dist_sq_bounded(const Scalar* a, const Scalar* b, std::size_t d, double bound) {
+  double acc = 0;
+  std::size_t i = 0;
+  for (; i + 16 <= d; i += 16) {
+    for (std::size_t j = i; j < i + 16; ++j) {
+      const double t = static_cast<double>(a[j]) - b[j];
+      acc += t * t;
+    }
+    if (acc > bound) return acc;
+  }
+  for (; i < d; ++i) {
+    const double t = static_cast<double>(a[i]) - b[i];
+    acc += t * t;
+  }
+  return acc;
+}
+
+/// Nearest centroid index for point p among `k` centroids (row-major).
+inline std::size_t nearest(const Scalar* p, const Scalar* centroids, std::size_t k,
+                           std::size_t d) {
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (std::size_t c = 0; c < k; ++c) {
+    const double dd = dist_sq_bounded(p, centroids + c * d, d, best_d);
+    if (dd < best_d) {
+      best_d = dd;
+      best = c;
+    }
+  }
+  return best;
+}
+
+/// k-means++ seeding over the sample.
+std::vector<Scalar> seed_centroids(const PointSet& points, std::span<const PointId> sample,
+                                   std::size_t k, Rng& rng) {
+  const std::size_t d = points.dims();
+  std::vector<Scalar> centroids;
+  centroids.reserve(k * d);
+
+  const PointId first = sample[rng.next_below(sample.size())];
+  centroids.insert(centroids.end(), points[first].begin(), points[first].end());
+
+  std::vector<double> min_d(sample.size(), std::numeric_limits<double>::max());
+  for (std::size_t c = 1; c < k; ++c) {
+    const Scalar* last = centroids.data() + (c - 1) * d;
+    double total = 0;
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      const double dd = dist_sq(points[sample[i]].data(), last, d);
+      min_d[i] = std::min(min_d[i], dd);
+      total += min_d[i];
+    }
+    if (total <= 0) {
+      // All remaining points coincide with a centroid: reuse an arbitrary one.
+      const PointId id = sample[rng.next_below(sample.size())];
+      centroids.insert(centroids.end(), points[id].begin(), points[id].end());
+      continue;
+    }
+    double target = rng.next_double() * total;
+    std::size_t chosen = sample.size() - 1;
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      target -= min_d[i];
+      if (target <= 0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.insert(centroids.end(), points[sample[chosen]].begin(),
+                     points[sample[chosen]].end());
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const PointSet& points, std::span<const PointId> ids,
+                    const KMeansOptions& opts) {
+  PSB_REQUIRE(!ids.empty(), "kmeans over empty id set");
+  PSB_REQUIRE(opts.k > 0, "k must be > 0");
+  const std::size_t d = points.dims();
+  const std::size_t k = std::min(opts.k, ids.size());
+
+  Rng rng(opts.seed);
+
+  // Uniform sample for the Lloyd iterations.
+  std::vector<PointId> sample;
+  if (opts.sample_size == 0 || ids.size() <= opts.sample_size) {
+    sample.assign(ids.begin(), ids.end());
+  } else {
+    sample.reserve(opts.sample_size);
+    // Reservoir-free: sample without replacement via partial Fisher–Yates.
+    std::vector<PointId> pool(ids.begin(), ids.end());
+    for (std::size_t i = 0; i < opts.sample_size; ++i) {
+      const std::size_t j = i + static_cast<std::size_t>(rng.next_below(pool.size() - i));
+      std::swap(pool[i], pool[j]);
+      sample.push_back(pool[i]);
+    }
+  }
+
+  std::vector<Scalar> centroids = seed_centroids(points, sample, k, rng);
+
+  // Lloyd iterations on the sample.
+  std::vector<std::uint32_t> sample_assign(sample.size(), 0);
+  std::vector<double> sums(k * d);
+  std::vector<std::size_t> counts(k);
+  int iter = 0;
+  const std::uint64_t assign_ops = static_cast<std::uint64_t>(k) * d * 3;
+  for (; iter < opts.max_iterations; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      const auto c =
+          static_cast<std::uint32_t>(nearest(points[sample[i]].data(), centroids.data(), k, d));
+      if (c != sample_assign[i]) changed = true;
+      sample_assign[i] = c;
+    }
+    if (opts.block != nullptr) {
+      opts.block->par_for(sample.size(), assign_ops, [](std::size_t) {});
+      opts.block->load_global(sample.size() * d * sizeof(Scalar), simt::Access::kCoalesced);
+    }
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      const auto p = points[sample[i]];
+      double* s = sums.data() + sample_assign[i] * d;
+      for (std::size_t t = 0; t < d; ++t) s[t] += p[t];
+      ++counts[sample_assign[i]];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its old centroid
+      for (std::size_t t = 0; t < d; ++t) {
+        centroids[c * d + t] = static_cast<Scalar>(sums[c * d + t] / counts[c]);
+      }
+    }
+    if (!changed && iter > 0) {
+      ++iter;
+      break;
+    }
+  }
+
+  // Final assignment of every input point to its nearest centroid.
+  KMeansResult result;
+  result.iterations = iter;
+  result.assignment.resize(ids.size());
+  std::vector<std::vector<PointId>> clusters(k);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto c =
+        static_cast<std::uint32_t>(nearest(points[ids[i]].data(), centroids.data(), k, d));
+    result.assignment[i] = c;
+    clusters[c].push_back(ids[i]);
+  }
+  if (opts.block != nullptr) {
+    opts.block->par_for(ids.size(), assign_ops, [](std::size_t) {});
+    opts.block->load_global(ids.size() * d * sizeof(Scalar), simt::Access::kCoalesced);
+  }
+
+  // Drop empty clusters, remapping assignments.
+  std::vector<std::uint32_t> remap(k, 0);
+  result.centroids = PointSet(d);
+  for (std::size_t c = 0; c < k; ++c) {
+    if (clusters[c].empty()) continue;
+    remap[c] = static_cast<std::uint32_t>(result.clusters.size());
+    result.centroids.append({centroids.data() + c * d, d});
+    result.clusters.push_back(std::move(clusters[c]));
+  }
+  for (auto& a : result.assignment) a = remap[a];
+  return result;
+}
+
+KMeansResult kmeans(const PointSet& points, const KMeansOptions& opts) {
+  PSB_REQUIRE(!points.empty(), "kmeans over empty point set");
+  std::vector<PointId> ids(points.size());
+  std::iota(ids.begin(), ids.end(), PointId{0});
+  return kmeans(points, ids, opts);
+}
+
+std::size_t mardia_k(std::size_t n) noexcept {
+  return static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(n) / 2.0)));
+}
+
+}  // namespace psb::cluster

@@ -1,0 +1,53 @@
+// Lloyd's k-means with k-means++ seeding — the clustering engine behind the
+// paper's second bottom-up SS-tree construction method (§IV-B).
+//
+// The paper runs Lloyd iterations on the GPU; here the iterations optionally
+// run on a uniform sample (sample_size) with one final full assignment pass,
+// which preserves the packing quality the construction needs while keeping
+// the largest sweeps (k = 10 000) tractable on the host. sample_size = 0
+// disables sampling. Work is charged to an optional simt::Block so the
+// construction benches can report build cost.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/points.hpp"
+#include "common/rng.hpp"
+#include "simt/block.hpp"
+
+namespace psb::cluster {
+
+struct KMeansOptions {
+  std::size_t k = 8;
+  int max_iterations = 8;
+  /// Lloyd iterations run on a sample of this many points (0 = all points).
+  std::size_t sample_size = 10000;
+  std::uint64_t seed = 1234;
+  /// Optional instrumentation sink; when set, per-iteration traffic and
+  /// distance ops are charged to the block.
+  simt::Block* block = nullptr;
+};
+
+struct KMeansResult {
+  /// Final centroids (empty clusters dropped; size() <= k).
+  PointSet centroids;
+  /// Point ids per cluster, clusters ordered as in `centroids`.
+  std::vector<std::vector<PointId>> clusters;
+  /// Cluster index per input id position (parallel to the ids argument).
+  std::vector<std::uint32_t> assignment;
+  int iterations = 0;
+};
+
+/// Cluster the points selected by `ids` into (at most) opts.k clusters.
+KMeansResult kmeans(const PointSet& points, std::span<const PointId> ids,
+                    const KMeansOptions& opts);
+
+/// Cluster the whole point set.
+KMeansResult kmeans(const PointSet& points, const KMeansOptions& opts);
+
+/// Mardia et al.'s rule of thumb used by the paper: k = ceil(sqrt(n / 2)).
+std::size_t mardia_k(std::size_t n) noexcept;
+
+}  // namespace psb::cluster

@@ -1,0 +1,53 @@
+// Error handling: PSB_REQUIRE for precondition checks on public APIs (throws),
+// PSB_ASSERT for internal invariants (aborts in debug, cheap in release).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace psb {
+
+/// Exception thrown when a documented API precondition is violated.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Exception thrown when an internal invariant fails at runtime.
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid_argument(const char* expr, const char* file, int line,
+                                                const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvalidArgument(os.str());
+}
+
+[[noreturn]] inline void throw_internal_error(const char* expr, const char* file, int line,
+                                              const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InternalError(os.str());
+}
+}  // namespace detail
+
+}  // namespace psb
+
+/// Validate a caller-supplied argument; throws psb::InvalidArgument on failure.
+#define PSB_REQUIRE(cond, msg)                                                      \
+  do {                                                                              \
+    if (!(cond)) ::psb::detail::throw_invalid_argument(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Validate an internal invariant; throws psb::InternalError on failure.
+#define PSB_ASSERT(cond, msg)                                                      \
+  do {                                                                             \
+    if (!(cond)) ::psb::detail::throw_internal_error(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,27 @@
+#include "common/points.hpp"
+
+namespace psb {
+
+PointSet::PointSet(std::size_t dims, std::vector<Scalar> data) : dims_(dims), data_(std::move(data)) {
+  PSB_REQUIRE(dims > 0, "dims must be > 0");
+  PSB_REQUIRE(data_.size() % dims == 0, "flat data size must be a multiple of dims");
+}
+
+PointId PointSet::append(std::span<const Scalar> p) {
+  PSB_REQUIRE(p.size() == dims_, "point dimensionality mismatch");
+  const PointId id = static_cast<PointId>(size());
+  data_.insert(data_.end(), p.begin(), p.end());
+  return id;
+}
+
+PointSet PointSet::subset(std::span<const PointId> ids) const {
+  PointSet out(dims_);
+  out.reserve(ids.size());
+  for (const PointId id : ids) {
+    PSB_REQUIRE(id < size(), "subset id out of range");
+    out.append((*this)[id]);
+  }
+  return out;
+}
+
+}  // namespace psb

@@ -1,0 +1,47 @@
+// Deterministic pseudo-random number generation.
+//
+// All dataset generation and sampling in the repository flows through this
+// header so that every experiment is bit-reproducible from a seed printed in
+// the bench output. The engine is xoshiro256++ seeded via splitmix64 — fast,
+// high quality, and independent of the standard library's unspecified
+// distributions (std::normal_distribution output differs across libstdc++
+// versions, which would make EXPERIMENTS.md unreproducible).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace psb {
+
+/// xoshiro256++ engine with deterministic cross-platform output.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, bound); bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Standard normal via Box–Muller (deterministic, no cached spare).
+  double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Split off an independent stream (for per-cluster / per-thread use).
+  Rng split() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace psb

@@ -1,0 +1,31 @@
+// Basic scalar/index types shared by every PSB module.
+//
+// The paper's GPU implementation works in single precision (CUDA float), so
+// coordinates and distances are `float` throughout; accumulations that are
+// numerically delicate (variance, centroid sums) use double internally.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace psb {
+
+/// Coordinate / distance scalar (matches the paper's CUDA float).
+using Scalar = float;
+
+/// Index of a data point within a dataset.
+using PointId = std::uint32_t;
+
+/// Index of a tree node within a node arena.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node" (root's parent, absent sibling).
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// Sentinel for "no point".
+inline constexpr PointId kInvalidPoint = static_cast<PointId>(-1);
+
+/// Positive infinity for Scalar, used as the initial pruning distance.
+inline constexpr Scalar kInfinity = 3.4028234663852886e+38F;
+
+}  // namespace psb

@@ -1,0 +1,64 @@
+#include "data/io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace psb::data {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x50534231;  // "PSB1"
+
+}  // namespace
+
+void write_binary(const PointSet& points, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  PSB_REQUIRE(out.good(), "cannot open output file: " + path);
+  const std::uint32_t magic = kMagic;
+  const auto dims = static_cast<std::uint32_t>(points.dims());
+  const auto count = static_cast<std::uint64_t>(points.size());
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&dims), sizeof(dims));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  const auto raw = points.raw();
+  out.write(reinterpret_cast<const char*>(raw.data()),
+            static_cast<std::streamsize>(raw.size() * sizeof(Scalar)));
+  PSB_REQUIRE(out.good(), "write failed: " + path);
+}
+
+PointSet read_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PSB_REQUIRE(in.good(), "cannot open input file: " + path);
+  std::uint32_t magic = 0;
+  std::uint32_t dims = 0;
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&dims), sizeof(dims));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  PSB_REQUIRE(in.good() && magic == kMagic, "not a PSB dataset file: " + path);
+  PSB_REQUIRE(dims > 0, "corrupt dataset header (dims == 0)");
+  std::vector<Scalar> raw(static_cast<std::size_t>(count) * dims);
+  in.read(reinterpret_cast<char*>(raw.data()),
+          static_cast<std::streamsize>(raw.size() * sizeof(Scalar)));
+  PSB_REQUIRE(in.good(), "truncated dataset file: " + path);
+  return PointSet(dims, std::move(raw));
+}
+
+void write_csv(const PointSet& points, const std::string& path, std::size_t max_rows) {
+  std::ofstream out(path);
+  PSB_REQUIRE(out.good(), "cannot open output file: " + path);
+  const std::size_t rows = max_rows == 0 ? points.size() : std::min(max_rows, points.size());
+  for (std::size_t i = 0; i < rows; ++i) {
+    const auto p = points[i];
+    for (std::size_t t = 0; t < p.size(); ++t) {
+      if (t != 0) out << ',';
+      out << p[t];
+    }
+    out << '\n';
+  }
+  PSB_REQUIRE(out.good(), "write failed: " + path);
+}
+
+}  // namespace psb::data

@@ -1,0 +1,21 @@
+// Dataset persistence: a small binary format for reproducible experiments and
+// CSV export for plotting (Fig. 4-style scatter data).
+#pragma once
+
+#include <string>
+
+#include "common/points.hpp"
+
+namespace psb::data {
+
+/// Write a point set: header (magic, dims, count) + raw float32 rows.
+void write_binary(const PointSet& points, const std::string& path);
+
+/// Read a point set written by write_binary. Throws on format mismatch.
+PointSet read_binary(const std::string& path);
+
+/// Write points as CSV (one row per point, no header); `max_rows` caps the
+/// output for plotting (0 = all).
+void write_csv(const PointSet& points, const std::string& path, std::size_t max_rows = 0);
+
+}  // namespace psb::data

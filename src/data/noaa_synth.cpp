@@ -1,0 +1,109 @@
+#include "data/noaa_synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace psb::data {
+
+PointSet make_noaa_like(const NoaaSpec& spec) {
+  PSB_REQUIRE(spec.stations > 0, "need at least one station");
+  PSB_REQUIRE(spec.readings_per_station > 0, "need at least one reading per station");
+  PSB_REQUIRE(spec.continents > 0, "need at least one continent");
+
+  Rng rng(spec.seed);
+
+  // Continent anchors: biased to the northern hemisphere (as real landmass
+  // is) with varied spatial extents.
+  struct Blob {
+    double lat, lon, lat_ext, lon_ext;
+  };
+  std::vector<Blob> continents(spec.continents);
+  for (auto& c : continents) {
+    c.lat = rng.uniform(-50.0, 70.0);
+    if (rng.next_double() < 0.65) c.lat = std::abs(c.lat);  // northern bias
+    c.lon = rng.uniform(-180.0, 180.0);
+    c.lat_ext = rng.uniform(8.0, 30.0);
+    c.lon_ext = rng.uniform(15.0, 60.0);
+  }
+
+  // Region sub-clusters (population centers) inside continents; station
+  // density is proportional to a Zipf-ish region weight.
+  struct Region {
+    double lat, lon, ext;
+    double weight;
+  };
+  std::vector<Region> regions;
+  regions.reserve(spec.continents * spec.regions_per_continent);
+  for (const auto& c : continents) {
+    for (std::size_t r = 0; r < spec.regions_per_continent; ++r) {
+      Region reg;
+      reg.lat = std::clamp(c.lat + rng.normal(0.0, c.lat_ext / 2), -89.0, 89.0);
+      reg.lon = c.lon + rng.normal(0.0, c.lon_ext / 2);
+      reg.ext = rng.uniform(0.3, 3.0);
+      reg.weight = 1.0 / static_cast<double>(r + 1);  // Zipf over regions
+      regions.push_back(reg);
+    }
+  }
+  double total_weight = 0;
+  for (const auto& r : regions) total_weight += r.weight;
+
+  // Place stations.
+  PointSet stations(2);
+  stations.reserve(spec.stations);
+  for (std::size_t s = 0; s < spec.stations; ++s) {
+    double pick = rng.next_double() * total_weight;
+    std::size_t idx = regions.size() - 1;
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+      pick -= regions[r].weight;
+      if (pick <= 0) {
+        idx = r;
+        break;
+      }
+    }
+    const Region& reg = regions[idx];
+    const Scalar lat = static_cast<Scalar>(std::clamp(rng.normal(reg.lat, reg.ext), -90.0, 90.0));
+    double lon = rng.normal(reg.lon, reg.ext);
+    // Wrap longitude into [-180, 180).
+    lon = std::fmod(lon + 180.0, 360.0);
+    if (lon < 0) lon += 360.0;
+    lon -= 180.0;
+    const Scalar data[2] = {lat, static_cast<Scalar>(lon)};
+    stations.append(data);
+  }
+
+  // Emit readings. Coordinates get a tiny jitter; the time channel spreads a
+  // station's readings over the year and the temperature channel follows a
+  // latitude + season model, so readings are clustered by station/region but
+  // not degenerate (the paper indexes the full reading tuples and projects to
+  // the first two dimensions only for Fig. 4e).
+  const std::size_t dims = spec.include_time_and_temp ? 4 : 2;
+  PointSet out(dims);
+  out.reserve(spec.stations * spec.readings_per_station);
+  std::vector<Scalar> p(dims);
+  for (std::size_t s = 0; s < spec.stations; ++s) {
+    const auto st = stations[s];
+    for (std::size_t r = 0; r < spec.readings_per_station; ++r) {
+      p[0] = st[0] + static_cast<Scalar>(rng.normal(0.0, spec.reading_jitter));
+      p[1] = st[1] + static_cast<Scalar>(rng.normal(0.0, spec.reading_jitter));
+      if (spec.include_time_and_temp) {
+        const double day = rng.uniform(0.0, 365.0);
+        // Warm at the equator, cold at the poles; northern seasons flipped
+        // from southern; a few degrees of weather noise on top.
+        const double seasonal =
+            12.0 * std::sin((day / 365.0) * 2.0 * 3.14159265358979 -
+                            (st[0] >= 0 ? 1.5707963 : -1.5707963));
+        const double base = 28.0 - 0.6 * std::abs(static_cast<double>(st[0]));
+        p[2] = static_cast<Scalar>(day);
+        p[3] = static_cast<Scalar>(base + seasonal + rng.normal(0.0, 3.0));
+      }
+      out.append(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace psb::data

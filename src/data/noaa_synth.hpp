@@ -1,0 +1,45 @@
+// NOAA-ISD-like synthetic dataset (substitution documented in DESIGN.md §1).
+//
+// The paper's "real" dataset is the NOAA Integrated Surface Database: sensor
+// readings "tagged with time and two-dimensional coordinates (latitude and
+// longitude)" from ~20,000 stations. Two structural properties matter for
+// the indexing experiments:
+//   1. extreme spatial skew — stations crowd onto landmasses and population
+//      centers (the paper's Fig. 4e shows the dataset *projected to the
+//      first two dimensions*, i.e. the indexed points have more than two);
+//   2. each station contributes many readings spread across time and sensor
+//      values, so points are clustered but not degenerate.
+// The generator reproduces both: continent-scale anchor blobs, region-scale
+// sub-clusters, and per-station readings that vary in time and in a
+// temperature channel correlated with latitude and season.
+//
+// Default layout per point (4 dims): [lat deg, lon deg, day-of-year,
+// temperature degC]. With include_time_and_temp = false only (lat, lon) are
+// emitted (pure geographic queries, used by the weather_stations example).
+#pragma once
+
+#include <cstdint>
+
+#include "common/points.hpp"
+
+namespace psb::data {
+
+struct NoaaSpec {
+  std::size_t stations = 20000;
+  std::size_t readings_per_station = 50;  ///< 1M points at the default
+  std::size_t continents = 9;
+  std::size_t regions_per_continent = 40;
+  /// Jitter of repeated readings around a station (degrees) — ISD tags all of
+  /// a station's readings with essentially one coordinate.
+  double reading_jitter = 0.01;
+  /// Emit the full reading tuple (lat, lon, day, temperature) instead of the
+  /// bare station coordinate.
+  bool include_time_and_temp = true;
+  std::uint64_t seed = 1973;  ///< ISD's first year of coverage
+};
+
+/// Generate the reading point set (4-D by default, 2-D when
+/// include_time_and_temp is false).
+PointSet make_noaa_like(const NoaaSpec& spec);
+
+}  // namespace psb::data

@@ -1,0 +1,82 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace psb::data {
+
+PointSet make_clustered(const ClusteredSpec& spec) {
+  PSB_REQUIRE(spec.dims > 0, "dims must be > 0");
+  PSB_REQUIRE(spec.num_clusters > 0, "need at least one cluster");
+  PSB_REQUIRE(spec.points_per_cluster > 0, "need at least one point per cluster");
+
+  Rng rng(spec.seed);
+  PointSet out(spec.dims);
+  out.reserve(spec.num_clusters * spec.points_per_cluster);
+
+  std::vector<Scalar> mean(spec.dims);
+  std::vector<Scalar> p(spec.dims);
+  for (std::size_t c = 0; c < spec.num_clusters; ++c) {
+    for (auto& m : mean) m = static_cast<Scalar>(rng.uniform(0.0, spec.extent));
+    Rng cluster_rng = rng.split();
+    for (std::size_t i = 0; i < spec.points_per_cluster; ++i) {
+      for (std::size_t t = 0; t < spec.dims; ++t) {
+        p[t] = static_cast<Scalar>(cluster_rng.normal(mean[t], spec.stddev));
+      }
+      out.append(p);
+    }
+  }
+  return out;
+}
+
+PointSet make_uniform(std::size_t dims, std::size_t count, double extent, std::uint64_t seed) {
+  PSB_REQUIRE(dims > 0, "dims must be > 0");
+  Rng rng(seed);
+  PointSet out(dims);
+  out.reserve(count);
+  std::vector<Scalar> p(dims);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (auto& v : p) v = static_cast<Scalar>(rng.uniform(0.0, extent));
+    out.append(p);
+  }
+  return out;
+}
+
+PointSet make_zipf(std::size_t dims, std::size_t count, double extent, double skew,
+                   std::uint64_t seed) {
+  PSB_REQUIRE(dims > 0, "dims must be > 0");
+  PSB_REQUIRE(skew >= 1.0, "skew must be >= 1 (1 = uniform)");
+  Rng rng(seed);
+  PointSet out(dims);
+  out.reserve(count);
+  std::vector<Scalar> p(dims);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (auto& v : p) {
+      v = static_cast<Scalar>(extent * std::pow(rng.next_double(), skew));
+    }
+    out.append(p);
+  }
+  return out;
+}
+
+PointSet sample_queries(const PointSet& data, std::size_t count, double jitter,
+                        std::uint64_t seed) {
+  PSB_REQUIRE(!data.empty(), "cannot sample queries from an empty dataset");
+  Rng rng(seed);
+  PointSet out(data.dims());
+  out.reserve(count);
+  std::vector<Scalar> p(data.dims());
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto base = data[rng.next_below(data.size())];
+    for (std::size_t t = 0; t < data.dims(); ++t) {
+      p[t] = base[t] + static_cast<Scalar>(jitter != 0.0 ? rng.normal(0.0, jitter) : 0.0);
+    }
+    out.append(p);
+  }
+  return out;
+}
+
+}  // namespace psb::data

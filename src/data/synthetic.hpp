@@ -1,0 +1,46 @@
+// Synthetic workload generators matching the paper's evaluation datasets
+// (§V-A/V-B, Fig. 4): mixtures of N Gaussian clusters with controlled
+// standard deviation in a fixed coordinate space, plus uniform data and query
+// samplers.
+#pragma once
+
+#include <cstdint>
+
+#include "common/points.hpp"
+
+namespace psb::data {
+
+/// Mixture-of-Gaussians dataset: `num_clusters` isotropic normal clusters
+/// whose means are uniform in [0, extent)^dims. The paper combines 100
+/// distributions of 10,000 points each (1M total) and sweeps sigma from 10 to
+/// 10240 within a fixed space; extent defaults to 65536 so the sigma sweep
+/// reproduces the clustered -> near-uniform transition of Fig. 4.
+struct ClusteredSpec {
+  std::size_t dims = 64;
+  std::size_t num_clusters = 100;
+  std::size_t points_per_cluster = 10000;
+  double stddev = 160.0;
+  double extent = 65536.0;
+  std::uint64_t seed = 2016;
+};
+
+PointSet make_clustered(const ClusteredSpec& spec);
+
+/// Uniform dataset over [0, extent)^dims.
+PointSet make_uniform(std::size_t dims, std::size_t count, double extent, std::uint64_t seed);
+
+/// Zipf-skewed dataset: every coordinate is extent * u^skew (u uniform in
+/// [0,1)), i.e. a power-law marginal concentrated toward the origin —
+/// the "Zipf's distribution" regime §V-D mentions as the one where
+/// brute-force scanning beats indexing in high dimensions. skew = 1 recovers
+/// the uniform distribution; larger skew concentrates harder.
+PointSet make_zipf(std::size_t dims, std::size_t count, double extent, double skew,
+                   std::uint64_t seed);
+
+/// Query sampler: each query is a data point perturbed by an isotropic
+/// Gaussian of `jitter` (0 = queries on data points, as is typical for kNN
+/// evaluation over clustered data).
+PointSet sample_queries(const PointSet& data, std::size_t count, double jitter,
+                        std::uint64_t seed);
+
+}  // namespace psb::data

@@ -1,0 +1,146 @@
+#include "hilbert/hilbert.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace psb::hilbert {
+namespace {
+
+/// Skilling's AxesToTranspose: converts grid coordinates into the "transpose"
+/// form of the Hilbert index, in place.
+void axes_to_transpose(std::span<std::uint32_t> x, int bits) {
+  const std::size_t n = x.size();
+  const std::uint32_t m = std::uint32_t{1} << (bits - 1);
+  // Inverse undo.
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    const std::uint32_t p = q - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;  // invert low bits of the first axis
+      } else {
+        const std::uint32_t t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (std::size_t i = 1; i < n; ++i) x[i] ^= x[i - 1];
+  std::uint32_t t = 0;
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    if (x[n - 1] & q) t ^= q - 1;
+  }
+  for (std::size_t i = 0; i < n; ++i) x[i] ^= t;
+}
+
+/// Inverse transform (TransposeToAxes), for decode().
+void transpose_to_axes(std::span<std::uint32_t> x, int bits) {
+  const std::size_t n = x.size();
+  const std::uint32_t m = std::uint32_t{2} << (bits - 1);
+  // Gray decode by H ^ (H/2).
+  std::uint32_t t = x[n - 1] >> 1;
+  for (std::size_t i = n - 1; i > 0; --i) x[i] ^= x[i - 1];
+  x[0] ^= t;
+  // Undo excess work.
+  for (std::uint32_t q = 2; q != m; q <<= 1) {
+    const std::uint32_t p = q - 1;
+    for (std::size_t i = n; i-- > 0;) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        const std::uint32_t tt = (x[0] ^ x[i]) & p;
+        x[0] ^= tt;
+        x[i] ^= tt;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Encoder::Encoder(std::size_t dims, int bits_per_dim) : dims_(dims), bits_(bits_per_dim) {
+  PSB_REQUIRE(dims >= 1 && dims <= 64, "dims must be in [1, 64]");
+  PSB_REQUIRE(bits_per_dim >= 1 && bits_per_dim <= 31, "bits_per_dim must be in [1, 31]");
+  words_ = (dims_ * static_cast<std::size_t>(bits_) + 63) / 64;
+}
+
+void Encoder::encode_axes(std::span<const std::uint32_t> axes,
+                          std::span<std::uint64_t> out) const {
+  PSB_REQUIRE(axes.size() == dims_, "axes dimensionality mismatch");
+  PSB_REQUIRE(out.size() == words_, "output key width mismatch");
+  const std::uint32_t limit = (bits_ == 31) ? 0x7FFFFFFFu : ((std::uint32_t{1} << bits_) - 1);
+  std::vector<std::uint32_t> x(axes.begin(), axes.end());
+  for (const std::uint32_t a : x) {
+    PSB_REQUIRE(a <= limit, "axis value exceeds grid resolution");
+  }
+  axes_to_transpose(x, bits_);
+
+  // Interleave: the Hilbert index's most significant bit is bit (bits-1) of
+  // x[0], then bit (bits-1) of x[1], ..., then bit (bits-2) of x[0], etc.
+  std::fill(out.begin(), out.end(), 0);
+  std::size_t bitpos = 0;  // 0 = MSB of out[0]
+  for (int b = bits_ - 1; b >= 0; --b) {
+    for (std::size_t i = 0; i < dims_; ++i, ++bitpos) {
+      if ((x[i] >> b) & 1u) {
+        out[bitpos / 64] |= std::uint64_t{1} << (63 - bitpos % 64);
+      }
+    }
+  }
+}
+
+void Encoder::decode(std::span<const std::uint64_t> key,
+                     std::span<std::uint32_t> axes_out) const {
+  PSB_REQUIRE(key.size() == words_, "key width mismatch");
+  PSB_REQUIRE(axes_out.size() == dims_, "axes dimensionality mismatch");
+  std::vector<std::uint32_t> x(dims_, 0);
+  std::size_t bitpos = 0;
+  for (int b = bits_ - 1; b >= 0; --b) {
+    for (std::size_t i = 0; i < dims_; ++i, ++bitpos) {
+      if ((key[bitpos / 64] >> (63 - bitpos % 64)) & 1u) {
+        x[i] |= std::uint32_t{1} << b;
+      }
+    }
+  }
+  transpose_to_axes(x, bits_);
+  std::copy(x.begin(), x.end(), axes_out.begin());
+}
+
+void Encoder::encode_point(std::span<const Scalar> p, const Rect& bounds,
+                           std::span<std::uint64_t> out) const {
+  PSB_REQUIRE(p.size() == dims_, "point dimensionality mismatch");
+  PSB_REQUIRE(bounds.dims() == dims_, "bounds dimensionality mismatch");
+  const std::uint32_t cells = (bits_ == 31) ? 0x80000000u : (std::uint32_t{1} << bits_);
+  std::vector<std::uint32_t> axes(dims_);
+  for (std::size_t i = 0; i < dims_; ++i) {
+    const double extent = static_cast<double>(bounds.hi[i]) - bounds.lo[i];
+    double frac = extent > 0 ? (static_cast<double>(p[i]) - bounds.lo[i]) / extent : 0.0;
+    frac = std::clamp(frac, 0.0, 1.0);
+    auto cell = static_cast<std::uint32_t>(frac * cells);
+    axes[i] = std::min(cell, cells - 1);
+  }
+  encode_axes(axes, out);
+}
+
+std::vector<std::uint64_t> Encoder::encode_all(const PointSet& points) const {
+  return encode_all(points, bounding_rect(points));
+}
+
+std::vector<std::uint64_t> Encoder::encode_all(const PointSet& points, const Rect& bounds) const {
+  PSB_REQUIRE(points.dims() == dims_, "point set dimensionality mismatch");
+  std::vector<std::uint64_t> keys(points.size() * words_);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    encode_point(points[i], bounds, {keys.data() + i * words_, words_});
+  }
+  return keys;
+}
+
+Rect bounding_rect(const PointSet& points) {
+  PSB_REQUIRE(!points.empty(), "bounding_rect of an empty point set");
+  Rect r = Rect::around(points[0]);
+  for (std::size_t i = 1; i < points.size(); ++i) r.expand(points[i]);
+  return r;
+}
+
+}  // namespace psb::hilbert

@@ -1,0 +1,59 @@
+// d-dimensional Hilbert space-filling curve (Skilling's transpose algorithm,
+// "Programming the Hilbert curve", AIP Conf. Proc. 707, 2004).
+//
+// The paper (§IV-A) sorts points by Hilbert index to pack spatially-close
+// points into the same SS-tree leaf. We support arbitrary dimensionality
+// (2–64) × bits-per-dimension; an index is emitted as a fixed-width packed
+// big-endian key (most-significant 64-bit word first) compatible with
+// simt::radix_sort_order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/points.hpp"
+#include "common/types.hpp"
+
+namespace psb::hilbert {
+
+class Encoder {
+ public:
+  /// Curve over a `dims`-dimensional grid of 2^bits_per_dim cells per axis.
+  /// dims in [1, 64]; bits_per_dim in [1, 31].
+  Encoder(std::size_t dims, int bits_per_dim);
+
+  std::size_t dims() const noexcept { return dims_; }
+  int bits_per_dim() const noexcept { return bits_; }
+
+  /// 64-bit words per packed key (= ceil(dims * bits_per_dim / 64)).
+  std::size_t words_per_key() const noexcept { return words_; }
+
+  /// Encode pre-quantized axes (each < 2^bits_per_dim) into `out`
+  /// (words_per_key() words, big-endian word order).
+  void encode_axes(std::span<const std::uint32_t> axes, std::span<std::uint64_t> out) const;
+
+  /// Quantize point p within `bounds` onto the grid, then encode. Coordinates
+  /// on the upper boundary map to the last cell.
+  void encode_point(std::span<const Scalar> p, const Rect& bounds,
+                    std::span<std::uint64_t> out) const;
+
+  /// Inverse of encode_axes: recover the quantized axes from a packed key.
+  void decode(std::span<const std::uint64_t> key, std::span<std::uint32_t> axes_out) const;
+
+  /// Encode an entire point set (keys laid out contiguously, n * words_per_key
+  /// words). The grid bounds default to the set's bounding rectangle.
+  std::vector<std::uint64_t> encode_all(const PointSet& points) const;
+  std::vector<std::uint64_t> encode_all(const PointSet& points, const Rect& bounds) const;
+
+ private:
+  std::size_t dims_;
+  int bits_;
+  std::size_t words_;
+};
+
+/// Bounding rectangle of a (non-empty) point set.
+Rect bounding_rect(const PointSet& points);
+
+}  // namespace psb::hilbert

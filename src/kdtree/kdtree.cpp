@@ -1,0 +1,128 @@
+#include "kdtree/kdtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace psb::kdtree {
+
+KdTree::KdTree(const PointSet* points, std::size_t leaf_size)
+    : points_(points), leaf_size_(leaf_size) {
+  PSB_REQUIRE(points != nullptr, "point set required");
+  PSB_REQUIRE(!points->empty(), "cannot build over an empty point set");
+  PSB_REQUIRE(leaf_size >= 1, "leaf_size must be >= 1");
+  ids_.resize(points->size());
+  std::iota(ids_.begin(), ids_.end(), PointId{0});
+  nodes_.reserve(2 * points->size() / leaf_size + 2);
+  build(0, static_cast<std::uint32_t>(ids_.size()));
+}
+
+std::uint32_t KdTree::build(std::uint32_t begin, std::uint32_t end) {
+  const auto id = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  if (end - begin <= leaf_size_) {
+    KdNode& n = nodes_[id];
+    n.leaf = true;
+    n.begin = begin;
+    n.end = end;
+    return id;
+  }
+
+  // Widest-spread dimension over the range.
+  const std::size_t d = points_->dims();
+  std::size_t split_dim = 0;
+  Scalar best_spread = -1;
+  for (std::size_t t = 0; t < d; ++t) {
+    Scalar lo = kInfinity;
+    Scalar hi = -kInfinity;
+    for (std::uint32_t i = begin; i < end; ++i) {
+      const Scalar v = (*points_)[ids_[i]][t];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi - lo > best_spread) {
+      best_spread = hi - lo;
+      split_dim = t;
+    }
+  }
+
+  const std::uint32_t mid = begin + (end - begin) / 2;
+  std::nth_element(ids_.begin() + begin, ids_.begin() + mid, ids_.begin() + end,
+                   [&](PointId a, PointId b) {
+                     return (*points_)[a][split_dim] < (*points_)[b][split_dim];
+                   });
+  const Scalar split_val = (*points_)[ids_[mid]][split_dim];
+
+  const std::uint32_t left = build(begin, mid);
+  const std::uint32_t right = build(mid, end);
+  KdNode& n = nodes_[id];  // re-fetch: recursion reallocated the vector
+  n.leaf = false;
+  n.split_dim = static_cast<std::uint32_t>(split_dim);
+  n.split_val = split_val;
+  n.left = left;
+  n.right = right;
+  n.begin = begin;
+  n.end = end;
+  return id;
+}
+
+namespace {
+
+void query_rec(const KdTree& tree, std::uint32_t id, std::span<const Scalar> q, KnnHeap& heap) {
+  const KdNode& n = tree.node(id);
+  if (n.leaf) {
+    for (std::uint32_t i = n.begin; i < n.end; ++i) {
+      const PointId pid = tree.ids()[i];
+      heap.offer(distance(q, tree.data()[pid]), pid);
+    }
+    return;
+  }
+  const Scalar diff = q[n.split_dim] - n.split_val;
+  const std::uint32_t near = diff < 0 ? n.left : n.right;
+  const std::uint32_t far = diff < 0 ? n.right : n.left;
+  query_rec(tree, near, q, heap);
+  if (!heap.full() || std::abs(diff) <= heap.bound()) {
+    query_rec(tree, far, q, heap);
+  }
+}
+
+}  // namespace
+
+std::vector<KnnHeap::Entry> KdTree::query(std::span<const Scalar> q, std::size_t k) const {
+  PSB_REQUIRE(k > 0, "k must be > 0");
+  PSB_REQUIRE(q.size() == dims(), "query dimensionality mismatch");
+  KnnHeap heap(std::min(k, points_->size()));
+  query_rec(*this, root(), q, heap);
+  return heap.sorted();
+}
+
+void KdTree::validate() const {
+  std::vector<bool> seen(points_->size(), false);
+  for (const PointId id : ids_) {
+    PSB_ASSERT(id < points_->size(), "kd-tree id out of range");
+    PSB_ASSERT(!seen[id], "kd-tree id duplicated");
+    seen[id] = true;
+  }
+  for (const KdNode& n : nodes_) {
+    if (n.leaf) {
+      PSB_ASSERT(n.begin < n.end, "empty kd-tree leaf");
+      PSB_ASSERT(n.end <= ids_.size(), "kd-tree leaf range out of bounds");
+    } else {
+      PSB_ASSERT(n.left < nodes_.size() && n.right < nodes_.size(), "kd-tree child out of range");
+      // Every point on the left of the plane is <= every point on the right
+      // along the split dimension (median partition property).
+      const KdNode& l = nodes_[n.left];
+      const KdNode& r = nodes_[n.right];
+      for (std::uint32_t i = l.begin; i < l.end; ++i) {
+        PSB_ASSERT((*points_)[ids_[i]][n.split_dim] <= n.split_val,
+                   "left subtree point beyond the split plane");
+      }
+      PSB_ASSERT(l.begin == n.begin && l.end == r.begin && r.end == n.end,
+                 "kd-tree child ranges do not tile the parent");
+    }
+  }
+}
+
+}  // namespace psb::kdtree

@@ -1,0 +1,59 @@
+// Binary kd-tree — the task-parallel GPU baseline of Fig. 6 (after Brown's
+// GTC'10 "minimal kd-tree"): median splits on the widest dimension, bucket
+// leaves, implicit array layout. Queried one-traversal-per-GPU-lane by
+// task_parallel_knn.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/points.hpp"
+
+namespace psb::kdtree {
+
+struct KdNode {
+  // Internal nodes: children + splitting plane. Leaves: point-id range.
+  std::uint32_t left = 0;
+  std::uint32_t right = 0;
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  std::uint32_t split_dim = 0;
+  Scalar split_val = 0;
+  bool leaf = false;
+};
+
+class KdTree {
+ public:
+  /// Build over `points` (which must outlive the tree). `leaf_size` is the
+  /// bucket capacity of leaves.
+  KdTree(const PointSet* points, std::size_t leaf_size = 32);
+
+  const PointSet& data() const noexcept { return *points_; }
+  std::size_t dims() const noexcept { return points_->dims(); }
+  std::size_t num_nodes() const noexcept { return nodes_.size(); }
+  const KdNode& node(std::uint32_t id) const { return nodes_[id]; }
+  std::uint32_t root() const noexcept { return 0; }
+
+  /// Point ids in leaf order (leaf [begin,end) indexes into this).
+  const std::vector<PointId>& ids() const noexcept { return ids_; }
+
+  /// Simulated on-device byte size of one node record.
+  static constexpr std::size_t kNodeBytes = 24;
+
+  /// Exact kNN on the host (reference traversal, no instrumentation).
+  std::vector<KnnHeap::Entry> query(std::span<const Scalar> q, std::size_t k) const;
+
+  /// Structural validation (bounds, ranges, split sanity); throws on failure.
+  void validate() const;
+
+ private:
+  std::uint32_t build(std::uint32_t begin, std::uint32_t end);
+
+  const PointSet* points_;
+  std::size_t leaf_size_;
+  std::vector<KdNode> nodes_;
+  std::vector<PointId> ids_;
+};
+
+}  // namespace psb::kdtree

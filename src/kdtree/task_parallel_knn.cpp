@@ -1,0 +1,94 @@
+#include "kdtree/task_parallel_knn.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "simt/task_parallel.hpp"
+
+namespace psb::kdtree {
+namespace {
+
+/// Instrumented single-lane traversal: identical logic to KdTree::query but
+/// records this lane's lock-step steps and scattered byte traffic.
+void lane_query(const KdTree& tree, std::uint32_t id, std::span<const Scalar> q, KnnHeap& heap,
+                simt::LaneWork& lane, knn::TraversalStats& st) {
+  const KdNode& n = tree.node(id);
+  lane.bytes_random += KdTree::kNodeBytes;
+  lane.node_fetches += 1;
+  lane.steps += 4;  // fetch + plane compare + branch
+  ++st.nodes_visited;
+  if (n.leaf) {
+    ++st.leaves_visited;
+    const std::size_t d = tree.dims();
+    const auto logk = static_cast<std::uint64_t>(std::bit_width(heap.k()));
+    for (std::uint32_t i = n.begin; i < n.end; ++i) {
+      const PointId pid = tree.ids()[i];
+      const Scalar dist = distance(q, tree.data()[pid]);
+      lane.bytes_random += d * sizeof(Scalar);
+      lane.steps += d * 3 + 1;
+      if (heap.offer(dist, pid)) lane.steps += logk;
+      ++st.points_examined;
+    }
+    return;
+  }
+  const Scalar diff = q[n.split_dim] - n.split_val;
+  const std::uint32_t near = diff < 0 ? n.left : n.right;
+  const std::uint32_t far = diff < 0 ? n.right : n.left;
+  lane_query(tree, near, q, heap, lane, st);
+  if (!heap.full() || std::abs(diff) <= heap.bound()) {
+    lane_query(tree, far, q, heap, lane, st);
+  }
+}
+
+}  // namespace
+
+knn::BatchResult task_parallel_knn(const KdTree& tree, const PointSet& queries,
+                                   const TaskParallelOptions& opts) {
+  PSB_REQUIRE(opts.k > 0, "k must be > 0");
+  PSB_REQUIRE(queries.dims() == tree.dims(), "query dimensionality mismatch");
+
+  knn::BatchResult out;
+  out.queries.resize(queries.size());
+  std::vector<simt::LaneWork> lanes(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    KnnHeap heap(std::min(opts.k, tree.data().size()));
+    lane_query(tree, tree.root(), queries[i], heap, lanes[i], out.queries[i].stats);
+    out.queries[i].neighbors = heap.sorted();
+    out.stats.merge(out.queries[i].stats);
+  }
+
+  simt::KernelConfig cfg;
+  if (opts.mode == TaskParallelMode::kResponseTime) {
+    // One query at a time: its lane is alone in the warp, the warp alone in
+    // the block. Each lane becomes its own "batch element" so the average
+    // response time is the mean single-query kernel time.
+    for (const simt::LaneWork& lw : lanes) {
+      simt::Metrics m;
+      accumulate_task_parallel(opts.device, {&lw, 1}, &m);
+      out.metrics.merge(m);
+    }
+    cfg.blocks = static_cast<int>(std::max<std::size_t>(queries.size(), 1));
+    cfg.threads_per_block = opts.device.warp_size;
+  } else {
+    accumulate_task_parallel(opts.device, lanes, &out.metrics);
+    // One fully-packed warp per block: each warp is an independent
+    // lock-step chain, which is exactly what the latency model assumes.
+    const int block_threads = opts.device.warp_size;
+    cfg.threads_per_block = block_threads;
+    cfg.blocks = static_cast<int>((queries.size() + block_threads - 1) / block_threads);
+    cfg.blocks = std::max(cfg.blocks, 1);
+  }
+  // Per-lane k-NN list lives in shared memory just as in the data-parallel
+  // kernels: k entries per resident query lane.
+  out.metrics.shared_bytes =
+      std::max<std::size_t>(out.metrics.shared_bytes,
+                            opts.k * (sizeof(Scalar) + sizeof(PointId)) *
+                                (opts.mode == TaskParallelMode::kResponseTime
+                                     ? 1
+                                     : static_cast<std::size_t>(cfg.threads_per_block)));
+  out.timing = simt::estimate(opts.device, out.metrics, cfg);
+  return out;
+}
+
+}  // namespace psb::kdtree

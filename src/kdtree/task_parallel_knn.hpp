@@ -1,0 +1,25 @@
+// Task-parallel kNN over the binary kd-tree on the simulated GPU: one lane
+// per query, each lane chasing its own root-to-leaf paths (Fig. 1b). This is
+// the strawman PSB is measured against in Fig. 6 — correct results, terrible
+// SIMD efficiency.
+#pragma once
+
+#include "kdtree/kdtree.hpp"
+#include "knn/result.hpp"
+#include "simt/task_parallel.hpp"
+
+namespace psb::kdtree {
+
+using TaskParallelMode = simt::TaskParallelMode;
+
+struct TaskParallelOptions {
+  std::size_t k = 32;
+  TaskParallelMode mode = TaskParallelMode::kResponseTime;
+  simt::DeviceSpec device{};
+};
+
+/// Exact batch kNN with task-parallel execution accounting.
+knn::BatchResult task_parallel_knn(const KdTree& tree, const PointSet& queries,
+                                   const TaskParallelOptions& opts = {});
+
+}  // namespace psb::kdtree

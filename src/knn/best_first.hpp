@@ -1,0 +1,31 @@
+// Best-first (incremental) kNN over SS-trees — Hjaltason & Samet's
+// priority-queue algorithm. On the GPU a block-shared priority queue would
+// serialize (paper §II-C), so this is a host-side algorithm here, serving as
+// (a) the correctness oracle for the simulated-GPU traversals and (b) the
+// node-access lower bound among tree traversals (best-first is I/O optimal).
+#pragma once
+
+#include "knn/result.hpp"
+#include "sstree/tree.hpp"
+
+namespace psb::knn {
+
+/// Exact kNN for one query (CPU, no simulator involvement).
+QueryResult best_first_query(const sstree::SSTree& tree, std::span<const Scalar> query,
+                             std::size_t k);
+
+/// Exact kNN for a batch of queries.
+std::vector<QueryResult> best_first_batch(const sstree::SSTree& tree, const PointSet& queries,
+                                          std::size_t k);
+
+/// The same best-first traversal executed as a *simulated GPU kernel* — the
+/// configuration §II-C warns against: the block's shared priority queue must
+/// be protected by a lock, so every push/pop is warp-serialized, and the
+/// queue itself competes with the k-NN list for shared memory. Exact results;
+/// the point is the measured cost (bench/stackless_strategies).
+QueryResult best_first_gpu_query(const sstree::SSTree& tree, std::span<const Scalar> query,
+                                 const GpuKnnOptions& opts, simt::Metrics* metrics);
+BatchResult best_first_gpu_batch(const sstree::SSTree& tree, const PointSet& queries,
+                                 const GpuKnnOptions& opts = {});
+
+}  // namespace psb::knn

@@ -1,0 +1,98 @@
+#include "knn/branch_and_bound.hpp"
+
+#include <numeric>
+
+#include "knn/detail/traversal_common.hpp"
+
+namespace psb::knn {
+namespace {
+
+using detail::child_bounds;
+using detail::fetch_node;
+using detail::leaf_distances;
+using detail::tighten_with_minmax;
+
+struct BnbContext {
+  simt::Block& block;
+  const sstree::SSTree& tree;
+  std::span<const Scalar> q;
+  SharedKnnList& list;
+  TraversalStats& st;
+  bool minmax_tighten;
+};
+
+void bnb_visit(BnbContext& ctx, NodeId id) {
+  const sstree::Node& n = ctx.tree.node(id);
+  fetch_node(ctx.block, ctx.tree, n, simt::Access::kRandom);
+  ++ctx.st.nodes_visited;
+
+  if (n.is_leaf()) {
+    ++ctx.st.leaves_visited;
+    const std::vector<Scalar> dists = leaf_distances(ctx.block, ctx.tree, n, ctx.q);
+    ctx.st.points_examined += dists.size();
+    ctx.list.offer_batch(dists, n.points);
+    return;
+  }
+
+  detail::ChildBounds cb =
+      child_bounds(ctx.block, ctx.tree, n, ctx.q, /*need_max=*/ctx.minmax_tighten);
+  if (ctx.minmax_tighten) tighten_with_minmax(ctx.block, ctx.list, cb.maxdist);
+
+  // Active branch list sorted by MINDIST (block-wide bitonic sort; the
+  // reduce_kth_min call charges exactly one full sort).
+  std::vector<std::size_t> order(n.children.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return cb.mindist[a] < cb.mindist[b]; });
+  ctx.block.reduce_kth_min(cb.mindist, 1);
+
+  for (const std::size_t idx : order) {
+    if (!(cb.mindist[idx] < ctx.list.pruning_distance())) break;
+    bnb_visit(ctx, n.children[idx]);
+    // Parent-link backtracking (§II-A): every return to this node re-fetches
+    // it and re-computes/re-orders the child bounds to find the next
+    // candidate branch — there is no stack remembering them. The re-fetch
+    // hits L2 (the node was just read) but still pays its latency and issue
+    // cost; this is the drawback the paper identifies for parent links.
+    fetch_node(ctx.block, ctx.tree, n, simt::Access::kCached);
+    ++ctx.st.nodes_visited;
+    child_bounds(ctx.block, ctx.tree, n, ctx.q, /*need_max=*/false);
+    ctx.block.reduce_kth_min(cb.mindist, 1);  // charge the re-selection
+  }
+}
+
+void bnb_run(simt::Block& block, const sstree::SSTree& tree, std::span<const Scalar> q,
+             const GpuKnnOptions& opts, QueryResult& out) {
+  const std::size_t k_eff = std::min(opts.k, tree.data().size());
+  SharedKnnList list(block, k_eff, opts.spill_heap_to_global);
+  BnbContext ctx{block, tree, q, list, out.stats, opts.bnb_minmax_tighten};
+  bnb_visit(ctx, tree.root());
+  out.neighbors = list.sorted();
+}
+
+}  // namespace
+
+QueryResult bnb_query(const sstree::SSTree& tree, std::span<const Scalar> query,
+                      const GpuKnnOptions& opts, simt::Metrics* metrics) {
+  PSB_REQUIRE(opts.k > 0, "k must be > 0");
+  PSB_REQUIRE(query.size() == tree.dims(), "query dimensionality mismatch");
+  simt::Metrics local;
+  simt::Block block(opts.device, detail::resolve_block_threads(opts, tree.degree()),
+                    metrics != nullptr ? metrics : &local);
+  QueryResult out;
+  bnb_run(block, tree, query, opts, out);
+  return out;
+}
+
+BatchResult bnb_batch(const sstree::SSTree& tree, const PointSet& queries,
+                      const GpuKnnOptions& opts) {
+  PSB_REQUIRE(opts.k > 0, "k must be > 0");
+  PSB_REQUIRE(queries.dims() == tree.dims(), "query dimensionality mismatch");
+  const int threads = detail::resolve_block_threads(opts, tree.degree());
+  return detail::run_batch(queries, opts, threads,
+                           [&](simt::Block& block, std::span<const Scalar> q, QueryResult& r) {
+                             bnb_run(block, tree, q, opts, r);
+                           });
+}
+
+}  // namespace psb::knn

@@ -1,0 +1,27 @@
+// Classic branch-and-bound kNN (Roussopoulos et al., SIGMOD'95) over
+// SS-trees — the paper's main competitor algorithm.
+//
+// Children are visited in ascending MINDIST order; subtrees whose MINDIST
+// exceeds the pruning distance are discarded; MINMAXDIST bounds tighten the
+// pruning distance during descent. The simulated-GPU variant is stackless and
+// backtracks through parent links exactly as the paper configures it (§IV-D:
+// "we let the SS-tree on the GPU use auxiliary parent links"), which means a
+// parent node is re-fetched from global memory and its child bounds
+// re-computed every time the traversal returns to it — the cost PSB's linear
+// leaf scan is designed to avoid.
+#pragma once
+
+#include "knn/result.hpp"
+#include "sstree/tree.hpp"
+
+namespace psb::knn {
+
+/// Exact kNN for one query on the simulated GPU (parent-link backtracking).
+QueryResult bnb_query(const sstree::SSTree& tree, std::span<const Scalar> query,
+                      const GpuKnnOptions& opts, simt::Metrics* metrics);
+
+/// Exact kNN for a batch of queries.
+BatchResult bnb_batch(const sstree::SSTree& tree, const PointSet& queries,
+                      const GpuKnnOptions& opts = {});
+
+}  // namespace psb::knn

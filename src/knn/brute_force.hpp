@@ -1,0 +1,20 @@
+// Brute-force exhaustive kNN scan on the simulated GPU — the baseline the
+// paper (and the GPU-kNN literature it cites) compares against. One block per
+// query streams the entire dataset with perfectly coalesced loads and folds
+// candidates into the shared k-NN list chunk by chunk.
+#pragma once
+
+#include "common/points.hpp"
+#include "knn/result.hpp"
+
+namespace psb::knn {
+
+/// Exact kNN for one query by exhaustive scan.
+QueryResult brute_force_query(const PointSet& data, std::span<const Scalar> query,
+                              const GpuKnnOptions& opts, simt::Metrics* metrics);
+
+/// Exact kNN for a batch of queries.
+BatchResult brute_force_batch(const PointSet& data, const PointSet& queries,
+                              const GpuKnnOptions& opts = {});
+
+}  // namespace psb::knn

@@ -1,0 +1,32 @@
+// PSB — Parallel Scan and Backtrack (paper Algorithm 1), the paper's primary
+// contribution: a stackless, data-parallel kNN traversal over SS-trees.
+//
+// Phases per query (one thread block, one lane per child branch):
+//   1. Initial descent: greedily follow the minimum-MINDIST child to the leaf
+//      closest to the query and derive an initial pruning distance from it
+//      (plus MINMAXDIST bounds along the way).
+//   2. Restart from the root; at each node take the *leftmost* child whose
+//      MINDIST is under the pruning distance and whose subtree still has
+//      unscanned leaves (subtreeMaxLeafId check). Children left of the chosen
+//      one failed the pruning test, so skipping them is exact.
+//   3. At a leaf, evaluate all point distances in parallel and update the
+//      shared k-NN list. If the leaf improved the list, *scan* to the right
+//      sibling leaf (linear, coalesced); otherwise backtrack via the parent
+//      link. Leaves are therefore visited strictly left-to-right.
+#pragma once
+
+#include "knn/result.hpp"
+#include "sstree/tree.hpp"
+
+namespace psb::knn {
+
+/// Exact kNN for one query point on the simulated GPU.
+QueryResult psb_query(const sstree::SSTree& tree, std::span<const Scalar> query,
+                      const GpuKnnOptions& opts, simt::Metrics* metrics);
+
+/// Exact kNN for a batch of queries (one block per query; aggregated
+/// counters, cost-model timing).
+BatchResult psb_batch(const sstree::SSTree& tree, const PointSet& queries,
+                      const GpuKnnOptions& opts = {});
+
+}  // namespace psb::knn

@@ -1,0 +1,64 @@
+#include "knn/radius.hpp"
+
+#include <algorithm>
+
+#include "knn/detail/traversal_common.hpp"
+
+namespace psb::knn {
+
+RadiusResult radius_query(const sstree::SSTree& tree, std::span<const Scalar> query,
+                          Scalar radius, const GpuKnnOptions& opts, simt::Metrics* metrics) {
+  PSB_REQUIRE(query.size() == tree.dims(), "query dimensionality mismatch");
+  PSB_REQUIRE(radius >= 0, "radius must be non-negative");
+
+  simt::Metrics local;
+  simt::Block block(opts.device, detail::resolve_block_threads(opts, tree.degree()),
+                    metrics != nullptr ? metrics : &local);
+  RadiusResult out;
+
+  // Plain stackless forward sweep with a *fixed* pruning distance: skip
+  // pointers are ideal here (no bound ever tightens, so no backtracking
+  // strategy can beat the preorder sweep).
+  //
+  // Pruning threshold carries float slack: a sphere MINDIST computed in
+  // float can exceed the true distance to a boundary point by rounding
+  // error. Enlarging the threshold only admits extra *nodes*; points between
+  // radius and the slack are still excluded exactly at the leaves.
+  const Scalar prune_threshold = radius + 1e-4F * (1 + radius);
+  std::int64_t last_fetched_leaf = -2;
+  NodeId cur = tree.root();
+  while (cur != kInvalidNode) {
+    const sstree::Node& n = tree.node(cur);
+    const bool sequential =
+        n.is_leaf() && static_cast<std::int64_t>(n.leaf_id) == last_fetched_leaf + 1;
+    detail::fetch_node(block, tree, n,
+                       sequential ? simt::Access::kCoalesced : simt::Access::kRandom);
+    ++out.stats.nodes_visited;
+    if (n.is_leaf()) last_fetched_leaf = n.leaf_id;
+
+    block.par_for(1, tree.dims() * 3 + 2, [](std::size_t) {});
+    if (mindist(query, n.sphere) > prune_threshold) {
+      cur = n.skip;
+      continue;
+    }
+    if (n.is_leaf()) {
+      ++out.stats.leaves_visited;
+      const std::vector<Scalar> dists = detail::leaf_distances(block, tree, n, query);
+      out.stats.points_examined += dists.size();
+      for (std::size_t i = 0; i < dists.size(); ++i) {
+        if (dists[i] <= radius) out.matches.push_back({dists[i], n.points[i]});
+      }
+      cur = n.skip;
+    } else {
+      cur = n.children.front();
+    }
+  }
+
+  std::sort(out.matches.begin(), out.matches.end(),
+            [](const KnnHeap::Entry& a, const KnnHeap::Entry& b) {
+              return a.dist != b.dist ? a.dist < b.dist : a.id < b.id;
+            });
+  return out;
+}
+
+}  // namespace psb::knn

@@ -1,0 +1,24 @@
+// Radius (range) search over the SS-tree on the simulated GPU — a library
+// extension beyond the paper's kNN focus (its companion work, MPRS, targets
+// exactly this workload class). Returns every point within `radius` of the
+// query, found by a data-parallel traversal pruning subtrees whose MINDIST
+// exceeds the radius.
+#pragma once
+
+#include "knn/result.hpp"
+#include "sstree/tree.hpp"
+
+namespace psb::knn {
+
+struct RadiusResult {
+  /// Matches sorted ascending by distance (ties by id).
+  std::vector<KnnHeap::Entry> matches;
+  TraversalStats stats;
+};
+
+/// All points within `radius` (inclusive) of the query.
+RadiusResult radius_query(const sstree::SSTree& tree, std::span<const Scalar> query,
+                          Scalar radius, const GpuKnnOptions& opts = {},
+                          simt::Metrics* metrics = nullptr);
+
+}  // namespace psb::knn

@@ -1,0 +1,65 @@
+// Result types shared by every kNN algorithm in the repository. All
+// algorithms are exact, so `neighbors` from PSB, branch-and-bound, brute
+// force and best-first agree on any dataset (the headline test invariant).
+#pragma once
+
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "simt/cost_model.hpp"
+#include "simt/metrics.hpp"
+
+namespace psb::knn {
+
+/// Per-query traversal statistics (structure-level, device-independent).
+struct TraversalStats {
+  std::uint64_t nodes_visited = 0;   ///< node fetches incl. refetches
+  std::uint64_t leaves_visited = 0;  ///< distinct leaf visits
+  std::uint64_t points_examined = 0;
+
+  void merge(const TraversalStats& o) noexcept {
+    nodes_visited += o.nodes_visited;
+    leaves_visited += o.leaves_visited;
+    points_examined += o.points_examined;
+  }
+};
+
+/// One query's answer: the k nearest neighbors sorted ascending by distance.
+struct QueryResult {
+  std::vector<KnnHeap::Entry> neighbors;
+  TraversalStats stats;
+};
+
+/// A batch of queries with aggregated simulator counters and derived timing.
+struct BatchResult {
+  std::vector<QueryResult> queries;
+  TraversalStats stats;        ///< summed over queries
+  simt::Metrics metrics;       ///< summed over per-query kernels
+  simt::KernelTiming timing;   ///< cost-model estimate for the batch
+
+  double avg_query_ms() const noexcept { return timing.avg_query_ms; }
+  double accessed_mb() const noexcept {
+    return static_cast<double>(metrics.total_bytes()) / 1e6;
+  }
+};
+
+/// Options shared by the simulated-GPU algorithms.
+struct GpuKnnOptions {
+  std::size_t k = 32;
+  /// Lanes per query block; 0 = the tree's degree (data-parallel width).
+  int threads_per_block = 0;
+  /// Keep only a small head of the k-NN list in shared memory, spilling the
+  /// tail to global memory (the paper's §V-E future-work optimization).
+  bool spill_heap_to_global = false;
+  /// PSB ablation switches (both on = paper's Algorithm 1).
+  bool psb_initial_descent = true;
+  bool psb_leaf_scan = true;
+  /// Give the branch-and-bound baseline PSB's k-th-min MINMAXDIST bound
+  /// (Alg. 1 lines 13-15). Off by default: Roussopoulos et al. define
+  /// MINMAXDIST pruning for 1-NN only, and the k-generalized bound is part
+  /// of the paper's contribution, not the classic baseline.
+  bool bnb_minmax_tighten = false;
+  simt::DeviceSpec device{};
+};
+
+}  // namespace psb::knn

@@ -1,0 +1,48 @@
+#include "knn/shared_heap.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace psb::knn {
+
+SharedKnnList::SharedKnnList(simt::Block& block, std::size_t k, bool spill_to_global)
+    : block_(block), heap_(k), spill_(spill_to_global) {
+  // Footprint: (dist, id) pairs resident in shared memory + a warp-wide
+  // staging buffer for the parallel compare phase.
+  const std::size_t resident = spill_ ? std::min(k, kSpillHead) : k;
+  const std::size_t entry_bytes = sizeof(Scalar) + sizeof(PointId);
+  const std::size_t staging =
+      static_cast<std::size_t>(block_.threads()) * sizeof(Scalar);
+  block_.use_shared(resident * entry_bytes + staging);
+}
+
+std::size_t SharedKnnList::offer_batch(std::span<const Scalar> dists,
+                                       std::span<const PointId> ids) {
+  PSB_REQUIRE(dists.size() == ids.size(), "dists/ids length mismatch");
+  // Parallel phase: every lane compares its candidate against the bound.
+  block_.par_for(dists.size(), 1, [](std::size_t) {});
+
+  std::size_t inserted = 0;
+  for (std::size_t i = 0; i < dists.size(); ++i) {
+    if (heap_.offer(dists[i], ids[i])) ++inserted;
+  }
+  if (inserted > 0) {
+    // Block-parallel bitonic merge of (current list U accepted candidates):
+    // the standard way a thread block maintains a shared k-NN list. Cost is
+    // the full merge network over the next power of two of (k + batch).
+    const std::size_t width = std::bit_ceil(heap_.k() + dists.size());
+    const auto stages = static_cast<std::uint64_t>(std::bit_width(width) - 1);
+    block_.par_for(width / 2, stages * (stages + 1) / 2, [](std::size_t) {});
+    // One lane publishes the new pruning distance.
+    block_.serialize(1);
+    if (spill_) {
+      // Entries displaced from the shared head spill to the global tail.
+      block_.load_global(inserted * 2 * (sizeof(Scalar) + sizeof(PointId)),
+                         simt::Access::kRandom);
+    }
+  }
+  return inserted;
+}
+
+}  // namespace psb::knn

@@ -1,0 +1,62 @@
+// SharedKnnList: the k-nearest-neighbor candidate list a query block keeps in
+// GPU shared memory (paper §III: "the shared memory is better reserved for
+// application specific purpose, such as, the k-nearest points").
+//
+// Its shared-memory footprint is charged to the block and therefore drives
+// occupancy in the cost model — the mechanism behind Fig. 8's super-linear
+// growth in k. Insertions into the list are warp-serialized (a block-wide
+// shared structure needs a critical section), charged via Block::serialize.
+//
+// The optional spill mode implements the paper's §V-E sketch: keep only the
+// largest few pruning distances in shared memory and the rest in global
+// memory, trading occupancy for extra global traffic on insert.
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "common/geometry.hpp"
+#include "simt/block.hpp"
+
+namespace psb::knn {
+
+class SharedKnnList {
+ public:
+  /// `k` best candidates for one query block. `spill_to_global` keeps only
+  /// the head (min(k, kSpillHead)) entries in shared memory.
+  SharedKnnList(simt::Block& block, std::size_t k, bool spill_to_global = false);
+
+  std::size_t k() const noexcept { return heap_.k(); }
+
+  /// Current pruning distance (k-th best distance, or the external
+  /// MINMAXDIST bound while the list is not yet full).
+  Scalar pruning_distance() const noexcept { return heap_.pruning_distance(); }
+
+  /// Tighten with a MINMAXDIST guarantee: at least k points exist within
+  /// `bound`. Caller is responsible for the "at least k" precondition.
+  /// The bound is inflated by one ULP so that subtrees whose MINDIST ties the
+  /// bound exactly (duplicate / degenerate data) are not pruned — pruning
+  /// tests are strict, and a marginally larger value is still a valid
+  /// k-point upper bound.
+  void tighten(Scalar bound) noexcept {
+    heap_.tighten(std::nextafter(bound, kInfinity));
+  }
+
+  /// Offer one batch of candidates (one leaf / one scan chunk). Distances
+  /// are compared in parallel; accepted candidates are inserted serially.
+  /// Returns the number of candidates that entered the list.
+  std::size_t offer_batch(std::span<const Scalar> dists, std::span<const PointId> ids);
+
+  /// Sorted final answer.
+  std::vector<KnnHeap::Entry> sorted() const { return heap_.sorted(); }
+
+  /// Entries currently kept in shared memory (head in spill mode).
+  static constexpr std::size_t kSpillHead = 32;
+
+ private:
+  simt::Block& block_;
+  KnnHeap heap_;
+  bool spill_;
+};
+
+}  // namespace psb::knn

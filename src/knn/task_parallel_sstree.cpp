@@ -1,0 +1,111 @@
+#include "knn/task_parallel_sstree.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "simt/task_parallel.hpp"
+
+namespace psb::knn {
+namespace {
+
+/// Single-lane branch-and-bound over the SS-tree: the lane serially computes
+/// every child bound itself (no cooperating lanes), so each node visit costs
+/// count*(3d+2) lock-step instructions — the divergence-amplified work the
+/// data-parallel layout spreads over a block in a handful of instructions.
+void lane_visit(const sstree::SSTree& tree, NodeId id, std::span<const Scalar> q,
+                KnnHeap& heap, simt::LaneWork& lane, TraversalStats& st) {
+  const sstree::Node& n = tree.node(id);
+  lane.bytes_random += tree.node_byte_size(n);
+  lane.node_fetches += 1;
+  ++st.nodes_visited;
+  const std::size_t d = tree.dims();
+
+  if (n.is_leaf()) {
+    ++st.leaves_visited;
+    const std::size_t c = n.points.size();
+    const auto logk = static_cast<std::uint64_t>(std::bit_width(heap.k()));
+    for (std::size_t i = 0; i < c; ++i) {
+      double acc = 0;
+      for (std::size_t t = 0; t < d; ++t) {
+        const double diff = static_cast<double>(q[t]) - n.coords[t * c + i];
+        acc += diff * diff;
+      }
+      lane.steps += d * 3 + 1;
+      if (heap.offer(static_cast<Scalar>(std::sqrt(acc)), n.points[i])) lane.steps += logk;
+      ++st.points_examined;
+    }
+    return;
+  }
+
+  const std::size_t c = n.children.size();
+  std::vector<std::pair<Scalar, NodeId>> branches;
+  branches.reserve(c);
+  for (std::size_t i = 0; i < c; ++i) {
+    double acc = 0;
+    for (std::size_t t = 0; t < d; ++t) {
+      const double diff = static_cast<double>(q[t]) - n.child_centers[t * c + i];
+      acc += diff * diff;
+    }
+    const Scalar mind =
+        std::max(Scalar{0}, static_cast<Scalar>(std::sqrt(acc)) - n.child_radii[i]);
+    branches.emplace_back(mind, n.children[i]);
+  }
+  lane.steps += c * (d * 3 + 2);
+  std::sort(branches.begin(), branches.end());
+  lane.steps += c * static_cast<std::uint64_t>(std::bit_width(c));
+  for (const auto& [mind, child] : branches) {
+    if (heap.full() && mind > heap.bound()) break;
+    lane_visit(tree, child, q, heap, lane, st);
+  }
+}
+
+}  // namespace
+
+BatchResult task_parallel_sstree_knn(const sstree::SSTree& tree, const PointSet& queries,
+                                     const TaskParallelSsOptions& opts) {
+  PSB_REQUIRE(opts.k > 0, "k must be > 0");
+  PSB_REQUIRE(queries.dims() == tree.dims(), "query dimensionality mismatch");
+  PSB_REQUIRE(tree.bounds_mode() == sstree::BoundsMode::kSphere,
+              "task-parallel SS-tree traversal supports sphere bounds");
+
+  BatchResult out;
+  out.queries.resize(queries.size());
+  std::vector<simt::LaneWork> lanes(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    KnnHeap heap(std::min(opts.k, tree.data().size()));
+    lane_visit(tree, tree.root(), queries[i], heap, lanes[i], out.queries[i].stats);
+    out.queries[i].neighbors = heap.sorted();
+    out.stats.merge(out.queries[i].stats);
+  }
+
+  simt::KernelConfig cfg;
+  if (opts.mode == simt::TaskParallelMode::kResponseTime) {
+    for (const simt::LaneWork& lw : lanes) {
+      simt::Metrics m;
+      accumulate_task_parallel(opts.device, {&lw, 1}, &m);
+      out.metrics.merge(m);
+    }
+    cfg.blocks = static_cast<int>(std::max<std::size_t>(queries.size(), 1));
+    cfg.threads_per_block = opts.device.warp_size;
+  } else {
+    accumulate_task_parallel(opts.device, lanes, &out.metrics);
+    // One fully-packed warp per block (independent lock-step chains).
+    const int block_threads = opts.device.warp_size;
+    cfg.threads_per_block = block_threads;
+    cfg.blocks =
+        std::max(1, static_cast<int>((queries.size() + block_threads - 1) / block_threads));
+  }
+  out.metrics.shared_bytes = std::max<std::size_t>(
+      out.metrics.shared_bytes,
+      opts.k * (sizeof(Scalar) + sizeof(PointId)) *
+          (opts.mode == simt::TaskParallelMode::kResponseTime
+               ? 1
+               : static_cast<std::size_t>(cfg.threads_per_block)));
+  out.timing = simt::estimate(opts.device, out.metrics, cfg);
+  return out;
+}
+
+}  // namespace psb::knn

@@ -1,0 +1,25 @@
+// Task-parallel kNN over the *SS-tree* (paper Fig. 1b): one query per lane,
+// each lane running its own branch-and-bound traversal of the same n-ary
+// tree the data-parallel algorithms use. This is the configuration the
+// paper's introduction rejects ("such task parallelism is known to exhibit
+// poor utilization of GPU cores due to the warp divergence") — implemented
+// so the claim is measurable on identical trees.
+#pragma once
+
+#include "knn/result.hpp"
+#include "simt/task_parallel.hpp"
+#include "sstree/tree.hpp"
+
+namespace psb::knn {
+
+struct TaskParallelSsOptions {
+  std::size_t k = 32;
+  simt::TaskParallelMode mode = simt::TaskParallelMode::kResponseTime;
+  simt::DeviceSpec device{};
+};
+
+/// Exact batch kNN, one lane per query, lock-step warp accounting.
+BatchResult task_parallel_sstree_knn(const sstree::SSTree& tree, const PointSet& queries,
+                                     const TaskParallelSsOptions& opts = {});
+
+}  // namespace psb::knn

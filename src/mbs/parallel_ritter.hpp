@@ -1,0 +1,29 @@
+// Parallel Ritter's algorithm (paper Algorithm 2) on the SIMT simulator.
+//
+// A block of lanes computes all child distances in parallel (parfor), finds
+// the farthest child by parallel reduction, seeds the sphere on the farthest
+// pair, then repeatedly grows it toward the farthest uncovered child until a
+// fixpoint — exactly the structure of Alg. 2, with every step charged to the
+// block's Metrics.
+//
+// Children are spheres so the same routine builds leaf nodes (radius-0
+// children = points) and internal nodes (children = child bounding spheres).
+#pragma once
+
+#include <span>
+
+#include "common/geometry.hpp"
+#include "common/points.hpp"
+#include "simt/block.hpp"
+
+namespace psb::mbs {
+
+/// Minimum enclosing sphere (approximate) of child spheres, executed
+/// data-parallel on `block`. children must be non-empty.
+Sphere parallel_ritter(simt::Block& block, std::span<const Sphere> children);
+
+/// Convenience: bounding sphere of the points selected by ids.
+Sphere parallel_ritter_points(simt::Block& block, const PointSet& points,
+                              std::span<const PointId> ids);
+
+}  // namespace psb::mbs

@@ -1,0 +1,27 @@
+// Ritter's bounding-sphere approximation (Graphics Gems, 1990) — sequential
+// reference implementations over points and over child spheres.
+//
+// Guarantees: the returned sphere contains every input; the radius is within
+// roughly 5–20 % of optimal (the paper quotes the same band, §IV-C).
+#pragma once
+
+#include <span>
+
+#include "common/geometry.hpp"
+#include "common/points.hpp"
+
+namespace psb::mbs {
+
+/// Bounding sphere over the points selected by `ids` (all points if empty
+/// span semantics are needed, pass the full id range). ids must be non-empty.
+Sphere ritter_points(const PointSet& points, std::span<const PointId> ids);
+
+/// Bounding sphere over all points of the set.
+Sphere ritter_points(const PointSet& points);
+
+/// Bounding sphere enclosing a set of child spheres (bottom-up internal
+/// nodes). Distances between children are inflated by their radii so the
+/// result contains every child sphere entirely.
+Sphere ritter_spheres(std::span<const Sphere> children);
+
+}  // namespace psb::mbs

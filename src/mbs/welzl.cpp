@@ -1,0 +1,151 @@
+#include "mbs/welzl.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace psb::mbs {
+namespace {
+
+/// Circumsphere of the support set (1..d+1 affinely independent points):
+/// the smallest sphere with all support points on its boundary.
+/// Returns an empty-center sphere if the support is degenerate.
+Sphere circumsphere(const PointSet& points, const std::vector<PointId>& support) {
+  const std::size_t m = support.size();
+  const std::size_t dims = points.dims();
+  Sphere s;
+  if (m == 0) {
+    s.center.assign(dims, 0);
+    s.radius = -1;  // sentinel: contains nothing
+    return s;
+  }
+  const auto p0 = points[support[0]];
+  if (m == 1) {
+    s.center.assign(p0.begin(), p0.end());
+    s.radius = 0;
+    return s;
+  }
+  // Solve A * lambda = b with A_jk = 2 (p_j - p0) . (p_k - p0),
+  // b_j = |p_j - p0|^2; center = p0 + sum lambda_j (p_j - p0).
+  const std::size_t k = m - 1;
+  std::vector<double> a(k * k);
+  std::vector<double> b(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const auto pj = points[support[j + 1]];
+    double norm = 0;
+    for (std::size_t t = 0; t < dims; ++t) {
+      const double dj = static_cast<double>(pj[t]) - p0[t];
+      norm += dj * dj;
+    }
+    b[j] = norm;
+    for (std::size_t c = 0; c < k; ++c) {
+      const auto pc = points[support[c + 1]];
+      double dot = 0;
+      for (std::size_t t = 0; t < dims; ++t) {
+        dot += (static_cast<double>(pj[t]) - p0[t]) * (static_cast<double>(pc[t]) - p0[t]);
+      }
+      a[j * k + c] = 2 * dot;
+    }
+  }
+  // Gaussian elimination with partial pivoting.
+  std::vector<std::size_t> perm(k);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  for (std::size_t col = 0; col < k; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < k; ++row) {
+      if (std::abs(a[row * k + col]) > std::abs(a[pivot * k + col])) pivot = row;
+    }
+    if (std::abs(a[pivot * k + col]) < 1e-12) {
+      s.center.clear();  // degenerate support
+      s.radius = -1;
+      return s;
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < k; ++c) std::swap(a[pivot * k + c], a[col * k + c]);
+      std::swap(b[pivot], b[col]);
+    }
+    for (std::size_t row = col + 1; row < k; ++row) {
+      const double f = a[row * k + col] / a[col * k + col];
+      for (std::size_t c = col; c < k; ++c) a[row * k + c] -= f * a[col * k + c];
+      b[row] -= f * b[col];
+    }
+  }
+  std::vector<double> lambda(k);
+  for (std::size_t row = k; row-- > 0;) {
+    double acc = b[row];
+    for (std::size_t c = row + 1; c < k; ++c) acc -= a[row * k + c] * lambda[c];
+    lambda[row] = acc / a[row * k + row];
+  }
+  s.center.assign(p0.begin(), p0.end());
+  std::vector<double> center(dims);
+  for (std::size_t t = 0; t < dims; ++t) center[t] = p0[t];
+  for (std::size_t j = 0; j < k; ++j) {
+    const auto pj = points[support[j + 1]];
+    for (std::size_t t = 0; t < dims; ++t) {
+      center[t] += lambda[j] * (static_cast<double>(pj[t]) - p0[t]);
+    }
+  }
+  double r2 = 0;
+  for (std::size_t t = 0; t < dims; ++t) {
+    const double d = center[t] - p0[t];
+    r2 += d * d;
+    s.center[t] = static_cast<Scalar>(center[t]);
+  }
+  s.radius = static_cast<Scalar>(std::sqrt(r2));
+  return s;
+}
+
+bool covers(const Sphere& s, std::span<const Scalar> p) {
+  if (s.radius < 0) return false;
+  return distance(s.center, p) <= s.radius * (1 + 1e-6F) + 1e-9F;
+}
+
+/// Recursive Welzl: smallest sphere over ids[0..n) with `support` on the
+/// boundary. support grows to at most dims+1 points.
+Sphere welzl_rec(const PointSet& points, std::vector<PointId>& ids, std::size_t n,
+                 std::vector<PointId>& support) {
+  if (n == 0 || support.size() == points.dims() + 1) {
+    return circumsphere(points, support);
+  }
+  const PointId p = ids[n - 1];
+  Sphere s = welzl_rec(points, ids, n - 1, support);
+  if (covers(s, points[p])) return s;
+  support.push_back(p);
+  s = welzl_rec(points, ids, n - 1, support);
+  support.pop_back();
+  // Move-to-front: keep boundary points early to prune future recursion.
+  for (std::size_t i = n - 1; i > 0; --i) ids[i] = ids[i - 1];
+  ids[0] = p;
+  return s;
+}
+
+}  // namespace
+
+Sphere welzl(const PointSet& points, std::span<const PointId> ids, std::uint64_t seed) {
+  PSB_REQUIRE(!ids.empty(), "welzl over empty id set");
+  std::vector<PointId> shuffled(ids.begin(), ids.end());
+  Rng rng(seed);
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.next_below(i));
+    std::swap(shuffled[i - 1], shuffled[j]);
+  }
+  std::vector<PointId> support;
+  support.reserve(points.dims() + 1);
+  Sphere s = welzl_rec(points, shuffled, shuffled.size(), support);
+  if (s.radius < 0) {  // fully degenerate input (all points identical)
+    s.center.assign(points[ids[0]].begin(), points[ids[0]].end());
+    s.radius = 0;
+  }
+  return s;
+}
+
+Sphere welzl(const PointSet& points, std::uint64_t seed) {
+  PSB_REQUIRE(!points.empty(), "welzl over empty point set");
+  std::vector<PointId> ids(points.size());
+  std::iota(ids.begin(), ids.end(), PointId{0});
+  return welzl(points, ids, seed);
+}
+
+}  // namespace psb::mbs

@@ -1,0 +1,21 @@
+// Welzl's exact minimum enclosing ball — the validation oracle for Ritter's
+// approximation (expected O(n) for fixed dimension; practical for the low
+// dimensions and small point counts used in tests).
+#pragma once
+
+#include <span>
+
+#include "common/geometry.hpp"
+#include "common/points.hpp"
+#include "common/rng.hpp"
+
+namespace psb::mbs {
+
+/// Exact minimum enclosing sphere of the points selected by ids (non-empty).
+/// Deterministic given `seed` (Welzl requires a random permutation).
+Sphere welzl(const PointSet& points, std::span<const PointId> ids, std::uint64_t seed = 42);
+
+/// Exact minimum enclosing sphere of the whole set.
+Sphere welzl(const PointSet& points, std::uint64_t seed = 42);
+
+}  // namespace psb::mbs

@@ -1,0 +1,88 @@
+// Random Ball Cover (Cayton, IPDPS'12) — the flat, GPU-friendly kNN scheme
+// the paper positions PSB against (§VI): "some random points are chosen as
+// representative points for subsets of the dataset. For a given kNN query,
+// RBC chooses the closest representative point to the query, prunes out the
+// rest of the subsets, and performs brute-force linear scanning to search
+// the selected subset."
+//
+// Two query modes are provided, following Cayton:
+//  * one-shot  — scan the point lists of the s nearest representatives;
+//    fast and GPU-trivial but approximate (recall < 1 is possible);
+//  * exact     — scan lists in ascending representative distance, pruning a
+//    list whenever d(q, rep) - list_radius exceeds the current k-th bound
+//    (triangle inequality); always exact.
+//
+// Both run on the SIMT simulator: representative scans and list scans are
+// perfectly coalesced brute-force sweeps, which is precisely RBC's appeal —
+// and its cost, since it cannot exploit hierarchy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/points.hpp"
+#include "knn/result.hpp"
+#include "simt/block.hpp"
+
+namespace psb::rbc {
+
+struct RbcOptions {
+  /// Number of representatives; 0 = ceil(sqrt(n)) (Cayton's default rule).
+  std::size_t num_representatives = 0;
+  std::uint64_t seed = 99;
+  simt::DeviceSpec device{};
+};
+
+class RandomBallCover {
+ public:
+  /// Build over `points` (must outlive the index): pick random
+  /// representatives, assign every point to its nearest one (one brute
+  /// n x m pass, the GPU-friendly construction Cayton advocates).
+  RandomBallCover(const PointSet* points, RbcOptions opts = {});
+
+  const PointSet& data() const noexcept { return *points_; }
+  std::size_t dims() const noexcept { return points_->size() == 0 ? 0 : points_->dims(); }
+  std::size_t num_representatives() const noexcept { return rep_ids_.size(); }
+
+  /// Point ids owned by representative r (ordered by assignment).
+  std::span<const PointId> list(std::size_t r) const { return lists_[r]; }
+  /// Radius of representative r's ball (max distance to a member).
+  Scalar list_radius(std::size_t r) const { return radii_[r]; }
+  PointId representative(std::size_t r) const { return rep_ids_[r]; }
+
+  /// Exact kNN via triangle-inequality pruning over the representative set.
+  knn::QueryResult query_exact(std::span<const Scalar> q, std::size_t k,
+                               simt::Metrics* metrics = nullptr) const;
+
+  /// One-shot approximate kNN: scan the lists of the s nearest
+  /// representatives only.
+  knn::QueryResult query_one_shot(std::span<const Scalar> q, std::size_t k, std::size_t s,
+                                  simt::Metrics* metrics = nullptr) const;
+
+  /// Batch wrappers with aggregated metrics and cost-model timing.
+  knn::BatchResult batch_exact(const PointSet& queries, std::size_t k) const;
+  knn::BatchResult batch_one_shot(const PointSet& queries, std::size_t k,
+                                  std::size_t s) const;
+
+  /// Structural invariants: lists partition the dataset; every member lies
+  /// within its representative's radius; assignment is nearest-rep.
+  void validate() const;
+
+ private:
+  void run_exact(simt::Block& block, std::span<const Scalar> q, std::size_t k,
+                 knn::QueryResult& out) const;
+  void run_one_shot(simt::Block& block, std::span<const Scalar> q, std::size_t k,
+                    std::size_t s, knn::QueryResult& out) const;
+
+  const PointSet* points_;
+  RbcOptions opts_;
+  std::vector<PointId> rep_ids_;
+  std::vector<std::vector<PointId>> lists_;
+  std::vector<Scalar> radii_;
+};
+
+/// Fraction of the reference k-NN distance multiset recovered by `got`
+/// (1.0 = perfect recall); the quality metric for the one-shot mode.
+double recall(const std::vector<KnnHeap::Entry>& got, std::span<const Scalar> reference);
+
+}  // namespace psb::rbc

@@ -1,0 +1,107 @@
+#include "simt/coalescing.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace psb::simt {
+
+std::size_t global_transactions(std::span<const std::uint64_t> lane_addresses,
+                                std::size_t bytes_per_lane, std::size_t segment_bytes) {
+  PSB_REQUIRE(bytes_per_lane > 0, "bytes_per_lane must be > 0");
+  PSB_REQUIRE(segment_bytes > 0, "segment_bytes must be > 0");
+  std::unordered_set<std::uint64_t> segments;
+  for (const std::uint64_t addr : lane_addresses) {
+    const std::uint64_t first = addr / segment_bytes;
+    const std::uint64_t last = (addr + bytes_per_lane - 1) / segment_bytes;
+    for (std::uint64_t s = first; s <= last; ++s) segments.insert(s);
+  }
+  return segments.size();
+}
+
+std::size_t shared_bank_rounds(std::span<const std::uint32_t> word_indices, std::size_t banks) {
+  PSB_REQUIRE(banks > 0, "banks must be > 0");
+  if (word_indices.empty()) return 0;
+  // Per bank, count *distinct* words requested: identical words broadcast.
+  std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>> by_bank;
+  for (const std::uint32_t w : word_indices) {
+    by_bank[w % banks].insert(w);
+  }
+  std::size_t rounds = 1;
+  for (const auto& [bank, words] : by_bank) {
+    rounds = std::max(rounds, words.size());
+  }
+  return rounds;
+}
+
+std::vector<std::uint64_t> soa_step_addresses(std::uint64_t base, std::size_t count,
+                                              std::size_t t, std::size_t lanes) {
+  std::vector<std::uint64_t> out;
+  out.reserve(std::min(count, lanes));
+  for (std::size_t i = 0; i < lanes && i < count; ++i) {
+    out.push_back(base + (t * count + i) * sizeof(float));
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> aos_step_addresses(std::uint64_t base, std::size_t record_floats,
+                                              std::size_t t, std::size_t lanes) {
+  std::vector<std::uint64_t> out;
+  out.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    out.push_back(base + (i * record_floats + t) * sizeof(float));
+  }
+  return out;
+}
+
+namespace {
+
+template <typename StepFn>
+std::size_t node_transactions(std::size_t count, std::size_t record_floats, std::size_t lanes,
+                              StepFn&& step) {
+  std::size_t total = 0;
+  // The warp sweeps the child array in groups of `lanes` records; for each
+  // group it reads every field of every record, one field-step at a time.
+  for (std::size_t group = 0; group < count; group += lanes) {
+    const std::size_t active = std::min(lanes, count - group);
+    for (std::size_t t = 0; t < record_floats; ++t) {
+      const std::vector<std::uint64_t> addrs = step(group, t, active);
+      total += global_transactions(addrs);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+std::size_t soa_node_transactions(std::size_t count, std::size_t record_floats,
+                                  std::size_t lanes) {
+  // SoA: slice t of the WHOLE array is contiguous; the group's slice starts
+  // at t*count + group.
+  return node_transactions(count, record_floats, lanes,
+                           [&](std::size_t group, std::size_t t, std::size_t active) {
+                             std::vector<std::uint64_t> out;
+                             out.reserve(active);
+                             for (std::size_t i = 0; i < active; ++i) {
+                               out.push_back((t * count + group + i) * sizeof(float));
+                             }
+                             return out;
+                           });
+}
+
+std::size_t aos_node_transactions(std::size_t count, std::size_t record_floats,
+                                  std::size_t lanes) {
+  return node_transactions(count, record_floats, lanes,
+                           [&](std::size_t group, std::size_t t, std::size_t active) {
+                             std::vector<std::uint64_t> out;
+                             out.reserve(active);
+                             for (std::size_t i = 0; i < active; ++i) {
+                               out.push_back(((group + i) * record_floats + t) * sizeof(float));
+                             }
+                             return out;
+                           });
+}
+
+}  // namespace psb::simt

@@ -1,0 +1,55 @@
+// Transaction-level modeling of warp memory accesses.
+//
+// The higher-level cost model classifies traffic as coalesced / random /
+// cached; this header is the ground truth behind that classification. A warp
+// access is 32 lane addresses; global memory serves it in 128-byte
+// transactions (one per distinct segment touched), and shared memory serves
+// it in conflict-free rounds across 32 4-byte banks.
+//
+// The paper leans on both effects: "we store the bounding spheres of child
+// nodes as the structure of array (SoA) instead of the array of structure so
+// that memory coalescing can be naturally employed" (§V-A), and n-ary data
+// parallel indexing "avoids bank conflict" (§I). `bench/ablation_layout`
+// quantifies them with these functions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace psb::simt {
+
+/// Number of 128-byte global-memory transactions needed to serve one warp
+/// access at the given per-lane byte addresses (inactive lanes: omit them).
+/// Each lane reads `bytes_per_lane` contiguous bytes from its address.
+std::size_t global_transactions(std::span<const std::uint64_t> lane_addresses,
+                                std::size_t bytes_per_lane = 4,
+                                std::size_t segment_bytes = 128);
+
+/// Number of conflict-free rounds shared memory needs for one warp access at
+/// the given 4-byte word indices: the maximum number of lanes that hit the
+/// same bank (32 banks, word-interleaved). Lanes reading the *same word*
+/// broadcast and do not conflict.
+std::size_t shared_bank_rounds(std::span<const std::uint32_t> word_indices,
+                               std::size_t banks = 32);
+
+/// Lane addresses for one step of an SoA child-array read: lane i reads
+/// element i of dimension-slice `t` (layout: slice t starts at
+/// base + t * count * 4). Contiguous per warp -> minimal transactions.
+std::vector<std::uint64_t> soa_step_addresses(std::uint64_t base, std::size_t count,
+                                              std::size_t t, std::size_t lanes);
+
+/// Lane addresses for one step of an AoS child-array read: lane i reads
+/// field `t` of record i (record = `record_floats` floats). Strided by the
+/// record size -> up to one transaction per lane.
+std::vector<std::uint64_t> aos_step_addresses(std::uint64_t base, std::size_t record_floats,
+                                              std::size_t t, std::size_t lanes);
+
+/// Total transactions to read an entire child array (count records of
+/// `record_floats` floats) with a `lanes`-wide warp, per layout.
+std::size_t soa_node_transactions(std::size_t count, std::size_t record_floats,
+                                  std::size_t lanes = 32);
+std::size_t aos_node_transactions(std::size_t count, std::size_t record_floats,
+                                  std::size_t lanes = 32);
+
+}  // namespace psb::simt

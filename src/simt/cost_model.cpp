@@ -1,0 +1,86 @@
+#include "simt/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace psb::simt {
+
+KernelTiming estimate(const DeviceSpec& spec, const Metrics& metrics, const KernelConfig& cfg,
+                      const CostParams& params) {
+  PSB_REQUIRE(cfg.blocks > 0, "kernel must launch at least one block");
+  PSB_REQUIRE(cfg.threads_per_block > 0, "block must have threads");
+
+  KernelTiming t;
+
+  // --- residency ---
+  const std::size_t shared_per_block = std::max<std::size_t>(metrics.shared_bytes, 1);
+  int blocks_by_shared = static_cast<int>(spec.shared_mem_per_sm / shared_per_block);
+  blocks_by_shared = std::max(blocks_by_shared, 1);  // a kernel that fits a block at all runs
+  const int blocks_by_threads = std::max(1, spec.max_threads_per_sm / cfg.threads_per_block);
+  t.blocks_per_sm = std::min({spec.max_blocks_per_sm, blocks_by_shared, blocks_by_threads});
+
+  const long capacity = static_cast<long>(t.blocks_per_sm) * spec.num_sms;
+  const long resident_blocks = std::min<long>(cfg.blocks, capacity);
+  t.occupancy = std::min(
+      1.0, static_cast<double>(t.blocks_per_sm) * cfg.threads_per_block / spec.max_threads_per_sm);
+
+  const double fill =
+      std::min(1.0, static_cast<double>(resident_blocks) * cfg.threads_per_block /
+                        (static_cast<double>(spec.num_sms) * spec.max_threads_per_sm));
+  const double h = std::clamp(fill / spec.occupancy_knee, params.latency_hiding_floor, 1.0);
+
+  // --- compute ---
+  const double parallel_lanes =
+      std::min<double>(static_cast<double>(resident_blocks) * cfg.threads_per_block,
+                       static_cast<double>(spec.num_sms) * params.cores_per_sm);
+  const double lane_slots =
+      static_cast<double>(metrics.warp_instructions) * spec.warp_size;
+  t.compute_ms = lane_slots / (parallel_lanes * spec.clock_ghz * 1e9 * spec.ipc * h) * 1e3;
+
+  // --- memory bandwidth ---
+  const double mem_s =
+      static_cast<double>(metrics.bytes_coalesced) / (spec.bw_coalesced_gbps * 1e9) +
+      static_cast<double>(metrics.bytes_random) / (spec.bw_random_gbps * 1e9) +
+      static_cast<double>(metrics.bytes_cached) / (spec.bw_cached_gbps * 1e9);
+  t.mem_ms = mem_s / h * 1e3;
+
+  // --- dependent-fetch latency (serial per block, overlapped across blocks) ---
+  t.latency_ms = (static_cast<double>(metrics.fetches_random) * spec.latency_random_us +
+                  static_cast<double>(metrics.fetches_cached) * spec.latency_cached_us) /
+                 static_cast<double>(std::max<long>(resident_blocks, 1)) * 1e-3;
+
+  // --- warp-serialized critical sections ---
+  t.serial_ms = static_cast<double>(metrics.serial_ops) * params.serial_penalty_cycles /
+                (spec.clock_ghz * 1e9 * static_cast<double>(std::max<long>(resident_blocks, 1))) *
+                1e3;
+
+  t.wall_ms =
+      spec.launch_overhead_ms + std::max(t.compute_ms, t.mem_ms) + t.latency_ms + t.serial_ms;
+
+  // Per-block critical chain: the floor below which a single query's
+  // response cannot drop no matter how idle the device is.
+  const double warps_per_block =
+      static_cast<double>((cfg.threads_per_block + spec.warp_size - 1) / spec.warp_size);
+  const double issue_per_cycle =
+      std::min(warps_per_block, static_cast<double>(params.schedulers_per_sm));
+  const double per_block_instr =
+      static_cast<double>(metrics.warp_instructions) / cfg.blocks;
+  const double compute_chain_ms =
+      per_block_instr / (issue_per_cycle * spec.clock_ghz * 1e9) * 1e3;
+  const double latency_chain_ms =
+      (static_cast<double>(metrics.fetches_random) * spec.latency_random_us +
+       static_cast<double>(metrics.fetches_cached) * spec.latency_cached_us) /
+      cfg.blocks * 1e-3;
+  const double serial_chain_ms = static_cast<double>(metrics.serial_ops) / cfg.blocks *
+                                 params.serial_penalty_cycles / (spec.clock_ghz * 1e9) * 1e3;
+  const double chain_ms = compute_chain_ms + latency_chain_ms + serial_chain_ms;
+
+  t.avg_query_ms =
+      spec.launch_overhead_ms +
+      std::max((t.wall_ms - spec.launch_overhead_ms) / cfg.blocks, chain_ms);
+  return t;
+}
+
+}  // namespace psb::simt

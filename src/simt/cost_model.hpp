@@ -1,0 +1,80 @@
+// CostModel: converts Metrics counters into the paper's timing metric.
+//
+// Model (documented here in full; every constant lives in DeviceSpec):
+//
+//   capacity        C  = num_sms * blocks_per_sm,
+//     blocks_per_sm    = min(max_blocks_per_sm,
+//                            shared_mem_per_sm / shared_bytes_per_block,
+//                            max_threads_per_sm / threads_per_block)
+//   occupancy          = resident threads per SM / max_threads_per_sm
+//   device fill        = resident blocks * threads / (num_sms * max_threads_per_sm)
+//   latency hiding   h = clamp(fill / occupancy_knee, h_floor, 1)
+//
+//   compute_ms = warp_instructions * warp_size / (parallel_lanes * clock * ipc * h)
+//       parallel_lanes = min(resident_blocks * threads_per_block,
+//                            num_sms * cores_per_sm)
+//       (issue slots: an instruction occupies the full warp width whether or
+//        not lanes are active — this is where warp divergence costs time)
+//   mem_ms     = (coalesced_B / bw_coalesced + random_B / bw_random
+//                 + cached_B / bw_cached) / h
+//   latency_ms = (fetches_random * lat_dram + fetches_cached * lat_l2)
+//                / min(blocks, C)
+//       (dependent pointer chases serialize on a block's critical path but
+//        overlap across concurrently resident blocks)
+//   serial_ms  = serial_ops * serial_penalty_cycles / (clock * min(blocks, C))
+//
+//   wall_ms      = launch + max(compute_ms, mem_ms) + latency_ms + serial_ms
+//
+//   A query's response time cannot be amortized below its own block's
+//   critical execution chain (a traversal is sequential; its block issues at
+//   most min(warps, schedulers) instructions per cycle and serializes on
+//   every dependent fetch):
+//   chain_ms     = (warp_instructions / blocks) / (min(warps, 4) * clock)
+//                + (fetches_random * lat_dram + fetches_cached * lat_l2) / blocks
+//                + serial chain / blocks
+//   avg_query_ms = launch + max((wall_ms - launch) / blocks, chain_ms)
+//
+//   This is what makes one-lane-per-query task parallelism slow in response
+//   time even when the device has idle capacity (paper Fig. 6).
+//
+// Occupancy drops when a block's shared-memory footprint grows (k pruning
+// distances, §V-E), which raises h's denominator-side penalty and reproduces
+// Fig. 8's super-linear growth in k.
+#pragma once
+
+#include "simt/device.hpp"
+#include "simt/metrics.hpp"
+
+namespace psb::simt {
+
+/// Kernel launch geometry: one block per query in data-parallel mode.
+struct KernelConfig {
+  int blocks = 1;
+  int threads_per_block = 128;
+};
+
+/// Derived timing for one kernel launch.
+struct KernelTiming {
+  double wall_ms = 0;       ///< time for the whole batch kernel
+  double avg_query_ms = 0;  ///< wall amortized per block (paper's metric)
+  double compute_ms = 0;
+  double mem_ms = 0;
+  double latency_ms = 0;
+  double serial_ms = 0;
+  double occupancy = 0;     ///< resident threads per SM / max threads per SM
+  int blocks_per_sm = 0;
+};
+
+/// Extra cost-model constants that are not architectural.
+struct CostParams {
+  int cores_per_sm = 192;            ///< Kepler GK110B
+  int schedulers_per_sm = 4;         ///< warp schedulers: per-block issue cap
+  double serial_penalty_cycles = 4;  ///< latency of a warp-serialized op
+  double latency_hiding_floor = 0.1; ///< h never collapses below this
+};
+
+/// Convert counters to the paper's timing metrics.
+KernelTiming estimate(const DeviceSpec& spec, const Metrics& metrics, const KernelConfig& cfg,
+                      const CostParams& params = {});
+
+}  // namespace psb::simt

@@ -1,0 +1,60 @@
+// DeviceSpec: the simulated GPU's architectural and cost-model parameters.
+//
+// Defaults approximate the paper's testbed, an NVIDIA Tesla K40 (Kepler
+// GK110B: 15 SMs, 192 cores/SM, 745 MHz, 288 GB/s peak — ~180 GB/s effective
+// streaming, far less for dependent pointer-chasing loads, 48–64 KB shared
+// memory per SM, 64 warps / 16 blocks resident per SM).
+//
+// The simulator executes algorithms functionally (results are exact) and
+// *counts* work; this struct owns every constant that converts counts into
+// milliseconds, so the whole substitution for real silicon is auditable here
+// and in cost_model.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace psb::simt {
+
+struct DeviceSpec {
+  // --- architecture ---
+  int warp_size = 32;
+  int num_sms = 15;
+  int max_threads_per_block = 1024;
+  int max_threads_per_sm = 2048;
+  int max_blocks_per_sm = 16;
+  std::size_t shared_mem_per_sm = 64 * 1024;     ///< bytes (paper quotes 64 KB)
+  std::size_t shared_mem_per_block = 48 * 1024;  ///< bytes
+
+  // --- cost model ---
+  /// Effective bandwidth for coalesced/streaming global loads (GB/s).
+  double bw_coalesced_gbps = 180.0;
+  /// Effective bandwidth for dependent, scattered first-touch node fetches
+  /// (GB/s). Pointer-chasing through an n-ary tree cannot saturate DRAM; the
+  /// ~4x penalty encodes uncoalesced 128-byte transactions.
+  double bw_random_gbps = 45.0;
+  /// Effective bandwidth for re-fetching recently touched nodes from L2
+  /// (GB/s). A query's internal-node working set (tens of KB) sits far below
+  /// the K40's 1.5 MB L2, so parent-link backtracking re-reads hit L2.
+  double bw_cached_gbps = 400.0;
+  /// DRAM load-to-use latency on a dependent first-touch fetch (us). This is
+  /// the serial cost a traversal pays per pointer chase; a linear leaf scan
+  /// avoids it because the next leaf's address is known in advance.
+  double latency_random_us = 0.35;
+  /// L2 load-to-use latency on a dependent re-fetch (us).
+  double latency_cached_us = 0.12;
+  /// Core clock (GHz) — per-lane simple ops retire at ~1 op/cycle/lane.
+  double clock_ghz = 0.745;
+  /// Instructions per cycle per lane for the charged op mix.
+  double ipc = 1.0;
+  /// Fixed kernel launch + host/device result copy overhead (ms).
+  double launch_overhead_ms = 0.015;
+  /// Occupancy below which latency hiding collapses: effective bandwidth and
+  /// compute throughput scale by min(1, occupancy / occupancy_knee).
+  double occupancy_knee = 0.25;
+
+  /// Resident threads per SM assuming every warp could be live.
+  int lanes_per_sm() const noexcept { return max_threads_per_sm; }
+};
+
+}  // namespace psb::simt

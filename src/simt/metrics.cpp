@@ -1,0 +1,26 @@
+#include "simt/metrics.hpp"
+
+#include <algorithm>
+
+namespace psb::simt {
+
+double Metrics::warp_efficiency(int warp_size) const noexcept {
+  if (warp_instructions == 0) return 1.0;
+  return static_cast<double>(active_lane_slots) /
+         (static_cast<double>(warp_instructions) * warp_size);
+}
+
+void Metrics::merge(const Metrics& other) noexcept {
+  warp_instructions += other.warp_instructions;
+  active_lane_slots += other.active_lane_slots;
+  serial_ops += other.serial_ops;
+  bytes_coalesced += other.bytes_coalesced;
+  bytes_random += other.bytes_random;
+  bytes_cached += other.bytes_cached;
+  node_fetches += other.node_fetches;
+  fetches_random += other.fetches_random;
+  fetches_cached += other.fetches_cached;
+  shared_bytes = std::max(shared_bytes, other.shared_bytes);
+}
+
+}  // namespace psb::simt

@@ -1,0 +1,61 @@
+// Metrics: the instrumentation counters every simulated kernel accumulates.
+//
+// Three of the paper's metrics fall directly out of these counters:
+//   * warp efficiency  = active_lane_slots / (warp_size * warp_instructions)
+//     (identical to the CUDA profiler's warp_execution_efficiency)
+//   * accessed bytes   = bytes_coalesced + bytes_random
+//   * query response time = CostModel::estimate(...) over the counters
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace psb::simt {
+
+enum class Access : std::uint8_t {
+  kCoalesced,  ///< streaming / prefetchable traffic (address known in advance)
+  kRandom,     ///< dependent first-touch fetch: DRAM latency + scattered bw
+  kCached,     ///< dependent re-fetch of a recently touched node (L2 resident:
+               ///< the per-query internal working set is far below the K40's
+               ///< 1.5 MB L2)
+};
+
+struct Metrics {
+  /// Warp-instructions issued (a warp with zero active lanes issues nothing).
+  std::uint64_t warp_instructions = 0;
+  /// Sum over warp-instructions of the number of active lanes.
+  std::uint64_t active_lane_slots = 0;
+  /// Warp-serialized scalar operations (single-lane critical sections, e.g.
+  /// shared-memory k-NN heap insertions).
+  std::uint64_t serial_ops = 0;
+  /// Global-memory bytes fetched with a coalesced access pattern.
+  std::uint64_t bytes_coalesced = 0;
+  /// Global-memory bytes fetched with a scattered first-touch pattern.
+  std::uint64_t bytes_random = 0;
+  /// Global-memory bytes re-fetched from L2 (recently touched nodes).
+  std::uint64_t bytes_cached = 0;
+  /// Number of tree-node (or point-block) fetches recorded (any pattern).
+  std::uint64_t node_fetches = 0;
+  /// Dependent first-touch fetches (each pays DRAM latency on the block's
+  /// critical path).
+  std::uint64_t fetches_random = 0;
+  /// Dependent L2 re-fetches (each pays L2 latency).
+  std::uint64_t fetches_cached = 0;
+  /// High-water mark of shared memory used by a single block (bytes).
+  std::size_t shared_bytes = 0;
+
+  /// Total global-memory traffic in bytes (the paper's "accessed bytes").
+  std::uint64_t total_bytes() const noexcept {
+    return bytes_coalesced + bytes_random + bytes_cached;
+  }
+
+  /// Warp execution efficiency in [0,1]; 1.0 when no instruction was issued.
+  double warp_efficiency(int warp_size = 32) const noexcept;
+
+  /// Accumulate counters from another kernel / block (shared high-water max).
+  void merge(const Metrics& other) noexcept;
+
+  void reset() noexcept { *this = Metrics{}; }
+};
+
+}  // namespace psb::simt

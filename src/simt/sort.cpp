@@ -1,0 +1,87 @@
+#include "simt/sort.hpp"
+
+#include <array>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace psb::simt {
+namespace {
+
+constexpr int kDigitBits = 16;
+constexpr std::size_t kBuckets = std::size_t{1} << kDigitBits;
+
+std::uint16_t digit_of(std::span<const std::uint64_t> keys, std::size_t words_per_key,
+                       std::size_t id, std::size_t pass) noexcept {
+  // Pass 0 is the least-significant 16 bits of the least-significant word.
+  const std::size_t word_from_lsw = pass / 4;
+  const std::size_t shift = (pass % 4) * kDigitBits;
+  const std::size_t word_index = id * words_per_key + (words_per_key - 1 - word_from_lsw);
+  return static_cast<std::uint16_t>(keys[word_index] >> shift);
+}
+
+}  // namespace
+
+std::vector<PointId> radix_sort_order(std::span<const std::uint64_t> keys,
+                                      std::size_t words_per_key, Metrics* metrics) {
+  PSB_REQUIRE(words_per_key > 0, "words_per_key must be > 0");
+  PSB_REQUIRE(keys.size() % words_per_key == 0, "keys size must be a multiple of words_per_key");
+  const std::size_t n = keys.size() / words_per_key;
+
+  std::vector<PointId> order(n);
+  std::iota(order.begin(), order.end(), PointId{0});
+  if (n <= 1) return order;
+
+  std::vector<PointId> scratch(n);
+  std::vector<std::size_t> counts(kBuckets);
+
+  const std::size_t passes = words_per_key * 4;
+  const std::size_t key_bytes = words_per_key * sizeof(std::uint64_t);
+  for (std::size_t pass = 0; pass < passes; ++pass) {
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      ++counts[digit_of(keys, words_per_key, order[i], pass)];
+    }
+    // Skip passes where every key shares the digit (common for sparse keys).
+    bool trivial = false;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      if (counts[b] == n) {
+        trivial = true;
+        break;
+      }
+      if (counts[b] != 0) break;
+    }
+    std::size_t running = 0;
+    for (auto& c : counts) {
+      const std::size_t tmp = c;
+      c = running;
+      running += tmp;
+    }
+    if (!trivial) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const PointId id = order[i];
+        scratch[counts[digit_of(keys, words_per_key, id, pass)]++] = id;
+      }
+      order.swap(scratch);
+    }
+    if (metrics != nullptr) {
+      // Read key digit + payload, write payload (GPU radix moves key+payload).
+      metrics->bytes_coalesced += n * (key_bytes + 2 * sizeof(PointId));
+    }
+  }
+  return order;
+}
+
+std::vector<PointId> radix_sort_order(std::span<const std::uint64_t> keys, Metrics* metrics) {
+  return radix_sort_order(keys, 1, metrics);
+}
+
+int compare_keys(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b) noexcept {
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    if (a[i] < b[i]) return -1;
+    if (a[i] > b[i]) return 1;
+  }
+  return 0;
+}
+
+}  // namespace psb::simt

@@ -1,0 +1,36 @@
+// Instrumented LSD radix sort — the stand-in for Thrust's parallel radix sort
+// used by the paper's Hilbert-curve bottom-up construction (§IV-A).
+//
+// The sort is executed functionally on the host; each digit pass charges its
+// streaming traffic to a Metrics instance so construction benches can report
+// the sort's share of the build cost.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "simt/metrics.hpp"
+
+namespace psb::simt {
+
+/// Stable sort permutation of n fixed-width keys.
+///
+/// `keys` holds n keys of `words_per_key` 64-bit words each, most-significant
+/// word first (key i occupies keys[i*W .. i*W+W)). Returns ids 0..n-1 ordered
+/// so that keys[out[0]] <= keys[out[1]] <= ... lexicographically.
+/// Traffic per digit pass (read keys + payload, write both) is charged to
+/// `metrics` as coalesced bytes when non-null.
+std::vector<PointId> radix_sort_order(std::span<const std::uint64_t> keys,
+                                      std::size_t words_per_key, Metrics* metrics = nullptr);
+
+/// Convenience overload for single-word (uint64) keys.
+std::vector<PointId> radix_sort_order(std::span<const std::uint64_t> keys,
+                                      Metrics* metrics = nullptr);
+
+/// Lexicographic comparison of two fixed-width keys (exposed for tests and
+/// for tree-order validation).
+int compare_keys(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b) noexcept;
+
+}  // namespace psb::simt

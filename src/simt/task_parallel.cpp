@@ -1,0 +1,35 @@
+#include "simt/task_parallel.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace psb::simt {
+
+void accumulate_task_parallel(const DeviceSpec& spec, std::span<const LaneWork> lanes,
+                              Metrics* metrics) {
+  PSB_REQUIRE(metrics != nullptr, "metrics sink required");
+  const std::size_t w = static_cast<std::size_t>(spec.warp_size);
+  for (std::size_t base = 0; base < lanes.size(); base += w) {
+    const std::size_t count = std::min(w, lanes.size() - base);
+    std::uint64_t max_steps = 0;
+    std::uint64_t sum_steps = 0;
+    std::uint64_t max_fetches = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const LaneWork& lw = lanes[base + i];
+      max_steps = std::max(max_steps, lw.steps);
+      sum_steps += lw.steps;
+      max_fetches = std::max(max_fetches, lw.node_fetches);
+      metrics->bytes_random += lw.bytes_random;
+      metrics->bytes_coalesced += lw.bytes_coalesced;
+      metrics->node_fetches += lw.node_fetches;
+    }
+    metrics->warp_instructions += max_steps;
+    metrics->active_lane_slots += sum_steps;
+    // Lock-step lanes issue their loads together: the warp's dependent-fetch
+    // chain is the slowest lane's chain, not the sum over lanes.
+    metrics->fetches_random += max_fetches;
+  }
+}
+
+}  // namespace psb::simt

@@ -1,0 +1,47 @@
+// Task-parallel execution accounting (the paper's Fig. 1b strawman).
+//
+// In task parallelism each GPU lane runs its *own* traversal (one query per
+// thread). Lanes in a warp execute in lock-step, so a warp is busy until its
+// slowest lane finishes and every cycle where only a subset of lanes is still
+// working wastes issue slots. We record each lane's work independently and
+// fold it into warp-level Metrics under that lock-step law.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "simt/device.hpp"
+#include "simt/metrics.hpp"
+
+namespace psb::simt {
+
+/// How a task-parallel batch is scheduled onto the device.
+enum class TaskParallelMode {
+  /// Each query measured in isolation: one active lane in its warp — the
+  /// paper's Fig. 6 response-time setting (~3 % warp efficiency).
+  kResponseTime,
+  /// Queries packed 32 per warp: throughput setting (lock-step max-lane law).
+  kThroughput,
+};
+
+/// Work performed by a single task-parallel lane (one traversal).
+struct LaneWork {
+  /// Lock-step instruction count executed by this lane.
+  std::uint64_t steps = 0;
+  /// Scattered global bytes this lane fetched (tree-node pointer chasing).
+  std::uint64_t bytes_random = 0;
+  /// Streaming global bytes this lane fetched.
+  std::uint64_t bytes_coalesced = 0;
+  /// Distinct node fetches.
+  std::uint64_t node_fetches = 0;
+};
+
+/// Fold a batch of per-lane traversals into `metrics`, packing lanes into
+/// warps of `spec.warp_size` in order. Per warp: instructions issued =
+/// max(lane steps), active lane slots = sum(lane steps) — the SIMT lock-step
+/// law. With a single lane (one query measured in isolation, as in Fig. 6)
+/// warp efficiency degenerates to 1/32 ≈ 3%.
+void accumulate_task_parallel(const DeviceSpec& spec, std::span<const LaneWork> lanes,
+                              Metrics* metrics);
+
+}  // namespace psb::simt

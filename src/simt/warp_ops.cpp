@@ -1,0 +1,68 @@
+#include "simt/warp_ops.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace psb::simt {
+
+std::uint32_t warp_ballot(Block& block, std::span<const std::uint8_t> preds) {
+  PSB_REQUIRE(preds.size() <= 32, "ballot is a warp-wide primitive (<= 32 lanes)");
+  std::uint32_t mask = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i]) mask |= (1u << i);
+  }
+  block.par_for(preds.size(), 1, [](std::size_t) {});
+  return mask;
+}
+
+bool warp_any(Block& block, std::span<const std::uint8_t> preds) {
+  return warp_ballot(block, preds) != 0;
+}
+
+std::size_t warp_ffs(Block& block, std::uint32_t mask) {
+  block.serialize(1);
+  if (mask == 0) return 32;
+  return static_cast<std::size_t>(std::countr_zero(mask));
+}
+
+std::size_t leftmost_set(Block& block, std::span<const std::uint8_t> preds) {
+  for (std::size_t base = 0; base < preds.size(); base += 32) {
+    const std::size_t count = std::min<std::size_t>(32, preds.size() - base);
+    const std::uint32_t mask = warp_ballot(block, preds.subspan(base, count));
+    const std::size_t bit = warp_ffs(block, mask);
+    if (bit < 32) return base + bit;
+  }
+  return preds.size();
+}
+
+std::vector<std::uint32_t> warp_inclusive_scan(Block& block,
+                                               std::span<const std::uint32_t> values) {
+  PSB_REQUIRE(!values.empty() && values.size() <= 32, "scan is warp-wide (1..32 lanes)");
+  std::vector<std::uint32_t> out(values.begin(), values.end());
+  // Hillis-Steele: offsets 1, 2, 4, ... — every step is full-activity.
+  for (std::size_t offset = 1; offset < out.size(); offset *= 2) {
+    block.par_for(out.size(), 1, [](std::size_t) {});
+    for (std::size_t i = out.size(); i-- > offset;) {
+      out[i] += out[i - offset];
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> warp_compact(Block& block, std::span<const std::uint8_t> preds) {
+  PSB_REQUIRE(preds.size() <= 32, "compact is a warp-wide primitive (<= 32 lanes)");
+  std::vector<std::size_t> out;
+  if (preds.empty()) return out;
+  warp_ballot(block, preds);
+  std::vector<std::uint32_t> flags(preds.size());
+  for (std::size_t i = 0; i < preds.size(); ++i) flags[i] = preds[i] ? 1 : 0;
+  warp_inclusive_scan(block, flags);
+  block.par_for(preds.size(), 1, [](std::size_t) {});  // scatter
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i]) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace psb::simt

@@ -1,0 +1,44 @@
+// Warp-level primitives, executed functionally and charged to a Block —
+// the vocabulary real CUDA kernels use for the cooperative steps the
+// traversals need (leftmost-qualifying-child selection, reductions, scans).
+//
+// Each primitive charges its canonical cost: ballot/any/ffs are single
+// warp-instructions; shuffle reductions and scans are log2(width) steps with
+// halving (reduction) or constant (scan) activity.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "simt/block.hpp"
+
+namespace psb::simt {
+
+/// Ballot across up to 32 lanes: bit i set iff pred[i]. Charges 1 instr.
+std::uint32_t warp_ballot(Block& block, std::span<const std::uint8_t> preds);
+
+/// True iff any lane's predicate holds. Charges 1 instr.
+bool warp_any(Block& block, std::span<const std::uint8_t> preds);
+
+/// Index of the first set bit of `mask` (32 if none). Charges 1 instr on one
+/// lane (the leader computes it).
+std::size_t warp_ffs(Block& block, std::uint32_t mask);
+
+/// Block-wide "leftmost lane whose predicate holds" over an arbitrary number
+/// of items: per-warp ballots + a short serial combine across warps. Returns
+/// items.size() when no predicate holds. This is how PSB's Alg. 1 line 16-26
+/// child selection runs without serializing over the children.
+std::size_t leftmost_set(Block& block, std::span<const std::uint8_t> preds);
+
+/// Inclusive prefix sum over lane values (shuffle-based Hillis-Steele):
+/// log2(width) full-activity steps.
+std::vector<std::uint32_t> warp_inclusive_scan(Block& block,
+                                               std::span<const std::uint32_t> values);
+
+/// Warp-level compaction: returns the indices of lanes whose predicate holds,
+/// in lane order, charging ballot + scan + scatter.
+std::vector<std::size_t> warp_compact(Block& block, std::span<const std::uint8_t> preds);
+
+}  // namespace psb::simt

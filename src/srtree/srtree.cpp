@@ -1,0 +1,317 @@
+#include "srtree/srtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace psb::srtree {
+
+/// One-at-a-time SR-tree construction (friend of SRTree).
+class Builder {
+ public:
+  Builder(SRTree& tree, const PointSet& points, const SRTree::Options& opts)
+      : tree_(tree), points_(points), opts_(opts) {}
+
+  void run() {
+    root_() = add_node(0);
+    for (PointId pid = 0; pid < points_.size(); ++pid) {
+      reinserted_ = false;
+      insert(pid);
+    }
+    refit_all();
+  }
+
+ private:
+  std::vector<Node>& nodes() { return tree_.nodes_; }
+  NodeId& root_() { return tree_.root_; }
+
+  NodeId add_node(int level) {
+    const NodeId id = static_cast<NodeId>(nodes().size());
+    Node n;
+    n.id = id;
+    n.level = level;
+    nodes().push_back(std::move(n));
+    return id;
+  }
+
+  std::size_t capacity(const Node& n) const {
+    return n.is_leaf() ? tree_.leaf_capacity_ : tree_.internal_capacity_;
+  }
+
+  void cover_point(Node& n, std::span<const Scalar> p) {
+    if (n.weight == 0) {
+      n.centroid.assign(p.begin(), p.end());
+      n.rect = Rect::around(p);
+      n.radius = 0;
+      n.weight = 1;
+      return;
+    }
+    // Incremental centroid update (exact mean), rect expansion, and a
+    // grow-only radius estimate (tightened by refit_all at the end).
+    ++n.weight;
+    for (std::size_t t = 0; t < p.size(); ++t) {
+      n.centroid[t] += (p[t] - n.centroid[t]) / static_cast<Scalar>(n.weight);
+    }
+    n.rect.expand(p);
+    n.radius = std::max(n.radius, distance(n.centroid, p));
+  }
+
+  void insert(PointId pid) {
+    const auto p = points_[pid];
+    NodeId cur = root_();
+    for (;;) {
+      Node& n = nodes()[cur];
+      cover_point(n, p);
+      if (n.is_leaf()) break;
+      NodeId best = n.children.front();
+      Scalar best_d = kInfinity;
+      for (const NodeId c : n.children) {
+        const Scalar d = distance(nodes()[c].centroid, p);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      cur = best;
+    }
+    nodes()[cur].points.push_back(pid);
+    if (nodes()[cur].points.size() > tree_.leaf_capacity_) handle_overflow(cur);
+  }
+
+  void handle_overflow(NodeId id) {
+    if (!reinserted_ && opts_.reinsert_fraction > 0) {
+      reinserted_ = true;
+      force_reinsert(id);
+      return;
+    }
+    split(id);
+  }
+
+  void force_reinsert(NodeId id) {
+    Node& leaf = nodes()[id];
+    std::vector<std::pair<Scalar, PointId>> by_dist;
+    by_dist.reserve(leaf.points.size());
+    for (const PointId pid : leaf.points) {
+      by_dist.emplace_back(distance(leaf.centroid, points_[pid]), pid);
+    }
+    std::sort(by_dist.begin(), by_dist.end());
+    const auto evict = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(opts_.reinsert_fraction * static_cast<double>(by_dist.size()))));
+    const std::size_t keep = by_dist.size() - evict;
+    leaf.points.clear();
+    for (std::size_t i = 0; i < keep; ++i) leaf.points.push_back(by_dist[i].second);
+    refit(leaf);
+    for (std::size_t i = keep; i < by_dist.size(); ++i) insert(by_dist[i].second);
+  }
+
+  Scalar entry_coord(const Node& n, std::size_t i, std::size_t t) const {
+    if (n.is_leaf()) return points_[n.points[i]][t];
+    return nodes()[n.children[i]].centroid[t];
+  }
+  const std::vector<Node>& nodes() const { return tree_.nodes_; }
+
+  void split(NodeId id) {
+    const int level = nodes()[id].level;
+    const NodeId parent = nodes()[id].parent;
+    const std::size_t count = nodes()[id].count();
+    const std::size_t dims = points_.dims();
+
+    std::size_t split_dim = 0;
+    double best_var = -1;
+    for (std::size_t t = 0; t < dims; ++t) {
+      double mean = 0;
+      for (std::size_t i = 0; i < count; ++i) mean += entry_coord(nodes()[id], i, t);
+      mean /= static_cast<double>(count);
+      double var = 0;
+      for (std::size_t i = 0; i < count; ++i) {
+        const double d = entry_coord(nodes()[id], i, t) - mean;
+        var += d * d;
+      }
+      if (var > best_var) {
+        best_var = var;
+        split_dim = t;
+      }
+    }
+
+    std::vector<std::size_t> order(count);
+    for (std::size_t i = 0; i < count; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return entry_coord(nodes()[id], a, split_dim) < entry_coord(nodes()[id], b, split_dim);
+    });
+
+    const NodeId sibling_id = add_node(level);
+    Node& n = nodes()[id];
+    Node& sibling = nodes()[sibling_id];
+    const std::size_t half = count / 2;
+    if (n.is_leaf()) {
+      std::vector<PointId> lo, hi;
+      for (std::size_t i = 0; i < count; ++i) (i < half ? lo : hi).push_back(n.points[order[i]]);
+      n.points = std::move(lo);
+      sibling.points = std::move(hi);
+    } else {
+      std::vector<NodeId> lo, hi;
+      for (std::size_t i = 0; i < count; ++i) (i < half ? lo : hi).push_back(n.children[order[i]]);
+      n.children = std::move(lo);
+      sibling.children = std::move(hi);
+      for (const NodeId c : sibling.children) nodes()[c].parent = sibling_id;
+    }
+    refit(n);
+    refit(sibling);
+
+    if (parent == kInvalidNode && id == root_()) {
+      const NodeId new_root = add_node(level + 1);
+      Node& r = nodes()[new_root];
+      r.children = {id, sibling_id};
+      nodes()[id].parent = new_root;
+      nodes()[sibling_id].parent = new_root;
+      refit(r);
+      root_() = new_root;
+    } else {
+      Node& p = nodes()[parent];
+      p.children.push_back(sibling_id);
+      nodes()[sibling_id].parent = parent;
+      if (p.children.size() > tree_.internal_capacity_) split(parent);
+    }
+  }
+
+  /// Recompute a node's region from its current contents (exact for leaves;
+  /// for internal nodes the SR-tree's radius rule: min of the child-sphere
+  /// bound and the farthest-rect-corner bound).
+  void refit(Node& n) {
+    const std::size_t d = points_.dims();
+    if (n.is_leaf()) {
+      n.weight = n.points.size();
+      if (n.points.empty()) return;
+      n.centroid.assign(d, 0);
+      for (const PointId pid : n.points) {
+        const auto p = points_[pid];
+        for (std::size_t t = 0; t < d; ++t) n.centroid[t] += p[t];
+      }
+      for (auto& c : n.centroid) c /= static_cast<Scalar>(n.points.size());
+      n.rect = Rect::around(points_[n.points.front()]);
+      n.radius = 0;
+      for (const PointId pid : n.points) {
+        n.rect.expand(points_[pid]);
+        n.radius = std::max(n.radius, distance(n.centroid, points_[pid]));
+      }
+      return;
+    }
+    n.weight = 0;
+    n.centroid.assign(d, 0);
+    std::vector<double> acc(d, 0);
+    for (const NodeId c : n.children) {
+      const Node& child = nodes()[c];
+      n.weight += child.weight;
+      for (std::size_t t = 0; t < d; ++t) {
+        acc[t] += static_cast<double>(child.centroid[t]) * static_cast<double>(child.weight);
+      }
+    }
+    for (std::size_t t = 0; t < d; ++t) {
+      n.centroid[t] = static_cast<Scalar>(acc[t] / static_cast<double>(n.weight));
+    }
+    n.rect = nodes()[n.children.front()].rect;
+    Scalar sphere_bound = 0;
+    for (const NodeId c : n.children) {
+      const Node& child = nodes()[c];
+      n.rect = Rect::merge(n.rect, child.rect);
+      sphere_bound =
+          std::max(sphere_bound, distance(n.centroid, child.centroid) + child.radius);
+    }
+    n.radius = std::min(sphere_bound, maxdist(n.centroid, n.rect));
+  }
+
+  /// Bottom-up exact refit of every node after construction.
+  void refit_all() {
+    std::vector<NodeId> ids(nodes().size());
+    for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<NodeId>(i);
+    std::sort(ids.begin(), ids.end(),
+              [&](NodeId a, NodeId b) { return nodes()[a].level < nodes()[b].level; });
+    for (const NodeId id : ids) refit(nodes()[id]);
+  }
+
+  SRTree& tree_;
+  const PointSet& points_;
+  SRTree::Options opts_;
+  bool reinserted_ = false;
+};
+
+SRTree::SRTree(const PointSet* points) : SRTree(points, Options{}) {}
+
+SRTree::SRTree(const PointSet* points, Options opts) : points_(points), opts_(opts) {
+  PSB_REQUIRE(points != nullptr, "point set required");
+  PSB_REQUIRE(!points->empty(), "cannot build over an empty point set");
+  const std::size_t d = points->dims();
+  // Page-derived fanout. Internal entry: child pointer + sphere (d+1 floats)
+  // + rect (2d floats) + weight; leaf entry: point (d floats) + id.
+  const std::size_t internal_entry = sizeof(NodeId) + (3 * d + 1) * sizeof(Scalar) + 4;
+  const std::size_t leaf_entry = d * sizeof(Scalar) + sizeof(PointId);
+  constexpr std::size_t kHeader = 64;
+  PSB_REQUIRE(opts.page_bytes > kHeader + internal_entry,
+              "page size too small for this dimensionality");
+  internal_capacity_ = std::max<std::size_t>(2, (opts.page_bytes - kHeader) / internal_entry);
+  leaf_capacity_ = std::max<std::size_t>(2, (opts.page_bytes - kHeader) / leaf_entry);
+
+  Builder builder(*this, *points, opts_);
+  builder.run();
+}
+
+Scalar SRTree::region_mindist(std::span<const Scalar> q, const Node& n) const {
+  const Scalar sphere_min = std::max(Scalar{0}, distance(q, n.centroid) - n.radius);
+  const Scalar rect_min = mindist(q, n.rect);
+  return std::max(sphere_min, rect_min);
+}
+
+void SRTree::validate() const {
+  PSB_ASSERT(root_ != kInvalidNode, "tree has no root");
+  std::vector<bool> seen(points_->size(), false);
+  for (const Node& n : nodes_) {
+    PSB_ASSERT(n.count() > 0, "empty node");
+    PSB_ASSERT(n.count() <= (n.is_leaf() ? leaf_capacity_ : internal_capacity_),
+               "node exceeds capacity");
+    if (n.is_leaf()) {
+      PSB_ASSERT(n.weight == n.points.size(), "leaf weight mismatch");
+      for (const PointId pid : n.points) {
+        PSB_ASSERT(pid < points_->size(), "invalid point id");
+        PSB_ASSERT(!seen[pid], "point in two leaves");
+        seen[pid] = true;
+        const auto p = (*points_)[pid];
+        PSB_ASSERT(n.rect.contains(p), "leaf rect does not contain point");
+        PSB_ASSERT(distance(n.centroid, p) <= n.radius * (1 + 1e-4F) + 1e-4F,
+                   "leaf sphere does not contain point");
+      }
+    } else {
+      std::size_t w = 0;
+      for (const NodeId c : n.children) {
+        const Node& child = nodes_[c];
+        PSB_ASSERT(child.parent == n.id, "child parent link broken");
+        PSB_ASSERT(child.level + 1 == n.level, "child level mismatch");
+        PSB_ASSERT(n.rect.contains(child.rect), "parent rect does not contain child rect");
+        w += child.weight;
+      }
+      PSB_ASSERT(n.weight == w, "internal weight mismatch");
+    }
+  }
+  for (std::size_t i = 0; i < points_->size(); ++i) {
+    PSB_ASSERT(seen[i], "point missing from every leaf");
+  }
+}
+
+SRTree::Stats SRTree::stats() const {
+  Stats s;
+  s.nodes = nodes_.size();
+  s.height = height();
+  double fill = 0;
+  for (const Node& n : nodes_) {
+    if (n.is_leaf()) {
+      ++s.leaves;
+      fill += static_cast<double>(n.points.size()) / static_cast<double>(leaf_capacity_);
+    }
+  }
+  s.leaf_utilization = s.leaves > 0 ? fill / static_cast<double>(s.leaves) : 0;
+  s.total_bytes = nodes_.size() * opts_.page_bytes;
+  return s;
+}
+
+}  // namespace psb::srtree

@@ -1,0 +1,91 @@
+// SR-tree (Katayama & Satoh, SIGMOD'97) — the paper's CPU baseline for
+// Fig. 3 and Fig. 9: a disk-oriented, top-down-constructed index whose node
+// regions are the *intersection* of a bounding sphere and a bounding
+// rectangle, giving a tighter MINDIST than either shape alone.
+//
+// Configuration follows the paper: node size fixed to a disk page (8 KB);
+// fanout is derived from the page size and dimensionality. Construction is
+// one-at-a-time insertion with centroid-proximity choose-subtree,
+// highest-variance splits, and leaf-level forced reinsertion (R*-style).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/points.hpp"
+#include "common/types.hpp"
+
+namespace psb::srtree {
+
+struct Node {
+  NodeId id = kInvalidNode;
+  NodeId parent = kInvalidNode;
+  int level = 0;  ///< 0 = leaf
+
+  std::vector<NodeId> children;  ///< internal nodes
+  std::vector<PointId> points;   ///< leaves
+
+  /// Region = sphere(centroid, radius) ∩ rect.
+  std::vector<Scalar> centroid;
+  Scalar radius = 0;
+  Rect rect;
+
+  /// Number of data points beneath (centroid weights).
+  std::size_t weight = 0;
+
+  bool is_leaf() const noexcept { return level == 0; }
+  std::size_t count() const noexcept { return is_leaf() ? points.size() : children.size(); }
+};
+
+class SRTree {
+ public:
+  struct Options {
+    std::size_t page_bytes = 8192;  ///< paper: "disk page size - 8 Kbytes"
+    double reinsert_fraction = 0.3;
+  };
+
+  /// Build over `points` (must outlive the tree) by inserting every point.
+  SRTree(const PointSet* points, Options opts);
+  explicit SRTree(const PointSet* points);  ///< default Options
+
+  const PointSet& data() const noexcept { return *points_; }
+  std::size_t dims() const noexcept { return points_->dims(); }
+  std::size_t page_bytes() const noexcept { return opts_.page_bytes; }
+
+  /// Fanout limits derived from the page size.
+  std::size_t leaf_capacity() const noexcept { return leaf_capacity_; }
+  std::size_t internal_capacity() const noexcept { return internal_capacity_; }
+
+  NodeId root() const noexcept { return root_; }
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  std::size_t num_nodes() const noexcept { return nodes_.size(); }
+  int height() const { return node(root_).level + 1; }
+
+  /// Combined SR-tree MINDIST: max of sphere MINDIST and rect MINDIST.
+  Scalar region_mindist(std::span<const Scalar> q, const Node& n) const;
+
+  /// Structural invariants (region containment, counts, parent links).
+  void validate() const;
+
+  struct Stats {
+    std::size_t nodes = 0;
+    std::size_t leaves = 0;
+    int height = 0;
+    double leaf_utilization = 0;
+    std::size_t total_bytes = 0;  ///< nodes * page_bytes
+  };
+  Stats stats() const;
+
+ private:
+  friend class Builder;
+
+  const PointSet* points_;
+  Options opts_;
+  std::size_t leaf_capacity_;
+  std::size_t internal_capacity_;
+  NodeId root_ = kInvalidNode;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace psb::srtree

@@ -1,0 +1,66 @@
+#include "srtree/srtree_knn.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace psb::srtree {
+namespace {
+
+void visit(const SRTree& tree, NodeId id, std::span<const Scalar> q, KnnHeap& heap,
+           knn::TraversalStats& st) {
+  const Node& n = tree.node(id);
+  ++st.nodes_visited;
+  if (n.is_leaf()) {
+    ++st.leaves_visited;
+    for (const PointId pid : n.points) {
+      heap.offer(distance(q, tree.data()[pid]), pid);
+    }
+    st.points_examined += n.points.size();
+    return;
+  }
+  // Active branch list in ascending combined-MINDIST order.
+  std::vector<std::pair<Scalar, NodeId>> branches;
+  branches.reserve(n.children.size());
+  for (const NodeId c : n.children) {
+    branches.emplace_back(tree.region_mindist(q, tree.node(c)), c);
+  }
+  std::sort(branches.begin(), branches.end());
+  for (const auto& [mind, child] : branches) {
+    if (heap.full() && mind > heap.bound()) break;
+    visit(tree, child, q, heap, st);
+  }
+}
+
+}  // namespace
+
+knn::QueryResult knn_query(const SRTree& tree, std::span<const Scalar> query, std::size_t k) {
+  PSB_REQUIRE(k > 0, "k must be > 0");
+  PSB_REQUIRE(query.size() == tree.dims(), "query dimensionality mismatch");
+  knn::QueryResult out;
+  KnnHeap heap(std::min(k, tree.data().size()));
+  visit(tree, tree.root(), query, heap, out.stats);
+  out.neighbors = heap.sorted();
+  return out;
+}
+
+CpuBatchResult knn_batch(const SRTree& tree, const PointSet& queries, std::size_t k) {
+  PSB_REQUIRE(queries.dims() == tree.dims(), "query dimensionality mismatch");
+  CpuBatchResult out;
+  out.queries.reserve(queries.size());
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    out.queries.push_back(knn_query(tree, queries[i], k));
+    out.stats.merge(out.queries.back().stats);
+  }
+  out.wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+  out.avg_query_ms = queries.size() > 0 ? out.wall_ms / static_cast<double>(queries.size()) : 0;
+  out.accessed_bytes = out.stats.nodes_visited * tree.page_bytes();
+  return out;
+}
+
+}  // namespace psb::srtree

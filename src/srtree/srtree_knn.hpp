@@ -1,0 +1,27 @@
+// CPU branch-and-bound kNN over the SR-tree with real wall-clock timing and
+// disk-page byte accounting — the "Top-down SR-tree (CPU)" series of Fig. 3
+// and Fig. 9.
+#pragma once
+
+#include "knn/result.hpp"
+#include "srtree/srtree.hpp"
+
+namespace psb::srtree {
+
+struct CpuBatchResult {
+  std::vector<knn::QueryResult> queries;
+  knn::TraversalStats stats;     ///< summed over queries
+  std::uint64_t accessed_bytes = 0;  ///< nodes visited × page size
+  double wall_ms = 0;            ///< measured host time for the whole batch
+  double avg_query_ms = 0;       ///< wall_ms / queries
+
+  double accessed_mb() const noexcept { return static_cast<double>(accessed_bytes) / 1e6; }
+};
+
+/// Exact kNN for one query (stats only, no timing).
+knn::QueryResult knn_query(const SRTree& tree, std::span<const Scalar> query, std::size_t k);
+
+/// Exact kNN for a batch with measured CPU time.
+CpuBatchResult knn_batch(const SRTree& tree, const PointSet& queries, std::size_t k);
+
+}  // namespace psb::srtree

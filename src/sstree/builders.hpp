@@ -1,0 +1,66 @@
+// SS-tree construction algorithms.
+//
+//  * build_hilbert  — paper §IV-A: Hilbert-sort the points, pack leaves to
+//    100 % utilization, build internal levels by packing consecutive runs;
+//    bounding spheres via parallel Ritter (Alg. 2).
+//  * build_kmeans   — paper §IV-B: k-means clusters points, clusters are
+//    serialized (ordered by centroid Hilbert index) and packed into full
+//    leaves; internal levels re-cluster with k decayed by 1/100 per level.
+//  * build_topdown  — classic SS-tree (White & Jain): one-at-a-time insert,
+//    nearest-centroid choose-subtree, max-variance split, leaf-level forced
+//    reinsertion. Used by the construction ablation (A2 in DESIGN.md).
+//
+// All bottom-up construction work (key encode, radix sort, Ritter passes,
+// k-means assignment) is charged to a simt::Metrics so benches can report
+// simulated build cost; host_build_seconds additionally reports wall time.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/kmeans.hpp"
+#include "simt/metrics.hpp"
+#include "sstree/tree.hpp"
+
+namespace psb::sstree {
+
+struct BuildOutput {
+  SSTree tree;
+  simt::Metrics metrics;        ///< simulated construction-kernel work
+  double host_build_seconds = 0;
+};
+
+struct HilbertBuildOptions {
+  int bits_per_dim = 16;
+  /// kRect turns the packed structure into a Hilbert R-tree (§II-C shape
+  /// ablation); traversals then use per-facet rectangle bounds.
+  BoundsMode bounds = BoundsMode::kSphere;
+};
+
+BuildOutput build_hilbert(const PointSet& points, std::size_t degree,
+                          const HilbertBuildOptions& opts = {});
+
+struct KMeansBuildOptions {
+  /// Leaf-level cluster count; 0 = Mardia's rule sqrt(n / 2), which is what
+  /// the paper's implementation uses (§IV-B) and close to the empirically
+  /// best k = 400 of Fig. 3 at the 1M-point scale.
+  std::size_t leaf_k = 0;
+  /// Per-level decay of k for internal levels (paper uses 1/100).
+  double internal_k_decay = 0.01;
+  int max_iterations = 8;
+  std::size_t sample_size = 10000;
+  std::uint64_t seed = 1234;
+  BoundsMode bounds = BoundsMode::kSphere;
+};
+
+BuildOutput build_kmeans(const PointSet& points, std::size_t degree,
+                         const KMeansBuildOptions& opts = {});
+
+struct TopDownOptions {
+  /// Fraction of a leaf's entries force-reinserted on first overflow.
+  double reinsert_fraction = 0.3;
+};
+
+BuildOutput build_topdown(const PointSet& points, std::size_t degree,
+                          const TopDownOptions& opts = {});
+
+}  // namespace psb::sstree

@@ -1,0 +1,65 @@
+// Shared machinery for the two bottom-up SS-tree builders: create full leaves
+// from an ordered point sequence, then pack consecutive runs of nodes into
+// parents level by level, computing bounding spheres with parallel Ritter.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "mbs/parallel_ritter.hpp"
+#include "simt/block.hpp"
+#include "sstree/tree.hpp"
+
+namespace psb::sstree::detail {
+
+/// Create leaves by slicing `ordered` into consecutive runs of `degree`
+/// points (100 % utilization except the last leaf). Returns the leaf ids in
+/// order. Leaf bounding spheres are computed with parallel Ritter on `block`.
+inline std::vector<NodeId> make_leaves(SSTree& tree, std::span<const PointId> ordered,
+                                       simt::Block& block) {
+  const std::size_t degree = tree.degree();
+  std::vector<NodeId> level;
+  for (std::size_t base = 0; base < ordered.size(); base += degree) {
+    const std::size_t count = std::min(degree, ordered.size() - base);
+    const NodeId id = tree.add_node(0);
+    Node& leaf = tree.node(id);
+    leaf.points.assign(ordered.begin() + base, ordered.begin() + base + count);
+    leaf.sphere = mbs::parallel_ritter_points(block, tree.data(), leaf.points);
+    level.push_back(id);
+  }
+  return level;
+}
+
+/// Reordering hook for internal levels: receives the node ids of the level
+/// about to be packed and may permute them (k-means builder re-clusters
+/// here); identity by default.
+using LevelReorder = std::function<void(int level, std::vector<NodeId>& nodes)>;
+
+/// Pack `level` nodes into parents of up to `degree` children repeatedly
+/// until one root remains; sets the root on the tree.
+inline void pack_internal_levels(SSTree& tree, std::vector<NodeId> level, simt::Block& block,
+                                 const LevelReorder& reorder = {}) {
+  const std::size_t degree = tree.degree();
+  int level_no = 1;
+  while (level.size() > 1) {
+    if (reorder) reorder(level_no, level);
+    std::vector<NodeId> next;
+    std::vector<Sphere> child_spheres;
+    for (std::size_t base = 0; base < level.size(); base += degree) {
+      const std::size_t count = std::min(degree, level.size() - base);
+      const NodeId id = tree.add_node(level_no);
+      Node& parent = tree.node(id);
+      parent.children.assign(level.begin() + base, level.begin() + base + count);
+      child_spheres.clear();
+      for (const NodeId c : parent.children) child_spheres.push_back(tree.node(c).sphere);
+      parent.sphere = mbs::parallel_ritter(block, child_spheres);
+      next.push_back(id);
+    }
+    level = std::move(next);
+    ++level_no;
+  }
+  tree.set_root(level.front());
+}
+
+}  // namespace psb::sstree::detail

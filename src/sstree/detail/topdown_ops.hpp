@@ -1,0 +1,110 @@
+// Shared primitives for top-down SS-tree maintenance: sphere refitting and
+// highest-variance-dimension splits. Used by the classic top-down builder
+// and by the online Updater.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "mbs/ritter.hpp"
+#include "simt/metrics.hpp"
+#include "sstree/tree.hpp"
+
+namespace psb::sstree::detail {
+
+/// Recompute a node's sphere from its current contents (Ritter over points
+/// for leaves, over child spheres for internal nodes).
+inline void refit_node(SSTree& tree, Node& n) {
+  if (n.is_leaf()) {
+    n.sphere = n.points.empty() ? Sphere{} : mbs::ritter_points(tree.data(), n.points);
+  } else {
+    std::vector<Sphere> child_spheres;
+    child_spheres.reserve(n.children.size());
+    for (const NodeId c : n.children) child_spheres.push_back(tree.node(c).sphere);
+    n.sphere = mbs::ritter_spheres(child_spheres);
+  }
+}
+
+/// Entry coordinate for the split-variance computation.
+inline Scalar entry_coord(const SSTree& tree, const Node& n, std::size_t i, std::size_t t) {
+  if (n.is_leaf()) return tree.data()[n.points[i]][t];
+  return tree.node(n.children[i]).sphere.center[t];
+}
+
+/// Split an overflowing node along its highest-variance dimension (paper
+/// §IV); propagates overflow splits upward and replaces `root` if the root
+/// splits. Charges scattered traffic to `metrics` when non-null.
+inline void split_node(SSTree& tree, NodeId id, NodeId& root, simt::Metrics* metrics) {
+  const int level = tree.node(id).level;
+  const NodeId parent = tree.node(id).parent;
+  const std::size_t count = tree.node(id).count();
+  const std::size_t dims = tree.dims();
+
+  std::size_t split_dim = 0;
+  double best_var = -1;
+  for (std::size_t t = 0; t < dims; ++t) {
+    double mean = 0;
+    for (std::size_t i = 0; i < count; ++i) mean += entry_coord(tree, tree.node(id), i, t);
+    mean /= static_cast<double>(count);
+    double var = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const double d = entry_coord(tree, tree.node(id), i, t) - mean;
+      var += d * d;
+    }
+    if (var > best_var) {
+      best_var = var;
+      split_dim = t;
+    }
+  }
+
+  std::vector<std::size_t> order(count);
+  for (std::size_t i = 0; i < count; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return entry_coord(tree, tree.node(id), a, split_dim) <
+           entry_coord(tree, tree.node(id), b, split_dim);
+  });
+
+  const NodeId sibling_id = tree.add_node(level);
+  Node& n = tree.node(id);
+  Node& sibling = tree.node(sibling_id);
+  const std::size_t half = count / 2;
+  if (n.is_leaf()) {
+    std::vector<PointId> lo, hi;
+    for (std::size_t i = 0; i < count; ++i) (i < half ? lo : hi).push_back(n.points[order[i]]);
+    n.points = std::move(lo);
+    sibling.points = std::move(hi);
+  } else {
+    std::vector<NodeId> lo, hi;
+    for (std::size_t i = 0; i < count; ++i) {
+      (i < half ? lo : hi).push_back(n.children[order[i]]);
+    }
+    n.children = std::move(lo);
+    sibling.children = std::move(hi);
+    for (const NodeId c : sibling.children) tree.node(c).parent = sibling_id;
+  }
+  refit_node(tree, n);
+  refit_node(tree, sibling);
+  if (metrics != nullptr) {
+    metrics->bytes_random += tree.node_byte_size(n) + tree.node_byte_size(sibling);
+    metrics->fetches_random += 2;
+    metrics->node_fetches += 2;
+    metrics->serial_ops += count * dims;
+  }
+
+  if (parent == kInvalidNode && id == root) {
+    const NodeId new_root = tree.add_node(level + 1);
+    Node& r = tree.node(new_root);
+    r.children = {id, sibling_id};
+    tree.node(id).parent = new_root;
+    tree.node(sibling_id).parent = new_root;
+    refit_node(tree, r);
+    root = new_root;
+  } else {
+    Node& p = tree.node(parent);
+    p.children.push_back(sibling_id);
+    tree.node(sibling_id).parent = parent;
+    if (p.children.size() > tree.degree()) split_node(tree, parent, root, metrics);
+  }
+}
+
+}  // namespace psb::sstree::detail

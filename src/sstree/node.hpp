@@ -1,0 +1,70 @@
+// SS-tree node: an n-ary node whose children are summarized by bounding
+// spheres stored structure-of-arrays (§V-A: "we store the bounding spheres of
+// child nodes as the structure of array ... so that memory coalescing can be
+// naturally employed").
+//
+// PSB traversal support baked into every node (paper §III):
+//   * parent        — parent link (stackless backtracking)
+//   * leaf_id       — left-to-right sequence number of each leaf
+//   * subtree_{min,max}_leaf — leaf-id range beneath this node, used to skip
+//                     sub-trees whose leaves were already scanned (Alg. 1 l.19)
+//   * right_sibling — next leaf in the global left-to-right leaf chain
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+
+namespace psb::sstree {
+
+struct Node {
+  NodeId id = kInvalidNode;
+  NodeId parent = kInvalidNode;
+  /// 0 = leaf; root has the greatest level.
+  int level = 0;
+
+  /// This node's own bounding sphere (covers every point beneath it).
+  Sphere sphere;
+
+  /// This node's own bounding rectangle (filled in rectangle mode — the
+  /// packed-R-tree ablation of the paper's §II-C shape argument).
+  Rect rect;
+
+  // --- internal nodes ---
+  /// Child node ids (empty for leaves).
+  std::vector<NodeId> children;
+  /// Child bounding-sphere centers, laid out SoA by dimension:
+  /// child_centers[t * count + i] = center coordinate t of child i.
+  std::vector<Scalar> child_centers;
+  /// Child bounding-sphere radii (child_radii[i]).
+  std::vector<Scalar> child_radii;
+  /// Child bounding rectangles, SoA (rectangle mode only):
+  /// child_lo[t * count + i], child_hi[t * count + i].
+  std::vector<Scalar> child_lo;
+  std::vector<Scalar> child_hi;
+
+  // --- leaves ---
+  /// Ids of the points stored in this leaf (empty for internal nodes).
+  std::vector<PointId> points;
+  /// Point coordinates staged in the node, SoA by dimension:
+  /// coords[t * count + i] = coordinate t of the i-th point.
+  std::vector<Scalar> coords;
+
+  // --- PSB traversal support ---
+  std::uint32_t leaf_id = 0;
+  std::uint32_t subtree_min_leaf = 0;
+  std::uint32_t subtree_max_leaf = 0;
+  NodeId right_sibling = kInvalidNode;
+  /// Skip pointer (§II-A, Smits'98): next node in preorder with this node's
+  /// subtree skipped — right sibling if any, else the parent's skip pointer.
+  /// kInvalidNode past the last subtree. Enables the skip-pointer stackless
+  /// traversal baseline.
+  NodeId skip = kInvalidNode;
+
+  bool is_leaf() const noexcept { return level == 0; }
+  std::size_t count() const noexcept { return is_leaf() ? points.size() : children.size(); }
+};
+
+}  // namespace psb::sstree

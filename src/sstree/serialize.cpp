@@ -1,0 +1,101 @@
+#include "sstree/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace psb::sstree {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x50534254;  // "PSBT"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T get(std::ifstream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  return v;
+}
+
+template <typename T>
+void put_vec(std::ofstream& out, const std::vector<T>& v) {
+  put(out, static_cast<std::uint64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> get_vec(std::ifstream& in) {
+  const auto n = get<std::uint64_t>(in);
+  std::vector<T> v(static_cast<std::size_t>(n));
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(T)));
+  return v;
+}
+
+}  // namespace
+
+void write_index(const SSTree& tree, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  PSB_REQUIRE(out.good(), "cannot open index output: " + path);
+  put(out, kMagic);
+  put(out, kVersion);
+  put(out, static_cast<std::uint64_t>(tree.data().size()));
+  put(out, static_cast<std::uint32_t>(tree.dims()));
+  put(out, static_cast<std::uint32_t>(tree.degree()));
+  put(out, static_cast<std::uint8_t>(tree.bounds_mode()));
+  put(out, static_cast<std::uint64_t>(tree.num_nodes()));
+  put(out, tree.root());
+  for (std::size_t i = 0; i < tree.num_nodes(); ++i) {
+    const Node& n = tree.node(static_cast<NodeId>(i));
+    put(out, static_cast<std::int32_t>(n.level));
+    put_vec(out, n.children);
+    put_vec(out, n.points);
+    put_vec(out, n.sphere.center);
+    put(out, n.sphere.radius);
+  }
+  PSB_REQUIRE(out.good(), "index write failed: " + path);
+}
+
+SSTree read_index(const PointSet* points, const std::string& path) {
+  PSB_REQUIRE(points != nullptr, "point set required");
+  std::ifstream in(path, std::ios::binary);
+  PSB_REQUIRE(in.good(), "cannot open index file: " + path);
+  PSB_REQUIRE(get<std::uint32_t>(in) == kMagic, "not a PSB index file: " + path);
+  PSB_REQUIRE(get<std::uint32_t>(in) == kVersion, "unsupported index version: " + path);
+  const auto n_points = get<std::uint64_t>(in);
+  const auto dims = get<std::uint32_t>(in);
+  PSB_REQUIRE(n_points == points->size() && dims == points->dims(),
+              "index was built over a different dataset");
+  const auto degree = get<std::uint32_t>(in);
+  const auto mode = static_cast<BoundsMode>(get<std::uint8_t>(in));
+  const auto num_nodes = get<std::uint64_t>(in);
+  const NodeId root = get<NodeId>(in);
+
+  SSTree tree(points, degree, mode);
+  for (std::uint64_t i = 0; i < num_nodes; ++i) {
+    const auto level = get<std::int32_t>(in);
+    const NodeId id = tree.add_node(level);
+    Node& n = tree.node(id);
+    n.children = get_vec<NodeId>(in);
+    n.points = get_vec<PointId>(in);
+    n.sphere.center = get_vec<Scalar>(in);
+    n.sphere.radius = get<Scalar>(in);
+    PSB_REQUIRE(in.good(), "truncated index file: " + path);
+  }
+  PSB_REQUIRE(root < tree.num_nodes(), "corrupt index root");
+  tree.set_root(root);
+  tree.finalize();
+  // Structural validation; completeness is not required — an index maintained
+  // by sstree::Updater may legitimately cover a subset of the dataset.
+  tree.validate(/*require_complete=*/false);
+  return tree;
+}
+
+}  // namespace psb::sstree

@@ -1,0 +1,25 @@
+// SS-tree persistence: build once, query many times across processes.
+//
+// The on-disk format stores only the primary structure (levels, children,
+// leaf point ids, bounding spheres, shape mode); everything derivable —
+// parent links, SoA arrays, staged leaf coordinates, leaf numbering, sibling
+// chain, skip pointers, rects — is recomputed by finalize() on load, so the
+// format stays small and version-stable.
+#pragma once
+
+#include <string>
+
+#include "sstree/tree.hpp"
+
+namespace psb::sstree {
+
+/// Write the tree to `path`. The point set itself is NOT stored (pair with
+/// data::write_binary); the file records the dataset size and dims for a
+/// consistency check at load time.
+void write_index(const SSTree& tree, const std::string& path);
+
+/// Load an index over `points` (must be the same dataset the index was built
+/// on — size/dims are checked, and validate() runs before returning).
+SSTree read_index(const PointSet* points, const std::string& path);
+
+}  // namespace psb::sstree

@@ -1,0 +1,262 @@
+#include "sstree/tree.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace psb::sstree {
+
+SSTree::SSTree(const PointSet* points, std::size_t degree, BoundsMode mode)
+    : points_(points), degree_(degree), mode_(mode) {
+  PSB_REQUIRE(points != nullptr, "point set required");
+  PSB_REQUIRE(degree >= 2, "degree must be >= 2");
+}
+
+NodeId SSTree::add_node(int level) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  Node n;
+  n.id = id;
+  n.level = level;
+  nodes_.push_back(std::move(n));
+  return id;
+}
+
+std::size_t SSTree::node_byte_size(const Node& n) const noexcept {
+  // Header: level, count, leaf_id, subtree range, parent + sibling links,
+  // own sphere radius — round to 32 bytes; own center is stored in the
+  // parent's SoA arrays, not here.
+  constexpr std::size_t kHeader = 32;
+  const std::size_t d = dims();
+  if (n.is_leaf()) {
+    return kHeader + n.points.size() * (d * sizeof(Scalar) + sizeof(PointId));
+  }
+  // Per child: a sphere is d+1 floats, a rectangle 2d floats — the size
+  // advantage of spheres the paper's §II-C calls out.
+  const std::size_t shape_floats = mode_ == BoundsMode::kSphere ? d + 1 : 2 * d;
+  return kHeader + n.children.size() * (shape_floats * sizeof(Scalar) + sizeof(NodeId));
+}
+
+void SSTree::finalize() {
+  PSB_REQUIRE(root_ != kInvalidNode, "finalize before a root was set");
+
+  // Parent links + SoA child spheres + staged leaf coordinates.
+  const std::size_t d = dims();
+  for (Node& n : nodes_) {
+    if (n.is_leaf()) {
+      n.coords.resize(n.points.size() * d);
+      for (std::size_t i = 0; i < n.points.size(); ++i) {
+        const auto p = (*points_)[n.points[i]];
+        for (std::size_t t = 0; t < d; ++t) n.coords[t * n.points.size() + i] = p[t];
+      }
+      continue;
+    }
+    PSB_ASSERT(!n.children.empty(), "internal node without children");
+    const std::size_t c = n.children.size();
+    n.child_centers.resize(c * d);
+    n.child_radii.resize(c);
+    for (std::size_t i = 0; i < c; ++i) {
+      Node& child = nodes_[n.children[i]];
+      child.parent = n.id;
+      PSB_ASSERT(child.sphere.dims() == d, "child sphere dims mismatch");
+      for (std::size_t t = 0; t < d; ++t) n.child_centers[t * c + i] = child.sphere.center[t];
+      n.child_radii[i] = child.sphere.radius;
+    }
+  }
+  nodes_[root_].parent = kInvalidNode;
+
+  // Left-to-right leaf numbering by iterative DFS (children visited in order).
+  leaves_.clear();
+  std::vector<NodeId> stack{root_};
+  std::vector<NodeId> dfs;
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[id];
+    if (n.is_leaf()) {
+      leaves_.push_back(id);
+    } else {
+      for (std::size_t i = n.children.size(); i-- > 0;) stack.push_back(n.children[i]);
+    }
+  }
+  for (std::size_t i = 0; i < leaves_.size(); ++i) {
+    Node& leaf = nodes_[leaves_[i]];
+    leaf.leaf_id = static_cast<std::uint32_t>(i);
+    leaf.right_sibling = (i + 1 < leaves_.size()) ? leaves_[i + 1] : kInvalidNode;
+  }
+
+  // Skip pointers: child i skips to child i+1, the last child inherits the
+  // parent's skip; the root skips to "done".
+  nodes_[root_].skip = kInvalidNode;
+  std::vector<NodeId> pre{root_};
+  while (!pre.empty()) {
+    const NodeId id = pre.back();
+    pre.pop_back();
+    const Node& n = nodes_[id];
+    for (std::size_t i = 0; i < n.children.size(); ++i) {
+      Node& child = nodes_[n.children[i]];
+      child.skip = (i + 1 < n.children.size()) ? n.children[i + 1] : n.skip;
+      pre.push_back(n.children[i]);
+    }
+  }
+
+  // Subtree leaf ranges, bottom-up by level order.
+  std::vector<NodeId> by_level(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) by_level[i] = static_cast<NodeId>(i);
+  std::sort(by_level.begin(), by_level.end(),
+            [this](NodeId a, NodeId b) { return nodes_[a].level < nodes_[b].level; });
+  for (const NodeId id : by_level) {
+    Node& n = nodes_[id];
+    if (n.is_leaf()) {
+      n.subtree_min_leaf = n.subtree_max_leaf = n.leaf_id;
+    } else {
+      n.subtree_min_leaf = nodes_[n.children.front()].subtree_min_leaf;
+      n.subtree_max_leaf = nodes_[n.children.back()].subtree_max_leaf;
+    }
+  }
+
+  // Rectangle mode: derive per-node rects bottom-up and stage the child-rect
+  // SoA arrays (the rect analogue of the child-sphere arrays above).
+  if (mode_ == BoundsMode::kRect) {
+    for (const NodeId id : by_level) {
+      Node& n = nodes_[id];
+      if (n.is_leaf()) {
+        n.rect = Rect::around((*points_)[n.points.front()]);
+        for (const PointId pid : n.points) n.rect.expand((*points_)[pid]);
+      } else {
+        n.rect = nodes_[n.children.front()].rect;
+        for (const NodeId c : n.children) n.rect = Rect::merge(n.rect, nodes_[c].rect);
+        const std::size_t cnum = n.children.size();
+        n.child_lo.resize(cnum * d);
+        n.child_hi.resize(cnum * d);
+        for (std::size_t i = 0; i < cnum; ++i) {
+          const Rect& cr = nodes_[n.children[i]].rect;
+          for (std::size_t t = 0; t < d; ++t) {
+            n.child_lo[t * cnum + i] = cr.lo[t];
+            n.child_hi[t * cnum + i] = cr.hi[t];
+          }
+        }
+      }
+    }
+  }
+}
+
+void SSTree::validate(bool require_complete) const {
+  PSB_ASSERT(root_ != kInvalidNode, "tree has no root");
+  PSB_ASSERT(!leaves_.empty(), "tree not finalized (no leaf index)");
+
+  std::vector<bool> point_seen(points_->size(), false);
+  std::size_t leaf_count = 0;
+
+  for (const Node& n : nodes_) {
+    PSB_ASSERT(n.count() > 0, "empty node");
+    PSB_ASSERT(n.count() <= degree_, "node exceeds degree");
+    if (n.id != root_) {
+      PSB_ASSERT(n.parent != kInvalidNode, "non-root node without parent");
+      const Node& p = node(n.parent);
+      PSB_ASSERT(std::find(p.children.begin(), p.children.end(), n.id) != p.children.end(),
+                 "parent does not list node as child");
+      PSB_ASSERT(p.level == n.level + 1, "parent level mismatch");
+      PSB_ASSERT(p.sphere.contains(n.sphere), "parent sphere does not contain child sphere");
+      if (mode_ == BoundsMode::kRect) {
+        PSB_ASSERT(p.rect.contains(n.rect), "parent rect does not contain child rect");
+      }
+      PSB_ASSERT(p.subtree_min_leaf <= n.subtree_min_leaf &&
+                     n.subtree_max_leaf <= p.subtree_max_leaf,
+                 "subtree leaf range not nested in parent's");
+    }
+    if (n.is_leaf()) {
+      ++leaf_count;
+      PSB_ASSERT(n.subtree_min_leaf == n.leaf_id && n.subtree_max_leaf == n.leaf_id,
+                 "leaf subtree range must be its own leaf id");
+      PSB_ASSERT(n.coords.size() == n.points.size() * dims(), "leaf coords not staged");
+      for (std::size_t i = 0; i < n.points.size(); ++i) {
+        const PointId pid = n.points[i];
+        PSB_ASSERT(pid < points_->size(), "leaf references invalid point");
+        PSB_ASSERT(!point_seen[pid], "point stored in two leaves");
+        point_seen[pid] = true;
+        PSB_ASSERT(n.sphere.contains((*points_)[pid]), "leaf sphere does not contain its point");
+        if (mode_ == BoundsMode::kRect) {
+          PSB_ASSERT(n.rect.contains((*points_)[pid]), "leaf rect does not contain its point");
+        }
+        for (std::size_t t = 0; t < dims(); ++t) {
+          PSB_ASSERT(n.coords[t * n.points.size() + i] == (*points_)[pid][t],
+                     "staged leaf coordinates diverge from the dataset");
+        }
+      }
+    } else {
+      PSB_ASSERT(n.subtree_min_leaf == node(n.children.front()).subtree_min_leaf,
+                 "subtree min not from first child");
+      PSB_ASSERT(n.subtree_max_leaf == node(n.children.back()).subtree_max_leaf,
+                 "subtree max not from last child");
+      const std::size_t c = n.children.size();
+      for (std::size_t i = 0; i < c; ++i) {
+        const Node& child = node(n.children[i]);
+        PSB_ASSERT(n.child_radii[i] == child.sphere.radius, "SoA radius diverged");
+        for (std::size_t t = 0; t < dims(); ++t) {
+          PSB_ASSERT(n.child_centers[t * c + i] == child.sphere.center[t],
+                     "SoA center diverged");
+        }
+        if (i + 1 < c) {
+          PSB_ASSERT(child.subtree_max_leaf + 1 == node(n.children[i + 1]).subtree_min_leaf,
+                     "children leaf ranges not contiguous");
+        }
+      }
+    }
+  }
+
+  PSB_ASSERT(leaf_count == leaves_.size(), "leaf index size mismatch");
+  if (require_complete) {
+    for (std::size_t i = 0; i < points_->size(); ++i) {
+      PSB_ASSERT(point_seen[i], "point missing from every leaf");
+    }
+  }
+
+  // Skip pointers: walking first-child / skip from the root is a complete
+  // preorder traversal (the property the skip-pointer baseline relies on).
+  {
+    std::size_t visited_count = 0;
+    NodeId cur2 = root_;
+    while (cur2 != kInvalidNode) {
+      ++visited_count;
+      PSB_ASSERT(visited_count <= nodes_.size(), "skip-pointer walk cycles");
+      const Node& n = node(cur2);
+      cur2 = n.is_leaf() ? n.skip : n.children.front();
+    }
+    PSB_ASSERT(visited_count == nodes_.size(), "skip-pointer walk misses nodes");
+  }
+
+  // Leaf chain covers all leaves in leaf-id order.
+  NodeId cur = leaves_.front();
+  std::uint32_t expected = 0;
+  while (cur != kInvalidNode) {
+    const Node& leaf = node(cur);
+    PSB_ASSERT(leaf.leaf_id == expected, "leaf chain out of order");
+    ++expected;
+    cur = leaf.right_sibling;
+  }
+  PSB_ASSERT(expected == leaves_.size(), "leaf chain does not cover all leaves");
+}
+
+SSTree::Stats SSTree::stats() const {
+  Stats s;
+  s.nodes = nodes_.size();
+  s.leaves = leaves_.size();
+  s.height = height();
+  double leaf_fill = 0;
+  double internal_fill = 0;
+  std::size_t internals = 0;
+  for (const Node& n : nodes_) {
+    s.total_bytes += node_byte_size(n);
+    if (n.is_leaf()) {
+      leaf_fill += static_cast<double>(n.points.size()) / static_cast<double>(degree_);
+    } else {
+      internal_fill += static_cast<double>(n.children.size()) / static_cast<double>(degree_);
+      ++internals;
+    }
+  }
+  s.leaf_utilization = s.leaves > 0 ? leaf_fill / static_cast<double>(s.leaves) : 0;
+  s.internal_utilization = internals > 0 ? internal_fill / static_cast<double>(internals) : 0;
+  return s;
+}
+
+}  // namespace psb::sstree

@@ -1,0 +1,90 @@
+// SSTree: node arena + structural finalization + invariant validation.
+//
+// Builders (build_hilbert / build_kmeans / build_topdown) create nodes, set
+// each node's children (or points) and its own bounding sphere, then call
+// finalize(), which derives everything a traversal needs: parent links, the
+// SoA child-sphere arrays inside each parent, staged leaf coordinates,
+// left-to-right leaf numbering, the global leaf sibling chain, and per-node
+// subtree leaf-id ranges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/points.hpp"
+#include "sstree/node.hpp"
+
+namespace psb::sstree {
+
+/// Bounding-shape mode: the paper's SS-tree uses spheres (§II-C: one
+/// centroid distance ± radius per child); rectangle mode turns the same
+/// packed structure into an R-tree for the shape ablation (per-facet MINDIST
+/// computation, 2d coordinates per child instead of d+1).
+enum class BoundsMode : std::uint8_t { kSphere, kRect };
+
+class SSTree {
+ public:
+  /// `points` must outlive the tree; `degree` is the maximum fanout (and leaf
+  /// capacity) — the paper sets it to a multiple of the warp size (§I).
+  SSTree(const PointSet* points, std::size_t degree, BoundsMode mode = BoundsMode::kSphere);
+
+  BoundsMode bounds_mode() const noexcept { return mode_; }
+
+  const PointSet& data() const noexcept { return *points_; }
+  std::size_t dims() const noexcept { return points_->dims(); }
+  std::size_t degree() const noexcept { return degree_; }
+
+  NodeId root() const noexcept { return root_; }
+  void set_root(NodeId id) noexcept { root_ = id; }
+
+  std::size_t num_nodes() const noexcept { return nodes_.size(); }
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  Node& node(NodeId id) { return nodes_[id]; }
+
+  /// Allocate a node at the given level; returns its id.
+  NodeId add_node(int level);
+
+  /// Leaves in left-to-right order (valid after finalize()).
+  const std::vector<NodeId>& leaves() const noexcept { return leaves_; }
+  NodeId leftmost_leaf() const { return leaves_.front(); }
+  std::uint32_t last_leaf_id() const { return static_cast<std::uint32_t>(leaves_.size()) - 1; }
+
+  /// Tree height (root level + 1); 1 for a single-leaf tree.
+  int height() const { return node(root_).level + 1; }
+
+  /// Simulated on-device byte size of a node record — what one global-memory
+  /// fetch of the node costs (header + parent/sibling links + SoA payload).
+  std::size_t node_byte_size(const Node& n) const noexcept;
+
+  /// Derive parent links, SoA child spheres, staged leaf coords, leaf
+  /// numbering, sibling chain, and subtree leaf ranges. Must be called once
+  /// by builders after the structure and spheres are in place.
+  void finalize();
+
+  /// Check every structural invariant; throws psb::InternalError on the
+  /// first violation. Used by tests and available to applications.
+  /// `require_complete` additionally demands that every point of the dataset
+  /// is indexed (true for builders; an Updater that erased points indexes a
+  /// subset).
+  void validate(bool require_complete = true) const;
+
+  struct Stats {
+    std::size_t nodes = 0;
+    std::size_t leaves = 0;
+    int height = 0;
+    double leaf_utilization = 0;      ///< mean fill of leaves (1.0 = 100 %)
+    double internal_utilization = 0;  ///< mean fanout / degree of internals
+    std::size_t total_bytes = 0;      ///< sum of node_byte_size over nodes
+  };
+  Stats stats() const;
+
+ private:
+  const PointSet* points_;
+  std::size_t degree_;
+  BoundsMode mode_ = BoundsMode::kSphere;
+  NodeId root_ = kInvalidNode;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> leaves_;
+};
+
+}  // namespace psb::sstree

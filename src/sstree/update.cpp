@@ -1,0 +1,143 @@
+#include "sstree/update.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "sstree/detail/topdown_ops.hpp"
+
+namespace psb::sstree {
+
+Updater::Updater(SSTree* tree) : tree_(tree) {
+  PSB_REQUIRE(tree != nullptr, "tree required");
+  PSB_REQUIRE(tree->bounds_mode() == BoundsMode::kSphere,
+              "online updates support sphere bounds");
+  root_ = tree->root();
+}
+
+void Updater::ensure_membership_map() {
+  if (!map_dirty_) return;
+  leaf_of_.clear();
+  // Walk the *live* structure from the root (the arena may hold nodes that a
+  // previous commit has not compacted away yet).
+  std::vector<NodeId> stack{root_};
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    const Node& n = tree_->node(id);
+    if (n.is_leaf()) {
+      for (const PointId p : n.points) leaf_of_[p] = id;
+    } else {
+      for (const NodeId c : n.children) stack.push_back(c);
+    }
+  }
+  map_dirty_ = false;
+}
+
+void Updater::insert(PointId pid) {
+  PSB_REQUIRE(pid < tree_->data().size(), "point id out of range");
+  const auto p = tree_->data()[pid];
+
+  NodeId cur = root_;
+  for (;;) {
+    Node& n = tree_->node(cur);
+    metrics_.bytes_random += tree_->node_byte_size(n);
+    metrics_.node_fetches += 1;
+    metrics_.fetches_random += 1;
+    metrics_.serial_ops += n.count() * (tree_->dims() * 3 + 2);
+    // Grow-only coverage; commit() re-tightens.
+    if (n.sphere.center.empty()) {
+      n.sphere.center.assign(p.begin(), p.end());
+      n.sphere.radius = 0;
+    } else {
+      n.sphere.radius = std::max(n.sphere.radius, distance(n.sphere.center, p));
+    }
+    if (n.is_leaf()) break;
+    NodeId best = n.children.front();
+    Scalar best_d = kInfinity;
+    for (const NodeId c : n.children) {
+      const Scalar d = distance(tree_->node(c).sphere.center, p);
+      if (d < best_d) {
+        best_d = d;
+        best = c;
+      }
+    }
+    cur = best;
+  }
+  tree_->node(cur).points.push_back(pid);
+  if (!map_dirty_) leaf_of_[pid] = cur;
+  if (tree_->node(cur).points.size() > tree_->degree()) {
+    detail::split_node(*tree_, cur, root_, &metrics_);
+    map_dirty_ = true;  // the split moved points between leaves
+  }
+  ++pending_;
+}
+
+bool Updater::erase(PointId pid) {
+  ensure_membership_map();
+  const auto it = leaf_of_.find(pid);
+  if (it == leaf_of_.end()) return false;
+
+  Node& leaf = tree_->node(it->second);
+  auto pos = std::find(leaf.points.begin(), leaf.points.end(), pid);
+  PSB_ASSERT(pos != leaf.points.end(), "membership map out of sync");
+  leaf.points.erase(pos);
+  leaf_of_.erase(it);
+  metrics_.bytes_random += tree_->node_byte_size(leaf);
+  metrics_.node_fetches += 1;
+  metrics_.fetches_random += 1;
+
+  // Condense: unlink emptied nodes up the path (commit() drops them from the
+  // arena). The root is kept even when it empties out to a single child.
+  NodeId cur = leaf.id;
+  while (cur != root_ && tree_->node(cur).count() == 0) {
+    const NodeId parent = tree_->node(cur).parent;
+    Node& pn = tree_->node(parent);
+    pn.children.erase(std::find(pn.children.begin(), pn.children.end(), cur));
+    cur = parent;
+  }
+  PSB_REQUIRE(tree_->node(root_).count() > 0, "cannot erase the last indexed point");
+  ++pending_;
+  return true;
+}
+
+void Updater::commit() {
+  // Collapse a root chain left behind by condensation (root with a single
+  // internal child).
+  while (!tree_->node(root_).is_leaf() && tree_->node(root_).children.size() == 1) {
+    root_ = tree_->node(root_).children.front();
+  }
+
+  // Compact: rebuild the arena with only the nodes reachable from the root,
+  // refitting spheres bottom-up as we go.
+  SSTree fresh(&tree_->data(), tree_->degree(), tree_->bounds_mode());
+  std::unordered_map<NodeId, NodeId> remap;
+  // Deepest-first copy so children exist (and are refit) before parents.
+  std::vector<NodeId> order;
+  std::vector<NodeId> stack{root_};
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    order.push_back(id);
+    for (const NodeId c : tree_->node(id).children) stack.push_back(c);
+  }
+  std::reverse(order.begin(), order.end());
+  for (const NodeId old_id : order) {
+    const Node& old_node = tree_->node(old_id);
+    const NodeId new_id = fresh.add_node(old_node.level);
+    Node& n = fresh.node(new_id);
+    n.points = old_node.points;
+    n.children.reserve(old_node.children.size());
+    for (const NodeId c : old_node.children) n.children.push_back(remap.at(c));
+    detail::refit_node(fresh, n);
+    remap[old_id] = new_id;
+  }
+  fresh.set_root(remap.at(root_));
+  fresh.finalize();
+
+  *tree_ = std::move(fresh);
+  root_ = tree_->root();
+  pending_ = 0;
+  map_dirty_ = true;
+}
+
+}  // namespace psb::sstree

@@ -1,0 +1,54 @@
+// Online maintenance of an SS-tree: top-down point insertion (paper §IV:
+// "If a data point is inserted online, top-down insertion will do the work")
+// and point removal, batched behind an explicit commit().
+//
+// Usage contract:
+//   * The tree's PointSet may grow (append) before insert() calls; erased
+//     points stay in the PointSet but leave the index.
+//   * Between the first mutation and commit(), the tree is NOT safe to
+//     query — commit() re-tightens spheres, compacts the node arena, and
+//     re-derives all traversal support (leaf ids, chains, skip pointers).
+//   * Sphere-bounds trees only (the bottom-up builders cover rect mode).
+#pragma once
+
+#include <unordered_map>
+
+#include "simt/metrics.hpp"
+#include "sstree/tree.hpp"
+
+namespace psb::sstree {
+
+class Updater {
+ public:
+  /// Maintains `tree` in place; `tree` must be finalized and sphere-mode.
+  explicit Updater(SSTree* tree);
+
+  /// Top-down insert of point `pid` (must be a valid id in the tree's
+  /// PointSet and not currently indexed).
+  void insert(PointId pid);
+
+  /// Remove a point from the index; returns false if it was not indexed.
+  bool erase(PointId pid);
+
+  /// Mutations since the last commit().
+  std::size_t pending() const noexcept { return pending_; }
+
+  /// Tighten spheres bottom-up, compact the node arena (dropping emptied
+  /// nodes), and re-finalize. After commit() the tree answers queries again.
+  void commit();
+
+  /// Accumulated simulated cost of the maintenance operations.
+  const simt::Metrics& metrics() const noexcept { return metrics_; }
+
+ private:
+  void ensure_membership_map();
+
+  SSTree* tree_;
+  NodeId root_;
+  simt::Metrics metrics_;
+  std::size_t pending_ = 0;
+  bool map_dirty_ = true;
+  std::unordered_map<PointId, NodeId> leaf_of_;
+};
+
+}  // namespace psb::sstree

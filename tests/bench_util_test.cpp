@@ -1,0 +1,136 @@
+// Tests for the bench harness utilities (table rendering, CLI parsing).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "bench_util/config.hpp"
+#include "bench_util/stats.hpp"
+#include "bench_util/table.hpp"
+#include "common/error.hpp"
+
+namespace psb::bench_util {
+namespace {
+
+TEST(Fmt, PlainAndScientific) {
+  EXPECT_EQ(fmt(1.5, 2), "1.50");
+  EXPECT_EQ(fmt(0.0, 2), "0.00");
+  EXPECT_NE(fmt(0.0001, 2).find("e"), std::string::npos);
+  EXPECT_NE(fmt(5e7, 2).find("e"), std::string::npos);
+}
+
+TEST(Fmt, Mb) { EXPECT_EQ(fmt_mb(2'500'000), "2.50"); }
+
+TEST(Table, RendersAlignedRows) {
+  Table t("demo", {"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("| alpha"), std::string::npos);
+  EXPECT_NE(s.find("22222"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RowWidthMustMatch) {
+  Table t("demo", {"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(Table, CsvOutput) {
+  Table t("demo", {"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  const std::string path = ::testing::TempDir() + "/psb_table.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::remove(path.c_str());
+}
+
+TEST(Stats, SummaryOnKnownSample) {
+  const std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 10u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.5);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 10);
+  EXPECT_DOUBLE_EQ(s.p50, 5);   // nearest-rank
+  EXPECT_DOUBLE_EQ(s.p90, 9);
+  EXPECT_DOUBLE_EQ(s.p99, 10);
+  EXPECT_NEAR(s.stddev, 2.8723, 1e-3);
+}
+
+TEST(Stats, EmptyAndSingle) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  const std::vector<double> one{42};
+  const Summary s = summarize(one);
+  EXPECT_DOUBLE_EQ(s.mean, 42);
+  EXPECT_DOUBLE_EQ(s.p99, 42);
+  EXPECT_DOUBLE_EQ(s.stddev, 0);
+}
+
+TEST(Stats, PercentilesAreOrderStatistics) {
+  std::vector<double> v(1000);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(999 - i);
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.p50, 499);
+  EXPECT_DOUBLE_EQ(s.p99, 989);
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p99);
+  EXPECT_LE(s.p99, s.max);
+}
+
+TEST(Stats, BriefAndHistogramRender) {
+  const std::vector<double> v{1, 1, 1, 2, 5, 9};
+  const std::string b = brief(summarize(v));
+  EXPECT_NE(b.find("p50="), std::string::npos);
+  const std::string h = ascii_histogram(v, 4, 10);
+  EXPECT_NE(h.find('#'), std::string::npos);
+  EXPECT_EQ(ascii_histogram({}, 4, 10), "(empty)");
+}
+
+TEST(Config, Defaults) {
+  char prog[] = "bench";
+  char* argv[] = {prog};
+  const BenchConfig cfg = BenchConfig::from_args(1, argv);
+  EXPECT_EQ(cfg.total_points(), 100'000u);
+  EXPECT_EQ(cfg.num_queries, 60u);
+  EXPECT_EQ(cfg.k, 32u);
+  EXPECT_EQ(cfg.degree, 128u);
+  EXPECT_FALSE(cfg.paper_scale);
+}
+
+TEST(Config, PaperScale) {
+  char prog[] = "bench";
+  char flag[] = "--paper-scale";
+  char* argv[] = {prog, flag};
+  const BenchConfig cfg = BenchConfig::from_args(2, argv);
+  EXPECT_EQ(cfg.total_points(), 1'000'000u);
+  EXPECT_EQ(cfg.num_queries, 240u);
+}
+
+TEST(Config, ExplicitValues) {
+  char prog[] = "bench";
+  char f1[] = "--k";
+  char v1[] = "64";
+  char f2[] = "--degree";
+  char v2[] = "256";
+  char f3[] = "--stddev";
+  char v3[] = "640";
+  char* argv[] = {prog, f1, v1, f2, v2, f3, v3};
+  const BenchConfig cfg = BenchConfig::from_args(7, argv);
+  EXPECT_EQ(cfg.k, 64u);
+  EXPECT_EQ(cfg.degree, 256u);
+  EXPECT_DOUBLE_EQ(cfg.stddev, 640.0);
+}
+
+}  // namespace
+}  // namespace psb::bench_util

@@ -1,0 +1,159 @@
+// Tests for the three SS-tree construction algorithms: structural invariants,
+// the paper's 100 % leaf-utilization claim for bottom-up builds, and the
+// construction-quality relationships §IV-D reports.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sstree/builders.hpp"
+#include "test_util.hpp"
+
+namespace psb::sstree {
+namespace {
+
+class BottomUpBuilderTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(BottomUpBuilderTest, HilbertBuildIsValidAndFullyPacked) {
+  const auto [dims, n, degree] = GetParam();
+  const PointSet points = test::small_clustered(dims, n, dims * n);
+  const BuildOutput out = build_hilbert(points, degree);
+  out.tree.validate();
+
+  const auto s = out.tree.stats();
+  // 100 % utilization except possibly the last leaf (paper §IV).
+  const std::size_t full_leaves = points.size() / degree;
+  std::size_t seen_full = 0;
+  for (const NodeId id : out.tree.leaves()) {
+    if (out.tree.node(id).points.size() == degree) ++seen_full;
+  }
+  EXPECT_EQ(seen_full, full_leaves);
+  EXPECT_EQ(s.leaves, (points.size() + degree - 1) / degree);
+  EXPECT_GT(out.metrics.total_bytes(), 0u);
+}
+
+TEST_P(BottomUpBuilderTest, KMeansBuildIsValidAndFullyPacked) {
+  const auto [dims, n, degree] = GetParam();
+  const PointSet points = test::small_clustered(dims, n, dims * n + 1);
+  KMeansBuildOptions opts;
+  opts.leaf_k = std::max<std::size_t>(2, n / degree / 2);
+  const BuildOutput out = build_kmeans(points, degree, opts);
+  out.tree.validate();
+  EXPECT_EQ(out.tree.stats().leaves, (points.size() + degree - 1) / degree);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BottomUpBuilderTest,
+                         ::testing::Values(std::make_tuple(2u, 500u, 16u),
+                                           std::make_tuple(4u, 1000u, 32u),
+                                           std::make_tuple(8u, 2000u, 64u),
+                                           std::make_tuple(16u, 1000u, 128u),
+                                           std::make_tuple(64u, 600u, 32u)),
+                         [](const auto& info) {
+                           return "d" + std::to_string(std::get<0>(info.param)) + "n" +
+                                  std::to_string(std::get<1>(info.param)) + "deg" +
+                                  std::to_string(std::get<2>(info.param));
+                         });
+
+TEST(TopDownBuilder, ValidTreeWithReinsertion) {
+  const PointSet points = test::small_clustered(4, 1500, 77);
+  const BuildOutput out = build_topdown(points, 16);
+  out.tree.validate();
+  // Top-down trees are NOT fully packed — that is the point of the ablation.
+  EXPECT_LT(out.tree.stats().leaf_utilization, 0.999);
+  EXPECT_GT(out.tree.stats().leaf_utilization, 0.2);
+}
+
+TEST(TopDownBuilder, NoReinsertionStillValid) {
+  const PointSet points = test::small_clustered(3, 800, 79);
+  TopDownOptions opts;
+  opts.reinsert_fraction = 0;
+  const BuildOutput out = build_topdown(points, 16, opts);
+  out.tree.validate();
+}
+
+TEST(Builders, BottomUpHasFewerNodesThanTopDown) {
+  // §IV: higher utilization -> fewer nodes -> shorter search paths.
+  const PointSet points = test::small_clustered(4, 2000, 81);
+  const auto bottom_up = build_hilbert(points, 32);
+  const auto top_down = build_topdown(points, 32);
+  EXPECT_LT(bottom_up.tree.num_nodes(), top_down.tree.num_nodes());
+}
+
+TEST(Builders, SmallInputsProduceSingleLeaf) {
+  const PointSet points = test::small_clustered(2, 5, 83);
+  for (const auto& out :
+       {build_hilbert(points, 16), build_kmeans(points, 16), build_topdown(points, 16)}) {
+    out.tree.validate();
+    EXPECT_EQ(out.tree.height(), 1);
+  }
+}
+
+TEST(Builders, SinglePoint) {
+  PointSet points(3);
+  points.append(std::vector<Scalar>{1, 2, 3});
+  const auto out = build_hilbert(points, 8);
+  out.tree.validate();
+  EXPECT_EQ(out.tree.stats().leaves, 1u);
+}
+
+TEST(Builders, DuplicatePointsSurvive) {
+  PointSet points(2);
+  for (int i = 0; i < 100; ++i) points.append(std::vector<Scalar>{7, 7});
+  for (const auto& out :
+       {build_hilbert(points, 8), build_kmeans(points, 8), build_topdown(points, 8)}) {
+    out.tree.validate();
+  }
+}
+
+TEST(Builders, EmptyInputThrows) {
+  PointSet points(2);
+  EXPECT_THROW(build_hilbert(points, 8), InvalidArgument);
+  EXPECT_THROW(build_kmeans(points, 8), InvalidArgument);
+  EXPECT_THROW(build_topdown(points, 8), InvalidArgument);
+}
+
+TEST(Builders, HilbertDeterministic) {
+  const PointSet points = test::small_clustered(4, 500, 87);
+  const auto a = build_hilbert(points, 16);
+  const auto b = build_hilbert(points, 16);
+  ASSERT_EQ(a.tree.num_nodes(), b.tree.num_nodes());
+  for (std::size_t i = 0; i < a.tree.leaves().size(); ++i) {
+    EXPECT_EQ(a.tree.node(a.tree.leaves()[i]).points, b.tree.node(b.tree.leaves()[i]).points);
+  }
+}
+
+TEST(Builders, KMeansPacksClustersContiguously) {
+  // Points of one tight, well-separated cluster should land in a contiguous
+  // run of leaves (clusters are serialized before packing).
+  Rng rng(91);
+  PointSet points(2);
+  for (int c = 0; c < 4; ++c) {
+    for (int i = 0; i < 64; ++i) {
+      points.append(std::vector<Scalar>{static_cast<Scalar>(c * 10000 + rng.normal(0, 1)),
+                                        static_cast<Scalar>(c * 10000 + rng.normal(0, 1))});
+    }
+  }
+  KMeansBuildOptions opts;
+  opts.leaf_k = 4;
+  const auto out = build_kmeans(points, 16, opts);
+  out.tree.validate();
+  // Each cluster occupies 64/16 = 4 leaves; cluster membership must not
+  // interleave: every leaf's points belong to a single cluster.
+  for (const NodeId id : out.tree.leaves()) {
+    const auto& pts = out.tree.node(id).points;
+    const PointId c0 = pts.front() / 64;
+    for (const PointId p : pts) EXPECT_EQ(p / 64, c0) << "leaf mixes clusters";
+  }
+}
+
+TEST(Builders, MetricsReportConstructionCost) {
+  const PointSet points = test::small_clustered(4, 1000, 93);
+  const auto hil = build_hilbert(points, 32);
+  const auto top = build_topdown(points, 32);
+  // The paper's claim: bottom-up construction is far cheaper than serial
+  // top-down insertion. Compare serialized work (top-down is all-serial).
+  EXPECT_GT(top.metrics.serial_ops, hil.metrics.serial_ops * 10);
+}
+
+}  // namespace
+}  // namespace psb::sstree

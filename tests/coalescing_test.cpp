@@ -1,0 +1,150 @@
+// Tests for the transaction-level memory model and warp primitives.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "simt/coalescing.hpp"
+#include "simt/warp_ops.hpp"
+
+namespace psb::simt {
+namespace {
+
+TEST(GlobalTransactions, PerfectlyCoalescedWarp) {
+  // 32 lanes reading consecutive 4-byte words starting at a segment boundary:
+  // exactly one 128-byte transaction.
+  std::vector<std::uint64_t> addrs(32);
+  for (std::size_t i = 0; i < 32; ++i) addrs[i] = i * 4;
+  EXPECT_EQ(global_transactions(addrs), 1u);
+}
+
+TEST(GlobalTransactions, MisalignedCoalescedTouchesTwoSegments) {
+  std::vector<std::uint64_t> addrs(32);
+  for (std::size_t i = 0; i < 32; ++i) addrs[i] = 64 + i * 4;  // straddles a boundary
+  EXPECT_EQ(global_transactions(addrs), 2u);
+}
+
+TEST(GlobalTransactions, FullyScatteredWarp) {
+  std::vector<std::uint64_t> addrs(32);
+  for (std::size_t i = 0; i < 32; ++i) addrs[i] = i * 4096;  // one segment each
+  EXPECT_EQ(global_transactions(addrs), 32u);
+}
+
+TEST(GlobalTransactions, BroadcastIsOneTransaction) {
+  std::vector<std::uint64_t> addrs(32, 256);  // all lanes read the same word
+  EXPECT_EQ(global_transactions(addrs), 1u);
+}
+
+TEST(GlobalTransactions, WideLaneReadsSpanSegments) {
+  const std::vector<std::uint64_t> addrs{0};
+  EXPECT_EQ(global_transactions(addrs, 256), 2u);  // one lane reading 256 B
+}
+
+TEST(GlobalTransactions, Preconditions) {
+  const std::vector<std::uint64_t> addrs{0};
+  EXPECT_THROW(global_transactions(addrs, 0), InvalidArgument);
+  EXPECT_THROW(global_transactions(addrs, 4, 0), InvalidArgument);
+}
+
+TEST(BankRounds, ConsecutiveWordsAreConflictFree) {
+  std::vector<std::uint32_t> words(32);
+  std::iota(words.begin(), words.end(), 0u);
+  EXPECT_EQ(shared_bank_rounds(words), 1u);
+}
+
+TEST(BankRounds, BroadcastIsConflictFree) {
+  std::vector<std::uint32_t> words(32, 7);
+  EXPECT_EQ(shared_bank_rounds(words), 1u);
+}
+
+TEST(BankRounds, PowerOfTwoStrideSerializes) {
+  // Stride 32: every lane hits bank 0 with a distinct word -> 32 rounds.
+  std::vector<std::uint32_t> words(32);
+  for (std::uint32_t i = 0; i < 32; ++i) words[i] = i * 32;
+  EXPECT_EQ(shared_bank_rounds(words), 32u);
+  // Stride 2: pairs of lanes share banks -> 2 rounds.
+  for (std::uint32_t i = 0; i < 32; ++i) words[i] = i * 2;
+  EXPECT_EQ(shared_bank_rounds(words), 2u);
+}
+
+TEST(BankRounds, OddStrideIsConflictFree) {
+  std::vector<std::uint32_t> words(32);
+  for (std::uint32_t i = 0; i < 32; ++i) words[i] = i * 33;  // odd stride
+  EXPECT_EQ(shared_bank_rounds(words), 1u);
+}
+
+TEST(LayoutModel, SoAIsTransactionOptimal) {
+  // Reading C records of F floats moves C*F*4 bytes; SoA should need close to
+  // the byte-optimal ceil(bytes / 128) transactions per dimension slice.
+  for (const std::size_t dims : {2u, 16u, 64u}) {
+    const std::size_t degree = 128;
+    const std::size_t record = dims + 1;
+    const std::size_t soa = soa_node_transactions(degree, record);
+    const std::size_t optimal = (degree * record * 4 + 127) / 128;
+    EXPECT_LE(soa, optimal + record * (degree / 32))
+        << "SoA far from optimal at dims " << dims;
+    const std::size_t aos = aos_node_transactions(degree, record);
+    EXPECT_GT(aos, soa) << "AoS should cost more at dims " << dims;
+  }
+}
+
+TEST(LayoutModel, AosDegradesWithRecordSize) {
+  // Bigger records scatter lanes further apart: the AoS/SoA ratio grows.
+  const double small = static_cast<double>(aos_node_transactions(128, 3)) /
+                       static_cast<double>(soa_node_transactions(128, 3));
+  const double large = static_cast<double>(aos_node_transactions(128, 65)) /
+                       static_cast<double>(soa_node_transactions(128, 65));
+  EXPECT_GT(large, small);
+  EXPECT_GT(large, 8.0);  // 65-float records: nearly one transaction per lane
+}
+
+TEST(WarpOps, BallotAndFfs) {
+  DeviceSpec spec;
+  Metrics m;
+  Block block(spec, 32, &m);
+  std::vector<std::uint8_t> preds(8, false);
+  preds[3] = true;
+  preds[6] = true;
+  const std::uint32_t mask = warp_ballot(block, preds);
+  EXPECT_EQ(mask, (1u << 3) | (1u << 6));
+  EXPECT_EQ(warp_ffs(block, mask), 3u);
+  EXPECT_EQ(warp_ffs(block, 0), 32u);
+  EXPECT_TRUE(warp_any(block, preds));
+  EXPECT_GT(m.warp_instructions, 0u);
+}
+
+TEST(WarpOps, LeftmostSetAcrossWarps) {
+  DeviceSpec spec;
+  Metrics m;
+  Block block(spec, 128, &m);
+  std::vector<std::uint8_t> preds(100, false);
+  EXPECT_EQ(leftmost_set(block, preds), 100u);  // none set
+  preds[77] = true;
+  preds[90] = true;
+  EXPECT_EQ(leftmost_set(block, preds), 77u);
+  preds[2] = true;
+  EXPECT_EQ(leftmost_set(block, preds), 2u);
+}
+
+TEST(WarpOps, InclusiveScan) {
+  DeviceSpec spec;
+  Metrics m;
+  Block block(spec, 32, &m);
+  const std::vector<std::uint32_t> v{1, 2, 3, 4, 5};
+  const auto scanned = warp_inclusive_scan(block, v);
+  const std::vector<std::uint32_t> expected{1, 3, 6, 10, 15};
+  EXPECT_EQ(scanned, expected);
+}
+
+TEST(WarpOps, Compact) {
+  DeviceSpec spec;
+  Metrics m;
+  Block block(spec, 32, &m);
+  std::vector<std::uint8_t> preds{false, true, true, false, true};
+  const auto idx = warp_compact(block, preds);
+  const std::vector<std::size_t> expected{1, 2, 4};
+  EXPECT_EQ(idx, expected);
+}
+
+}  // namespace
+}  // namespace psb::simt

@@ -1,0 +1,179 @@
+// Tests for the cost model that converts simulator counters into the paper's
+// timing metric — the contract in cost_model.hpp must hold monotonically.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "simt/cost_model.hpp"
+
+namespace psb::simt {
+namespace {
+
+DeviceSpec spec() { return DeviceSpec{}; }
+
+TEST(CostModel, LaunchOverheadIsTheFloor) {
+  Metrics m;  // zero work
+  const KernelTiming t = estimate(spec(), m, {1, 128});
+  EXPECT_NEAR(t.wall_ms, spec().launch_overhead_ms, 1e-9);
+  EXPECT_NEAR(t.avg_query_ms, spec().launch_overhead_ms, 1e-9);
+}
+
+TEST(CostModel, MoreBytesMoreTime) {
+  Metrics a;
+  a.bytes_coalesced = 1'000'000;
+  Metrics b;
+  b.bytes_coalesced = 10'000'000;
+  const KernelConfig cfg{16, 128};
+  EXPECT_LT(estimate(spec(), a, cfg).wall_ms, estimate(spec(), b, cfg).wall_ms);
+}
+
+TEST(CostModel, RandomBytesCostMoreThanCoalesced) {
+  Metrics a;
+  a.bytes_coalesced = 5'000'000;
+  Metrics b;
+  b.bytes_random = 5'000'000;
+  const KernelConfig cfg{16, 128};
+  EXPECT_LT(estimate(spec(), a, cfg).mem_ms, estimate(spec(), b, cfg).mem_ms);
+}
+
+TEST(CostModel, SharedMemoryFootprintLowersOccupancy) {
+  Metrics small;
+  small.shared_bytes = 1024;
+  small.bytes_coalesced = 1'000'000;
+  Metrics big = small;
+  big.shared_bytes = 32 * 1024;  // 2 blocks per SM at 64 KB
+  const KernelConfig cfg{240, 128};
+  const KernelTiming ts = estimate(spec(), small, cfg);
+  const KernelTiming tb = estimate(spec(), big, cfg);
+  EXPECT_GT(ts.occupancy, tb.occupancy);
+  EXPECT_LE(ts.wall_ms, tb.wall_ms);
+  EXPECT_GT(tb.blocks_per_sm, 0);
+}
+
+TEST(CostModel, OccupancyKneeSlowsUnderfilledDevice) {
+  Metrics m;
+  m.bytes_coalesced = 10'000'000;
+  m.shared_bytes = 60 * 1024;  // 1 block per SM
+  const KernelTiming starved = estimate(spec(), m, {1, 32});
+  const KernelTiming full = estimate(spec(), m, {240, 256});
+  EXPECT_GT(starved.mem_ms, full.mem_ms);
+}
+
+TEST(CostModel, AvgQueryAmortizesOverBlocks) {
+  Metrics m;
+  m.bytes_coalesced = 100'000'000;
+  const KernelTiming t = estimate(spec(), m, {100, 128});
+  EXPECT_NEAR(t.avg_query_ms,
+              spec().launch_overhead_ms + (t.wall_ms - spec().launch_overhead_ms) / 100, 1e-12);
+}
+
+TEST(CostModel, ComputeAndMemoryOverlap) {
+  // wall = launch + max(compute, mem) + serial: a compute-light, memory-heavy
+  // kernel is memory-bound.
+  Metrics m;
+  m.bytes_coalesced = 50'000'000;
+  m.warp_instructions = 100;
+  const KernelTiming t = estimate(spec(), m, {64, 128});
+  EXPECT_NEAR(t.wall_ms, spec().launch_overhead_ms + t.mem_ms, 1e-9);
+  EXPECT_LT(t.compute_ms, t.mem_ms);
+}
+
+TEST(CostModel, SerializedOpsAddLatency) {
+  Metrics a;
+  a.bytes_coalesced = 1'000'000;
+  Metrics b = a;
+  b.serial_ops = 10'000'000;
+  const KernelConfig cfg{8, 128};
+  EXPECT_GT(estimate(spec(), b, cfg).serial_ms, 0.0);
+  EXPECT_GT(estimate(spec(), b, cfg).wall_ms, estimate(spec(), a, cfg).wall_ms);
+}
+
+TEST(CostModel, DivergenceCostsIssueSlots) {
+  // Same active-lane work, but one kernel diverged (more warp instructions
+  // for the same lane slots) -> more compute time.
+  Metrics efficient;
+  efficient.warp_instructions = 1'000'000;
+  efficient.active_lane_slots = 32'000'000;
+  Metrics divergent;
+  divergent.warp_instructions = 8'000'000;
+  divergent.active_lane_slots = 32'000'000;
+  const KernelConfig cfg{64, 128};
+  EXPECT_LT(estimate(spec(), efficient, cfg).compute_ms,
+            estimate(spec(), divergent, cfg).compute_ms);
+}
+
+TEST(CostModel, DependentFetchesPayLatency) {
+  Metrics a;
+  a.bytes_coalesced = 1'000'000;
+  Metrics b = a;
+  b.bytes_random = 1'000'000;
+  b.fetches_random = 1000;
+  const KernelConfig cfg{10, 128};
+  const KernelTiming ta = estimate(spec(), a, cfg);
+  const KernelTiming tb = estimate(spec(), b, cfg);
+  EXPECT_DOUBLE_EQ(ta.latency_ms, 0.0);
+  EXPECT_GT(tb.latency_ms, 0.0);
+  // 1000 fetches over 10 resident blocks at latency_random_us each.
+  EXPECT_NEAR(tb.latency_ms, 1000 * spec().latency_random_us / 10 * 1e-3, 1e-12);
+}
+
+TEST(CostModel, CachedRefetchesAreCheaperThanDram) {
+  Metrics dram;
+  dram.bytes_random = 1'000'000;
+  dram.fetches_random = 500;
+  Metrics l2;
+  l2.bytes_cached = 1'000'000;
+  l2.fetches_cached = 500;
+  const KernelConfig cfg{16, 128};
+  EXPECT_GT(estimate(spec(), dram, cfg).wall_ms, estimate(spec(), l2, cfg).wall_ms);
+}
+
+TEST(CostModel, ResponseTimeCannotAmortizeBelowBlockChain) {
+  // One lane crawling a long serial chain (the task-parallel kd-tree case):
+  // adding more parallel queries must not shrink the reported per-query time.
+  Metrics m;
+  m.warp_instructions = 1'000'000;  // per the whole batch
+  m.active_lane_slots = 1'000'000;
+  const KernelTiming few = estimate(spec(), m, {10, 32});
+  // Per-block chain: 100k instructions at 1 warp per cycle.
+  const double chain_ms = 100'000 / (spec().clock_ghz * 1e9) * 1e3;
+  EXPECT_GE(few.avg_query_ms, spec().launch_overhead_ms + chain_ms - 1e-9);
+}
+
+TEST(CostModel, WideBlocksIssueFasterThanNarrow) {
+  Metrics m;
+  m.warp_instructions = 10'000'000;
+  const KernelTiming narrow = estimate(spec(), m, {60, 32});   // 1 warp per block
+  const KernelTiming wide = estimate(spec(), m, {60, 128});    // 4 warps per block
+  EXPECT_GT(narrow.avg_query_ms, wide.avg_query_ms);
+}
+
+TEST(CostModel, RejectsBadConfig) {
+  Metrics m;
+  EXPECT_THROW(estimate(spec(), m, {0, 128}), InvalidArgument);
+  EXPECT_THROW(estimate(spec(), m, {1, 0}), InvalidArgument);
+}
+
+TEST(CostModel, BlocksPerSmRespectsEveryLimit) {
+  Metrics m;
+  // Thread-limited: 1024-thread blocks -> 2 per SM.
+  EXPECT_EQ(estimate(spec(), m, {240, 1024}).blocks_per_sm, 2);
+  // Shared-memory-limited: 20 KB blocks in 64 KB -> 3 per SM.
+  m.shared_bytes = 20 * 1024;
+  EXPECT_EQ(estimate(spec(), m, {240, 64}).blocks_per_sm, 3);
+  // Block-count-limited: tiny blocks cap at the architectural 16.
+  m.shared_bytes = 16;
+  EXPECT_EQ(estimate(spec(), m, {240, 32}).blocks_per_sm, 16);
+}
+
+TEST(CostModel, OversizedSharedBlockStillRuns) {
+  // A block needing more shared memory than an SM offers is clamped to one
+  // resident block rather than dividing by zero.
+  Metrics m;
+  m.shared_bytes = 128 * 1024;
+  const KernelTiming t = estimate(spec(), m, {10, 128});
+  EXPECT_EQ(t.blocks_per_sm, 1);
+  EXPECT_GT(t.occupancy, 0.0);
+}
+
+}  // namespace
+}  // namespace psb::simt

@@ -1,0 +1,166 @@
+// Randomized configuration fuzzing: exactness and structural invariants must
+// hold for *any* combination of dimensionality, fanout, k, builder, bounds
+// mode, and data pathology — seeds are fixed so failures reproduce.
+#include <gtest/gtest.h>
+
+#include "knn/branch_and_bound.hpp"
+#include "knn/psb.hpp"
+#include "knn/radius.hpp"
+#include "knn/stackless_baselines.hpp"
+#include "sstree/builders.hpp"
+#include "test_util.hpp"
+
+namespace psb::knn {
+namespace {
+
+struct FuzzConfig {
+  std::size_t dims;
+  std::size_t n;
+  std::size_t k;
+  std::size_t degree;
+  int builder;     // 0 hilbert, 1 kmeans, 2 topdown
+  int bounds;      // 0 sphere, 1 rect (bottom-up builders only)
+  int data_kind;   // 0 clustered, 1 uniform, 2 duplicate-heavy
+  std::uint64_t seed;
+};
+
+FuzzConfig random_config(Rng& rng) {
+  FuzzConfig c;
+  c.dims = 1 + rng.next_below(64);
+  c.n = 50 + rng.next_below(2500);
+  c.k = 1 + rng.next_below(80);
+  c.degree = 4 + rng.next_below(120);
+  c.builder = static_cast<int>(rng.next_below(3));
+  c.bounds = (c.builder == 2) ? 0 : static_cast<int>(rng.next_below(2));
+  c.data_kind = static_cast<int>(rng.next_below(3));
+  c.seed = rng.next_u64();
+  return c;
+}
+
+PointSet make_points(const FuzzConfig& c) {
+  if (c.data_kind == 0) return test::small_clustered(c.dims, c.n, c.seed);
+  if (c.data_kind == 1) {
+    Rng rng(c.seed);
+    PointSet out(c.dims);
+    std::vector<Scalar> p(c.dims);
+    for (std::size_t i = 0; i < c.n; ++i) {
+      for (auto& v : p) v = static_cast<Scalar>(rng.uniform(-500, 500));
+      out.append(p);
+    }
+    return out;
+  }
+  // Duplicate-heavy: a handful of distinct locations repeated many times.
+  Rng rng(c.seed);
+  PointSet out(c.dims);
+  const std::size_t distinct = 1 + rng.next_below(8);
+  std::vector<std::vector<Scalar>> sites(distinct, std::vector<Scalar>(c.dims));
+  for (auto& s : sites) {
+    for (auto& v : s) v = static_cast<Scalar>(rng.uniform(-100, 100));
+  }
+  for (std::size_t i = 0; i < c.n; ++i) out.append(sites[rng.next_below(distinct)]);
+  return out;
+}
+
+sstree::SSTree build_tree(const FuzzConfig& c, const PointSet& points) {
+  const auto mode = c.bounds == 1 ? sstree::BoundsMode::kRect : sstree::BoundsMode::kSphere;
+  if (c.builder == 0) {
+    sstree::HilbertBuildOptions opts;
+    opts.bounds = mode;
+    return sstree::build_hilbert(points, c.degree, opts).tree;
+  }
+  if (c.builder == 1) {
+    sstree::KMeansBuildOptions opts;
+    opts.bounds = mode;
+    opts.seed = c.seed;
+    return sstree::build_kmeans(points, c.degree, opts).tree;
+  }
+  return sstree::build_topdown(points, c.degree).tree;
+}
+
+TEST(Fuzz, RandomConfigurationsStayExact) {
+  Rng master(20160816);  // ICPP'16 conference date
+  for (int round = 0; round < 25; ++round) {
+    const FuzzConfig c = random_config(master);
+    SCOPED_TRACE("round " + std::to_string(round) + ": dims=" + std::to_string(c.dims) +
+                 " n=" + std::to_string(c.n) + " k=" + std::to_string(c.k) + " degree=" +
+                 std::to_string(c.degree) + " builder=" + std::to_string(c.builder) +
+                 " bounds=" + std::to_string(c.bounds) + " data=" +
+                 std::to_string(c.data_kind) + " seed=" + std::to_string(c.seed));
+
+    const PointSet points = make_points(c);
+    const sstree::SSTree tree = build_tree(c, points);
+    ASSERT_NO_THROW(tree.validate());
+
+    Rng qrng(c.seed ^ 0xABCDEF);
+    PointSet queries(c.dims);
+    std::vector<Scalar> qp(c.dims);
+    for (int i = 0; i < 4; ++i) {
+      // Mix of data points and random locations.
+      if (qrng.next_double() < 0.5 && !points.empty()) {
+        const auto base = points[qrng.next_below(points.size())];
+        qp.assign(base.begin(), base.end());
+      } else {
+        for (auto& v : qp) v = static_cast<Scalar>(qrng.uniform(-600, 600));
+      }
+      queries.append(qp);
+    }
+
+    GpuKnnOptions opts;
+    opts.k = c.k;
+    const BatchResult psb_r = psb_batch(tree, queries, opts);
+    const BatchResult bnb_r = bnb_batch(tree, queries, opts);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const auto expected = test::reference_knn_distances(points, queries[q], c.k);
+      test::expect_knn_matches(psb_r.queries[q].neighbors, expected, "psb");
+      test::expect_knn_matches(bnb_r.queries[q].neighbors, expected, "bnb");
+    }
+  }
+}
+
+TEST(Fuzz, StacklessBaselinesOnRandomConfigs) {
+  Rng master(777);
+  for (int round = 0; round < 10; ++round) {
+    FuzzConfig c = random_config(master);
+    c.bounds = 0;  // sphere-mode trees for the skip-pointer own-sphere prune
+    SCOPED_TRACE("round " + std::to_string(round) + " seed=" + std::to_string(c.seed));
+    const PointSet points = make_points(c);
+    const sstree::SSTree tree = build_tree(c, points);
+
+    const PointSet queries = test::random_queries(c.dims, 3, c.seed ^ 0x55);
+    GpuKnnOptions opts;
+    opts.k = c.k;
+    const BatchResult rr = restart_batch(tree, queries, opts);
+    const BatchResult sr = skip_pointer_batch(tree, queries, opts);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const auto expected = test::reference_knn_distances(points, queries[q], c.k);
+      test::expect_knn_matches(rr.queries[q].neighbors, expected, "restart");
+      test::expect_knn_matches(sr.queries[q].neighbors, expected, "skip");
+    }
+  }
+}
+
+TEST(Fuzz, RadiusOnRandomConfigs) {
+  Rng master(991);
+  for (int round = 0; round < 10; ++round) {
+    const FuzzConfig c = random_config(master);
+    SCOPED_TRACE("round " + std::to_string(round) + " seed=" + std::to_string(c.seed));
+    const PointSet points = make_points(c);
+    const sstree::SSTree tree = build_tree(c, points);
+
+    const PointSet queries = test::random_queries(c.dims, 2, c.seed ^ 0x77);
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      const auto ref = test::reference_knn_distances(points, queries[qi],
+                                                     std::min<std::size_t>(c.k, points.size()));
+      const Scalar radius = ref.back();
+      const RadiusResult r = radius_query(tree, queries[qi], radius);
+      std::size_t expected = 0;
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        if (distance(queries[qi], points[i]) <= radius) ++expected;
+      }
+      EXPECT_EQ(r.matches.size(), expected);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psb::knn

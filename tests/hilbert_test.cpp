@@ -1,0 +1,183 @@
+// Property tests for the d-dimensional Hilbert curve encoder.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "hilbert/hilbert.hpp"
+#include "simt/sort.hpp"
+#include "test_util.hpp"
+
+namespace psb::hilbert {
+namespace {
+
+/// Enumerate every cell of a small grid and return cells ordered by their
+/// Hilbert key.
+std::vector<std::vector<std::uint32_t>> cells_in_hilbert_order(std::size_t dims, int bits) {
+  const Encoder enc(dims, bits);
+  const std::uint32_t side = 1u << bits;
+  std::size_t total = 1;
+  for (std::size_t i = 0; i < dims; ++i) total *= side;
+
+  std::vector<std::uint64_t> keys(total * enc.words_per_key());
+  std::vector<std::vector<std::uint32_t>> cells(total);
+  for (std::size_t idx = 0; idx < total; ++idx) {
+    std::vector<std::uint32_t> axes(dims);
+    std::size_t rem = idx;
+    for (std::size_t t = 0; t < dims; ++t) {
+      axes[t] = static_cast<std::uint32_t>(rem % side);
+      rem /= side;
+    }
+    enc.encode_axes(axes, {keys.data() + idx * enc.words_per_key(), enc.words_per_key()});
+    cells[idx] = std::move(axes);
+  }
+  const auto order = simt::radix_sort_order(keys, enc.words_per_key(), nullptr);
+  std::vector<std::vector<std::uint32_t>> out(total);
+  for (std::size_t i = 0; i < total; ++i) out[i] = cells[order[i]];
+  return out;
+}
+
+struct GridCase {
+  std::size_t dims;
+  int bits;
+};
+
+class HilbertGridTest : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(HilbertGridTest, CurveVisitsEveryCellOnceAndIsContinuous) {
+  const auto [dims, bits] = GetParam();
+  const auto path = cells_in_hilbert_order(dims, bits);
+
+  // Bijectivity: every cell appears exactly once.
+  std::map<std::vector<std::uint32_t>, int> seen;
+  for (const auto& c : path) seen[c] += 1;
+  std::size_t total = 1;
+  for (std::size_t i = 0; i < dims; ++i) total *= (std::size_t{1} << bits);
+  EXPECT_EQ(seen.size(), total);
+
+  // Continuity: consecutive cells differ by exactly 1 in exactly one axis —
+  // the defining property of a Hilbert curve.
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    int moved_axes = 0;
+    std::uint64_t step = 0;
+    for (std::size_t t = 0; t < dims; ++t) {
+      const auto d = static_cast<std::int64_t>(path[i][t]) - path[i - 1][t];
+      if (d != 0) {
+        ++moved_axes;
+        step = static_cast<std::uint64_t>(d < 0 ? -d : d);
+      }
+    }
+    ASSERT_EQ(moved_axes, 1) << "discontinuity at step " << i;
+    ASSERT_EQ(step, 1u) << "jump at step " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, HilbertGridTest,
+                         ::testing::Values(GridCase{2, 1}, GridCase{2, 2}, GridCase{2, 3},
+                                           GridCase{2, 4}, GridCase{3, 2}, GridCase{3, 3},
+                                           GridCase{4, 2}, GridCase{5, 2}),
+                         [](const auto& info) {
+                           return "d" + std::to_string(info.param.dims) + "b" +
+                                  std::to_string(info.param.bits);
+                         });
+
+class HilbertRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(HilbertRoundTripTest, EncodeDecodeIdentity) {
+  const auto [dims, bits] = GetParam();
+  const Encoder enc(dims, bits);
+  Rng rng(dims * 100 + bits);
+  const std::uint32_t limit = (bits == 31) ? 0x7FFFFFFFu : ((1u << bits) - 1);
+  std::vector<std::uint32_t> axes(dims);
+  std::vector<std::uint32_t> decoded(dims);
+  std::vector<std::uint64_t> key(enc.words_per_key());
+  for (int trial = 0; trial < 200; ++trial) {
+    for (auto& a : axes) a = static_cast<std::uint32_t>(rng.next_below(limit + 1ull));
+    enc.encode_axes(axes, key);
+    enc.decode(key, decoded);
+    EXPECT_EQ(axes, decoded);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, HilbertRoundTripTest,
+                         ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3, 8, 16, 64),
+                                            ::testing::Values(2, 8, 16, 31)));
+
+TEST(Hilbert, KeyWidth) {
+  EXPECT_EQ(Encoder(2, 16).words_per_key(), 1u);
+  EXPECT_EQ(Encoder(4, 16).words_per_key(), 1u);
+  EXPECT_EQ(Encoder(5, 16).words_per_key(), 2u);
+  EXPECT_EQ(Encoder(64, 16).words_per_key(), 16u);
+}
+
+TEST(Hilbert, PointQuantizationRespectsBounds) {
+  const Encoder enc(2, 8);
+  Rect bounds;
+  bounds.lo = {0, 0};
+  bounds.hi = {100, 100};
+  std::vector<std::uint64_t> key_lo(enc.words_per_key());
+  std::vector<std::uint64_t> key_hi(enc.words_per_key());
+  // Boundary values must not overflow the grid.
+  enc.encode_point(std::vector<Scalar>{0, 0}, bounds, key_lo);
+  enc.encode_point(std::vector<Scalar>{100, 100}, bounds, key_hi);
+  std::vector<std::uint32_t> axes(2);
+  enc.decode(key_hi, axes);
+  EXPECT_EQ(axes[0], 255u);
+  EXPECT_EQ(axes[1], 255u);
+  // Out-of-bounds points clamp.
+  enc.encode_point(std::vector<Scalar>{-50, 300}, bounds, key_lo);
+  enc.decode(key_lo, axes);
+  EXPECT_EQ(axes[0], 0u);
+  EXPECT_EQ(axes[1], 255u);
+}
+
+TEST(Hilbert, SortedOrderPreservesLocality) {
+  // Property from §IV-A: distant Hilbert indices never map to the same cell,
+  // so the average hop between consecutive sorted points must be far below
+  // the average pairwise distance (locality).
+  const std::size_t dims = 4;
+  const PointSet points = test::small_clustered(dims, 2000, 31);
+  const Encoder enc(dims, 10);
+  const auto keys = enc.encode_all(points);
+  const auto order = simt::radix_sort_order(keys, enc.words_per_key(), nullptr);
+
+  double hop = 0;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    hop += distance(points[order[i - 1]], points[order[i]]);
+  }
+  hop /= static_cast<double>(order.size() - 1);
+
+  Rng rng(7);
+  double random_pair = 0;
+  for (int i = 0; i < 2000; ++i) {
+    random_pair += distance(points[rng.next_below(points.size())],
+                            points[rng.next_below(points.size())]);
+  }
+  random_pair /= 2000;
+  EXPECT_LT(hop, random_pair / 3) << "Hilbert order lost spatial locality";
+}
+
+TEST(Hilbert, RejectsBadArguments) {
+  EXPECT_THROW(Encoder(0, 8), InvalidArgument);
+  EXPECT_THROW(Encoder(65, 8), InvalidArgument);
+  EXPECT_THROW(Encoder(2, 0), InvalidArgument);
+  EXPECT_THROW(Encoder(2, 32), InvalidArgument);
+  const Encoder enc(2, 4);
+  std::vector<std::uint64_t> key(enc.words_per_key());
+  EXPECT_THROW(enc.encode_axes(std::vector<std::uint32_t>{1, 2, 3}, key), InvalidArgument);
+  EXPECT_THROW(enc.encode_axes(std::vector<std::uint32_t>{1, 16}, key), InvalidArgument);
+}
+
+TEST(BoundingRect, CoversAllPoints) {
+  const PointSet points = test::small_clustered(3, 500, 5);
+  const Rect r = bounding_rect(points);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_TRUE(r.contains(points[i]));
+  }
+}
+
+}  // namespace
+}  // namespace psb::hilbert

@@ -1,0 +1,161 @@
+// End-to-end integration: the whole pipeline (generate -> build -> query ->
+// cost model) across modules, plus miniature versions of the paper's
+// experiments asserting the qualitative orderings DESIGN.md promises.
+#include <gtest/gtest.h>
+
+#include "data/noaa_synth.hpp"
+#include "data/synthetic.hpp"
+#include "kdtree/kdtree.hpp"
+#include "kdtree/task_parallel_knn.hpp"
+#include "knn/branch_and_bound.hpp"
+#include "knn/brute_force.hpp"
+#include "knn/psb.hpp"
+#include "sstree/builders.hpp"
+#include "srtree/srtree.hpp"
+#include "srtree/srtree_knn.hpp"
+#include "test_util.hpp"
+
+namespace psb {
+namespace {
+
+data::ClusteredSpec mini_spec(std::size_t dims, double stddev = 160) {
+  data::ClusteredSpec spec;
+  spec.dims = dims;
+  spec.num_clusters = 20;
+  spec.points_per_cluster = 500;
+  spec.stddev = stddev;
+  return spec;
+}
+
+TEST(Integration, FullPipelineAllIndexesAgree) {
+  const PointSet points = data::make_clustered(mini_spec(16));
+  const PointSet queries = data::sample_queries(points, 10, 0.0, 99);
+
+  const sstree::SSTree hil = sstree::build_hilbert(points, 64).tree;
+  const sstree::SSTree km = sstree::build_kmeans(points, 64).tree;
+  const kdtree::KdTree kd(&points, 32);
+  const srtree::SRTree sr(&points);
+
+  knn::GpuKnnOptions opts;
+  opts.k = 16;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto expected = test::reference_knn_distances(points, queries[q], opts.k);
+    test::expect_knn_matches(knn::psb_query(hil, queries[q], opts, nullptr).neighbors,
+                             expected, "psb/hilbert");
+    test::expect_knn_matches(knn::psb_query(km, queries[q], opts, nullptr).neighbors, expected,
+                             "psb/kmeans");
+    test::expect_knn_matches(knn::bnb_query(hil, queries[q], opts, nullptr).neighbors,
+                             expected, "bnb/hilbert");
+    test::expect_knn_matches(kd.query(queries[q], opts.k), expected, "kdtree");
+    test::expect_knn_matches(srtree::knn_query(sr, queries[q], opts.k).neighbors, expected,
+                             "srtree");
+  }
+}
+
+TEST(Integration, Fig6Ordering_WarpEfficiency) {
+  // Data-parallel SS-tree (PSB) > 50 %, task-parallel kd-tree ~3 %.
+  const PointSet points = data::make_clustered(mini_spec(64));
+  const PointSet queries = data::sample_queries(points, 8, 0.0, 7);
+
+  const sstree::SSTree tree = sstree::build_kmeans(points, 128).tree;
+  const knn::BatchResult ss = knn::psb_batch(tree, queries, {});
+
+  const kdtree::KdTree kd(&points, 32);
+  const knn::BatchResult td = kdtree::task_parallel_knn(kd, queries, {});
+
+  EXPECT_GT(ss.metrics.warp_efficiency(), 0.5);
+  EXPECT_LT(td.metrics.warp_efficiency(), 0.10);
+}
+
+TEST(Integration, Fig7Ordering_TreeBeatsBruteForceOnClusteredData) {
+  // The orderings need a workload big enough that per-query work dominates
+  // kernel-launch overhead (the paper uses 1M points; 100k suffices).
+  for (const std::size_t dims : {8u, 64u}) {
+    data::ClusteredSpec spec = mini_spec(dims);
+    spec.num_clusters = 50;
+    spec.points_per_cluster = 2000;
+    const PointSet points = data::make_clustered(spec);
+    const PointSet queries = data::sample_queries(points, 8, 0.0, 11);
+    const sstree::SSTree tree = sstree::build_kmeans(points, 128).tree;
+
+    knn::GpuKnnOptions opts;
+    const auto psb_r = knn::psb_batch(tree, queries, opts);
+    const auto bnb_r = knn::bnb_batch(tree, queries, opts);
+    const auto brute_r = knn::brute_force_batch(points, queries, opts);
+
+    EXPECT_LT(psb_r.timing.avg_query_ms, brute_r.timing.avg_query_ms) << dims;
+    EXPECT_LE(psb_r.timing.avg_query_ms, bnb_r.timing.avg_query_ms) << dims;
+    EXPECT_LT(psb_r.accessed_mb(), brute_r.accessed_mb()) << dims;
+  }
+}
+
+TEST(Integration, Fig8Ordering_LargeKDegradesOccupancy) {
+  const PointSet points = data::make_clustered(mini_spec(16));
+  const PointSet queries = data::sample_queries(points, 8, 0.0, 13);
+  const sstree::SSTree tree = sstree::build_kmeans(points, 128).tree;
+
+  knn::GpuKnnOptions small;
+  small.k = 8;
+  knn::GpuKnnOptions large;
+  large.k = 1024;
+  const auto rs = knn::psb_batch(tree, queries, small);
+  const auto rl = knn::psb_batch(tree, queries, large);
+  EXPECT_GE(rs.timing.occupancy, rl.timing.occupancy);
+  EXPECT_LT(rs.timing.avg_query_ms, rl.timing.avg_query_ms);
+}
+
+TEST(Integration, Fig9Ordering_NoaaPipeline) {
+  data::NoaaSpec spec;
+  spec.stations = 8000;
+  spec.readings_per_station = 40;
+  const PointSet points = data::make_noaa_like(spec);
+  const PointSet queries = data::sample_queries(points, 10, 0.0, 17);
+
+  const sstree::SSTree tree = sstree::build_kmeans(points, 128).tree;
+  const srtree::SRTree sr(&points);
+
+  knn::GpuKnnOptions opts;
+  const auto psb_r = knn::psb_batch(tree, queries, opts);
+  const auto bnb_r = knn::bnb_batch(tree, queries, opts);
+  const auto brute_r = knn::brute_force_batch(points, queries, opts);
+  const auto sr_r = srtree::knn_batch(sr, queries, opts.k);
+
+  // Exactness across the NOAA-like pipeline.
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto expected = test::reference_knn_distances(points, queries[q], opts.k);
+    test::expect_knn_matches(psb_r.queries[q].neighbors, expected, "psb/noaa");
+    test::expect_knn_matches(sr_r.queries[q].neighbors, expected, "srtree/noaa");
+  }
+  // Fig. 9 orderings among the simulated-GPU methods.
+  EXPECT_LE(psb_r.timing.avg_query_ms, bnb_r.timing.avg_query_ms);
+  EXPECT_LT(psb_r.timing.avg_query_ms, brute_r.timing.avg_query_ms);
+  // SR-tree reads far fewer bytes (tight CPU index, 8 KB pages).
+  EXPECT_LT(sr_r.accessed_mb(), psb_r.accessed_mb());
+}
+
+TEST(Integration, Fig5Ordering_StddevSweepDegradesGracefully) {
+  // As sigma grows toward uniform, both algorithms touch more of the tree;
+  // PSB stays at least as fast as B&B across the sweep.
+  for (const double sigma : {40.0, 640.0, 10240.0}) {
+    const PointSet points = data::make_clustered(mini_spec(16, sigma));
+    const PointSet queries = data::sample_queries(points, 6, 0.0, 19);
+    const sstree::SSTree tree = sstree::build_kmeans(points, 128).tree;
+    const auto psb_r = knn::psb_batch(tree, queries, {});
+    const auto bnb_r = knn::bnb_batch(tree, queries, {});
+    EXPECT_LE(psb_r.timing.avg_query_ms, bnb_r.timing.avg_query_ms * 1.05) << sigma;
+  }
+}
+
+TEST(Integration, BuildOnceQueryManyIsDeterministic) {
+  const PointSet points = data::make_clustered(mini_spec(8));
+  const PointSet queries = data::sample_queries(points, 5, 0.0, 23);
+  const sstree::SSTree tree = sstree::build_hilbert(points, 64).tree;
+  const auto a = knn::psb_batch(tree, queries, {});
+  const auto b = knn::psb_batch(tree, queries, {});
+  EXPECT_EQ(a.metrics.total_bytes(), b.metrics.total_bytes());
+  EXPECT_EQ(a.metrics.warp_instructions, b.metrics.warp_instructions);
+  EXPECT_DOUBLE_EQ(a.timing.wall_ms, b.timing.wall_ms);
+}
+
+}  // namespace
+}  // namespace psb

@@ -1,0 +1,106 @@
+// Tests for the binary kd-tree and its task-parallel GPU execution model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kdtree/kdtree.hpp"
+#include "kdtree/task_parallel_knn.hpp"
+#include "test_util.hpp"
+
+namespace psb::kdtree {
+namespace {
+
+TEST(KdTree, BuildsValidStructure) {
+  for (const std::size_t dims : {2u, 4u, 16u}) {
+    const PointSet points = test::small_clustered(dims, 2000, dims);
+    const KdTree tree(&points, 32);
+    tree.validate();
+    EXPECT_GT(tree.num_nodes(), points.size() / 32);
+  }
+}
+
+TEST(KdTree, QueryMatchesReference) {
+  const PointSet points = test::small_clustered(8, 3000, 55);
+  const KdTree tree(&points, 32);
+  const PointSet queries = test::random_queries(8, 20, 56);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto got = tree.query(queries[q], 16);
+    const auto expected = test::reference_knn_distances(points, queries[q], 16);
+    test::expect_knn_matches(got, expected, "kdtree");
+  }
+}
+
+TEST(KdTree, SmallAndDegenerateInputs) {
+  PointSet one(2);
+  one.append(std::vector<Scalar>{1, 1});
+  const KdTree t1(&one, 4);
+  t1.validate();
+  EXPECT_EQ(t1.query(std::vector<Scalar>{0, 0}, 1)[0].dist, std::sqrt(2.0F));
+
+  PointSet dup(2);
+  for (int i = 0; i < 100; ++i) dup.append(std::vector<Scalar>{3, 3});
+  const KdTree t2(&dup, 8);
+  t2.validate();
+  EXPECT_EQ(t2.query(std::vector<Scalar>{3, 3}, 5).size(), 5u);
+}
+
+TEST(KdTree, KGreaterThanN) {
+  const PointSet points = test::small_clustered(3, 10, 57);
+  const KdTree tree(&points, 4);
+  EXPECT_EQ(tree.query(std::vector<Scalar>{0, 0, 0}, 50).size(), 10u);
+}
+
+TEST(KdTree, Preconditions) {
+  PointSet empty(2);
+  EXPECT_THROW(KdTree(&empty, 4), InvalidArgument);
+  EXPECT_THROW(KdTree(nullptr, 4), InvalidArgument);
+}
+
+TEST(TaskParallelKnn, ExactResults) {
+  const PointSet points = test::small_clustered(8, 3000, 61);
+  const KdTree tree(&points, 32);
+  const PointSet queries = test::random_queries(8, 33, 62);
+  TaskParallelOptions opts;
+  opts.k = 8;
+  const knn::BatchResult r = task_parallel_knn(tree, queries, opts);
+  ASSERT_EQ(r.queries.size(), queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto expected = test::reference_knn_distances(points, queries[q], 8);
+    test::expect_knn_matches(r.queries[q].neighbors, expected, "task-parallel");
+  }
+}
+
+TEST(TaskParallelKnn, ResponseTimeModeEfficiencyIsOneLane) {
+  // Fig. 6(a): the task-parallel binary kd-tree shows ~3 % warp efficiency —
+  // exactly one active lane of 32.
+  const PointSet points = test::small_clustered(16, 2000, 63);
+  const KdTree tree(&points, 32);
+  const PointSet queries = test::random_queries(16, 10, 64);
+  TaskParallelOptions opts;
+  const knn::BatchResult r = task_parallel_knn(tree, queries, opts);
+  EXPECT_NEAR(r.metrics.warp_efficiency(), 1.0 / 32.0, 1e-9);
+}
+
+TEST(TaskParallelKnn, ThroughputModeEfficiencyBetween) {
+  const PointSet points = test::small_clustered(16, 2000, 65);
+  const KdTree tree(&points, 32);
+  const PointSet queries = test::random_queries(16, 64, 66);
+  TaskParallelOptions opts;
+  opts.mode = TaskParallelMode::kThroughput;
+  const knn::BatchResult r = task_parallel_knn(tree, queries, opts);
+  // Packed lanes: better than single-lane, worse than perfect (divergence).
+  EXPECT_GT(r.metrics.warp_efficiency(), 1.0 / 32.0);
+  EXPECT_LT(r.metrics.warp_efficiency(), 1.0);
+}
+
+TEST(TaskParallelKnn, AllTrafficIsScattered) {
+  const PointSet points = test::small_clustered(8, 1000, 67);
+  const KdTree tree(&points, 16);
+  const PointSet queries = test::random_queries(8, 5, 68);
+  const knn::BatchResult r = task_parallel_knn(tree, queries, {});
+  EXPECT_GT(r.metrics.bytes_random, 0u);
+  EXPECT_EQ(r.metrics.bytes_coalesced, 0u);
+}
+
+}  // namespace
+}  // namespace psb::kdtree

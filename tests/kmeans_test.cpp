@@ -1,0 +1,160 @@
+// Tests for Lloyd k-means with k-means++ seeding.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "cluster/kmeans.hpp"
+#include "common/error.hpp"
+#include "test_util.hpp"
+
+namespace psb::cluster {
+namespace {
+
+TEST(KMeans, ClustersPartitionTheInput) {
+  const PointSet points = test::small_clustered(4, 1000, 17);
+  KMeansOptions opts;
+  opts.k = 10;
+  opts.sample_size = 0;
+  const KMeansResult r = kmeans(points, opts);
+
+  std::set<PointId> seen;
+  std::size_t total = 0;
+  for (const auto& cluster : r.clusters) {
+    EXPECT_FALSE(cluster.empty()) << "empty clusters must be dropped";
+    for (const PointId id : cluster) {
+      EXPECT_TRUE(seen.insert(id).second) << "point in two clusters";
+    }
+    total += cluster.size();
+  }
+  EXPECT_EQ(total, points.size());
+  EXPECT_EQ(r.centroids.size(), r.clusters.size());
+  EXPECT_LE(r.clusters.size(), 10u);
+}
+
+TEST(KMeans, AssignmentIsNearestCentroid) {
+  const PointSet points = test::small_clustered(3, 500, 23);
+  KMeansOptions opts;
+  opts.k = 8;
+  opts.sample_size = 0;
+  const KMeansResult r = kmeans(points, opts);
+
+  ASSERT_EQ(r.assignment.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Scalar assigned = distance(points[i], r.centroids[r.assignment[i]]);
+    for (std::size_t c = 0; c < r.centroids.size(); ++c) {
+      EXPECT_GE(distance(points[i], r.centroids[c]) + 1e-3F, assigned)
+          << "point " << i << " not assigned to its nearest centroid";
+    }
+  }
+}
+
+TEST(KMeans, RecoversWellSeparatedClusters) {
+  // 4 clusters far apart: k-means with k=4 must recover the partition.
+  Rng rng(5);
+  PointSet points(2);
+  const Scalar centers[4][2] = {{0, 0}, {1000, 0}, {0, 1000}, {1000, 1000}};
+  for (int c = 0; c < 4; ++c) {
+    for (int i = 0; i < 50; ++i) {
+      const Scalar p[2] = {static_cast<Scalar>(centers[c][0] + rng.normal(0, 5)),
+                           static_cast<Scalar>(centers[c][1] + rng.normal(0, 5))};
+      points.append(p);
+    }
+  }
+  KMeansOptions opts;
+  opts.k = 4;
+  opts.sample_size = 0;
+  opts.max_iterations = 20;
+  const KMeansResult r = kmeans(points, opts);
+  ASSERT_EQ(r.clusters.size(), 4u);
+  for (const auto& cluster : r.clusters) EXPECT_EQ(cluster.size(), 50u);
+}
+
+TEST(KMeans, DeterministicForFixedSeed) {
+  const PointSet points = test::small_clustered(4, 400, 29);
+  KMeansOptions opts;
+  opts.k = 6;
+  opts.seed = 99;
+  const KMeansResult a = kmeans(points, opts);
+  const KMeansResult b = kmeans(points, opts);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(KMeans, KLargerThanNClamps) {
+  const PointSet points = test::small_clustered(2, 5, 31);
+  KMeansOptions opts;
+  opts.k = 50;
+  opts.sample_size = 0;
+  const KMeansResult r = kmeans(points, opts);
+  EXPECT_LE(r.clusters.size(), 5u);
+  std::size_t total = 0;
+  for (const auto& c : r.clusters) total += c.size();
+  EXPECT_EQ(total, 5u);
+}
+
+TEST(KMeans, SampledIterationsStillPartition) {
+  const PointSet points = test::small_clustered(4, 3000, 37);
+  KMeansOptions opts;
+  opts.k = 16;
+  opts.sample_size = 200;  // Lloyd runs on a sample, assignment is full
+  const KMeansResult r = kmeans(points, opts);
+  std::size_t total = 0;
+  for (const auto& c : r.clusters) total += c.size();
+  EXPECT_EQ(total, points.size());
+}
+
+TEST(KMeans, IdSubsetClustering) {
+  const PointSet points = test::small_clustered(3, 100, 41);
+  std::vector<PointId> ids{5, 10, 15, 20, 25, 30, 35, 40};
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.sample_size = 0;
+  const KMeansResult r = kmeans(points, ids, opts);
+  std::set<PointId> member_ids;
+  for (const auto& c : r.clusters) member_ids.insert(c.begin(), c.end());
+  EXPECT_EQ(member_ids, std::set<PointId>(ids.begin(), ids.end()));
+}
+
+TEST(KMeans, DuplicatePointsDoNotCrash) {
+  PointSet points(2);
+  for (int i = 0; i < 64; ++i) points.append(std::vector<Scalar>{1, 1});
+  KMeansOptions opts;
+  opts.k = 4;
+  opts.sample_size = 0;
+  const KMeansResult r = kmeans(points, opts);
+  std::size_t total = 0;
+  for (const auto& c : r.clusters) total += c.size();
+  EXPECT_EQ(total, 64u);
+}
+
+TEST(KMeans, ChargesWorkToBlock) {
+  const PointSet points = test::small_clustered(4, 500, 43);
+  simt::DeviceSpec spec;
+  simt::Metrics m;
+  simt::Block block(spec, 128, &m);
+  KMeansOptions opts;
+  opts.k = 8;
+  opts.block = &block;
+  kmeans(points, opts);
+  EXPECT_GT(m.warp_instructions, 0u);
+  EXPECT_GT(m.bytes_coalesced, 0u);
+}
+
+TEST(KMeans, Preconditions) {
+  const PointSet points = test::small_clustered(2, 10, 47);
+  KMeansOptions opts;
+  opts.k = 0;
+  EXPECT_THROW(kmeans(points, opts), InvalidArgument);
+  PointSet empty(2);
+  opts.k = 2;
+  EXPECT_THROW(kmeans(empty, opts), InvalidArgument);
+}
+
+TEST(MardiaK, RuleOfThumb) {
+  EXPECT_EQ(mardia_k(2), 1u);
+  EXPECT_EQ(mardia_k(200), 10u);
+  EXPECT_EQ(mardia_k(1000000), 708u);  // ceil(sqrt(500000))
+}
+
+}  // namespace
+}  // namespace psb::cluster

@@ -1,0 +1,178 @@
+// The headline invariant of the reproduction: every algorithm in the
+// repository computes *exact* kNN, so PSB, branch-and-bound, brute force and
+// best-first must agree with a plain reference scan on any dataset —
+// parameterized across dimensionality, k, node degree and builder.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "knn/best_first.hpp"
+#include "knn/branch_and_bound.hpp"
+#include "knn/brute_force.hpp"
+#include "knn/psb.hpp"
+#include "sstree/builders.hpp"
+#include "test_util.hpp"
+
+namespace psb::knn {
+namespace {
+
+enum class Builder { kHilbert, kKMeans, kTopDown };
+
+const char* builder_name(Builder b) {
+  switch (b) {
+    case Builder::kHilbert: return "hilbert";
+    case Builder::kKMeans: return "kmeans";
+    case Builder::kTopDown: return "topdown";
+  }
+  return "?";
+}
+
+sstree::SSTree build(Builder b, const PointSet& points, std::size_t degree) {
+  switch (b) {
+    case Builder::kHilbert: return sstree::build_hilbert(points, degree).tree;
+    case Builder::kKMeans: return sstree::build_kmeans(points, degree).tree;
+    case Builder::kTopDown: return sstree::build_topdown(points, degree).tree;
+  }
+  PSB_ASSERT(false, "unreachable");
+}
+
+using Case = std::tuple<std::size_t /*dims*/, std::size_t /*k*/, std::size_t /*degree*/,
+                        Builder>;
+
+class ExactnessTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ExactnessTest, AllAlgorithmsMatchReference) {
+  const auto [dims, k, degree, builder] = GetParam();
+  const std::size_t n = 1200;
+  const PointSet points = test::small_clustered(dims, n, dims * 31 + k);
+  const PointSet queries = test::random_queries(dims, 12, dims * 7 + k);
+
+  const sstree::SSTree tree = build(builder, points, degree);
+  tree.validate();
+
+  GpuKnnOptions opts;
+  opts.k = k;
+  const BatchResult psb_r = psb_batch(tree, queries, opts);
+  const BatchResult bnb_r = bnb_batch(tree, queries, opts);
+  const BatchResult brute_r = brute_force_batch(points, queries, opts);
+  const auto bf_r = best_first_batch(tree, queries, k);
+
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto expected = test::reference_knn_distances(points, queries[q], k);
+    test::expect_knn_matches(psb_r.queries[q].neighbors, expected, "psb");
+    test::expect_knn_matches(bnb_r.queries[q].neighbors, expected, "bnb");
+    test::expect_knn_matches(brute_r.queries[q].neighbors, expected, "brute");
+    test::expect_knn_matches(bf_r[q].neighbors, expected, "best_first");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExactnessTest,
+    ::testing::Values(
+        // dims x k x degree x builder — chosen to cover low/high dims, tiny
+        // and large k, small and large fanout, and all three builders.
+        Case{2, 1, 16, Builder::kHilbert}, Case{2, 8, 16, Builder::kKMeans},
+        Case{2, 32, 32, Builder::kTopDown}, Case{4, 4, 32, Builder::kHilbert},
+        Case{4, 16, 64, Builder::kKMeans}, Case{8, 1, 32, Builder::kTopDown},
+        Case{8, 32, 128, Builder::kHilbert}, Case{16, 8, 64, Builder::kKMeans},
+        Case{16, 64, 32, Builder::kHilbert}, Case{32, 16, 64, Builder::kTopDown},
+        Case{64, 4, 128, Builder::kHilbert}, Case{64, 32, 64, Builder::kKMeans}),
+    [](const auto& info) {
+      return "d" + std::to_string(std::get<0>(info.param)) + "k" +
+             std::to_string(std::get<1>(info.param)) + "deg" +
+             std::to_string(std::get<2>(info.param)) + builder_name(std::get<3>(info.param));
+    });
+
+TEST(Exactness, QueriesOnDataPoints) {
+  // Querying an indexed point must return distance 0 at rank 0.
+  const PointSet points = test::small_clustered(8, 800, 3);
+  const sstree::SSTree tree = sstree::build_hilbert(points, 32).tree;
+  GpuKnnOptions opts;
+  opts.k = 4;
+  for (std::size_t i = 0; i < 20; ++i) {
+    const auto r = psb_query(tree, points[i * 7], opts, nullptr);
+    ASSERT_FALSE(r.neighbors.empty());
+    EXPECT_FLOAT_EQ(r.neighbors[0].dist, 0.0F);
+  }
+}
+
+TEST(Exactness, KGreaterThanN) {
+  const PointSet points = test::small_clustered(4, 10, 5);
+  const PointSet queries = test::random_queries(4, 3, 7);
+  const sstree::SSTree tree = sstree::build_hilbert(points, 8).tree;
+  GpuKnnOptions opts;
+  opts.k = 100;
+  const BatchResult r = psb_batch(tree, queries, opts);
+  for (const auto& qr : r.queries) {
+    EXPECT_EQ(qr.neighbors.size(), 10u);  // clamped to n, all points returned
+  }
+  const BatchResult b = brute_force_batch(points, queries, opts);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto expected = test::reference_knn_distances(points, queries[q], 100);
+    test::expect_knn_matches(r.queries[q].neighbors, expected, "psb k>n");
+    test::expect_knn_matches(b.queries[q].neighbors, expected, "brute k>n");
+  }
+}
+
+TEST(Exactness, DuplicatePointsEverywhere) {
+  // Degenerate data: many identical points — exercises the tie-handling ULP
+  // logic in the pruning bounds.
+  PointSet points(3);
+  for (int i = 0; i < 200; ++i) points.append(std::vector<Scalar>{1, 1, 1});
+  for (int i = 0; i < 200; ++i) points.append(std::vector<Scalar>{2, 2, 2});
+  const sstree::SSTree tree = sstree::build_hilbert(points, 16).tree;
+  PointSet queries(3);
+  queries.append(std::vector<Scalar>{1, 1, 1});
+  queries.append(std::vector<Scalar>{1.4F, 1.4F, 1.4F});
+
+  GpuKnnOptions opts;
+  opts.k = 250;  // forces results to span both duplicate groups
+  const BatchResult psb_r = psb_batch(tree, queries, opts);
+  const BatchResult bnb_r = bnb_batch(tree, queries, opts);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto expected = test::reference_knn_distances(points, queries[q], 250);
+    test::expect_knn_matches(psb_r.queries[q].neighbors, expected, "psb dup");
+    test::expect_knn_matches(bnb_r.queries[q].neighbors, expected, "bnb dup");
+  }
+}
+
+TEST(Exactness, SinglePointTree) {
+  PointSet points(2);
+  points.append(std::vector<Scalar>{3, 4});
+  const sstree::SSTree tree = sstree::build_hilbert(points, 8).tree;
+  GpuKnnOptions opts;
+  opts.k = 1;
+  const auto r = psb_query(tree, std::vector<Scalar>{0, 0}, opts, nullptr);
+  ASSERT_EQ(r.neighbors.size(), 1u);
+  EXPECT_FLOAT_EQ(r.neighbors[0].dist, 5.0F);
+  EXPECT_EQ(r.neighbors[0].id, 0u);
+}
+
+TEST(Exactness, SpillModeStaysExact) {
+  const PointSet points = test::small_clustered(8, 1000, 9);
+  const PointSet queries = test::random_queries(8, 8, 11);
+  const sstree::SSTree tree = sstree::build_kmeans(points, 64).tree;
+  GpuKnnOptions opts;
+  opts.k = 128;
+  opts.spill_heap_to_global = true;
+  const BatchResult r = psb_batch(tree, queries, opts);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto expected = test::reference_knn_distances(points, queries[q], opts.k);
+    test::expect_knn_matches(r.queries[q].neighbors, expected, "psb spill");
+  }
+}
+
+TEST(Exactness, RejectsBadArguments) {
+  const PointSet points = test::small_clustered(4, 100, 13);
+  const sstree::SSTree tree = sstree::build_hilbert(points, 16).tree;
+  GpuKnnOptions opts;
+  opts.k = 0;
+  EXPECT_THROW(psb_query(tree, points[0], opts, nullptr), InvalidArgument);
+  opts.k = 1;
+  EXPECT_THROW(psb_query(tree, std::vector<Scalar>{1, 2}, opts, nullptr), InvalidArgument);
+  PointSet empty(4);
+  EXPECT_THROW(brute_force_batch(empty, points, opts), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace psb::knn

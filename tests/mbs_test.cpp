@@ -1,0 +1,187 @@
+// Tests for minimum-bounding-sphere algorithms: Ritter (sequential and
+// parallel, paper Alg. 2) validated against the exact Welzl oracle.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "mbs/parallel_ritter.hpp"
+#include "mbs/ritter.hpp"
+#include "mbs/welzl.hpp"
+#include "test_util.hpp"
+
+namespace psb::mbs {
+namespace {
+
+bool sphere_covers_all(const Sphere& s, const PointSet& points) {
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!s.contains(points[i], 1e-3F)) return false;
+  }
+  return true;
+}
+
+class RitterCoverageTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RitterCoverageTest, CoversAllPointsInAnyDimension) {
+  const std::size_t dims = GetParam();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const PointSet points = test::small_clustered(dims, 300, seed);
+    const Sphere s = ritter_points(points);
+    EXPECT_TRUE(sphere_covers_all(s, points)) << "dims=" << dims << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, RitterCoverageTest,
+                         ::testing::Values<std::size_t>(1, 2, 3, 4, 8, 16, 32, 64));
+
+TEST(Welzl, ExactOnKnownConfigurations) {
+  // Two points: diameter sphere.
+  PointSet two(2);
+  two.append(std::vector<Scalar>{0, 0});
+  two.append(std::vector<Scalar>{4, 0});
+  Sphere s = welzl(two);
+  EXPECT_NEAR(s.radius, 2.0, 1e-4);
+  EXPECT_NEAR(s.center[0], 2.0, 1e-4);
+
+  // Equilateral-ish triangle with an interior point: circumcircle of the hull.
+  PointSet tri(2);
+  tri.append(std::vector<Scalar>{0, 0});
+  tri.append(std::vector<Scalar>{2, 0});
+  tri.append(std::vector<Scalar>{1, 1.7320508F});
+  tri.append(std::vector<Scalar>{1, 0.5F});  // interior
+  s = welzl(tri);
+  EXPECT_NEAR(s.radius, 2.0 / std::sqrt(3.0), 1e-3);
+}
+
+TEST(Welzl, CoversAllAndIsMinimalAgainstShrink) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const PointSet points = test::small_clustered(3, 120, seed * 7);
+    const Sphere s = welzl(points);
+    EXPECT_TRUE(sphere_covers_all(s, points));
+    // Minimality witness: a sphere with 1% smaller radius (same center)
+    // must miss at least one point.
+    Sphere smaller = s;
+    smaller.radius *= 0.99F;
+    bool all_in = true;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (distance(smaller.center, points[i]) > smaller.radius) {
+        all_in = false;
+        break;
+      }
+    }
+    EXPECT_FALSE(all_in) << "welzl sphere is not tight (seed " << seed << ")";
+  }
+}
+
+TEST(Ritter, WithinPaperApproximationBandOfWelzl) {
+  // The paper quotes Ritter at 5–20 % above optimal; allow up to 30 %.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    for (const std::size_t dims : {2u, 3u, 4u}) {
+      const PointSet points = test::small_clustered(dims, 150, seed * 13);
+      const Sphere approx = ritter_points(points);
+      const Sphere exact = welzl(points);
+      EXPECT_GE(approx.radius, exact.radius * 0.999F);
+      EXPECT_LE(approx.radius, exact.radius * 1.30F)
+          << "dims=" << dims << " seed=" << seed;
+    }
+  }
+}
+
+TEST(Ritter, DegenerateInputs) {
+  // Single point.
+  PointSet one(3);
+  one.append(std::vector<Scalar>{1, 2, 3});
+  Sphere s = ritter_points(one);
+  EXPECT_FLOAT_EQ(s.radius, 0.0F);
+  EXPECT_TRUE(s.contains(one[0]));
+
+  // All points identical.
+  PointSet dup(2);
+  for (int i = 0; i < 20; ++i) dup.append(std::vector<Scalar>{5, 5});
+  s = ritter_points(dup);
+  EXPECT_NEAR(s.radius, 0.0F, 1e-5);
+
+  // Collinear points.
+  PointSet line(2);
+  for (int i = 0; i <= 10; ++i) line.append(std::vector<Scalar>{Scalar(i), 0});
+  s = ritter_points(line);
+  EXPECT_TRUE(sphere_covers_all(s, line));
+  EXPECT_NEAR(s.radius, 5.0F, 0.05F);
+}
+
+TEST(RitterSpheres, EnclosesChildSpheresEntirely) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Sphere> children;
+    for (int i = 0; i < 30; ++i) {
+      Sphere c;
+      c.center = {static_cast<Scalar>(rng.uniform(-100, 100)),
+                  static_cast<Scalar>(rng.uniform(-100, 100)),
+                  static_cast<Scalar>(rng.uniform(-100, 100))};
+      c.radius = static_cast<Scalar>(rng.uniform(0, 10));
+      children.push_back(std::move(c));
+    }
+    const Sphere s = ritter_spheres(children);
+    for (const Sphere& c : children) {
+      EXPECT_TRUE(s.contains(c, 1e-3F))
+          << "trial " << trial << ": child sphere escapes the parent";
+    }
+  }
+}
+
+TEST(RitterSpheres, ConcentricChildren) {
+  std::vector<Sphere> children;
+  children.push_back({{0, 0}, 1});
+  children.push_back({{0, 0}, 5});
+  children.push_back({{0, 0}, 3});
+  const Sphere s = ritter_spheres(children);
+  EXPECT_NEAR(s.radius, 5.0F, 1e-4);
+}
+
+TEST(ParallelRitter, MatchesCoverageAndChargesWork) {
+  simt::DeviceSpec spec;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const PointSet points = test::small_clustered(8, 128, seed * 19);
+    std::vector<PointId> ids(points.size());
+    std::iota(ids.begin(), ids.end(), PointId{0});
+
+    simt::Metrics m;
+    simt::Block block(spec, 128, &m);
+    const Sphere s = parallel_ritter_points(block, points, ids);
+    EXPECT_TRUE(sphere_covers_all(s, points));
+    EXPECT_GT(m.warp_instructions, 0u);
+    EXPECT_GT(m.bytes_coalesced, 0u);
+    EXPECT_GT(m.shared_bytes, 0u);
+
+    // The parallel variant is the same algorithm family as sequential Ritter:
+    // radii must be within a few percent of each other.
+    const Sphere seq = ritter_points(points, ids);
+    EXPECT_NEAR(s.radius / seq.radius, 1.0, 0.15);
+  }
+}
+
+TEST(ParallelRitter, SphereChildren) {
+  simt::DeviceSpec spec;
+  simt::Metrics m;
+  simt::Block block(spec, 64, &m);
+  Rng rng(11);
+  std::vector<Sphere> children;
+  for (int i = 0; i < 64; ++i) {
+    children.push_back({{static_cast<Scalar>(rng.uniform(0, 50)),
+                         static_cast<Scalar>(rng.uniform(0, 50))},
+                        static_cast<Scalar>(rng.uniform(0, 5))});
+  }
+  const Sphere s = parallel_ritter(block, children);
+  for (const Sphere& c : children) EXPECT_TRUE(s.contains(c, 1e-3F));
+}
+
+TEST(Mbs, EmptyInputsThrow) {
+  PointSet empty(2);
+  EXPECT_THROW(ritter_points(empty), InvalidArgument);
+  EXPECT_THROW(welzl(empty), InvalidArgument);
+  EXPECT_THROW(ritter_spheres({}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace psb::mbs

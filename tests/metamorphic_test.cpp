@@ -1,0 +1,135 @@
+// Metamorphic properties: transformations of the input with predictable
+// effects on the output. These catch whole classes of silent geometric bugs
+// that example-based tests cannot.
+#include <gtest/gtest.h>
+
+#include "knn/psb.hpp"
+#include "sstree/builders.hpp"
+#include "test_util.hpp"
+
+namespace psb::knn {
+namespace {
+
+PointSet transform(const PointSet& in, Scalar scale, Scalar offset) {
+  PointSet out(in.dims());
+  out.reserve(in.size());
+  std::vector<Scalar> p(in.dims());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    for (std::size_t t = 0; t < in.dims(); ++t) p[t] = in[i][t] * scale + offset;
+    out.append(p);
+  }
+  return out;
+}
+
+std::vector<PointId> ids_of(const std::vector<KnnHeap::Entry>& entries) {
+  std::vector<PointId> ids;
+  ids.reserve(entries.size());
+  for (const auto& e : entries) ids.push_back(e.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(Metamorphic, TranslationInvariance) {
+  // Shifting every point and every query by the same vector must preserve
+  // the neighbor id sets and distances.
+  const PointSet points = test::small_clustered(8, 1500, 201);
+  const PointSet shifted = transform(points, 1, 250);
+  const PointSet queries = test::random_queries(8, 6, 203);
+  const PointSet shifted_q = transform(queries, 1, 250);
+
+  const sstree::SSTree a = sstree::build_hilbert(points, 32).tree;
+  const sstree::SSTree b = sstree::build_hilbert(shifted, 32).tree;
+  GpuKnnOptions opts;
+  opts.k = 12;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto ra = psb_query(a, queries[q], opts, nullptr);
+    const auto rb = psb_query(b, shifted_q[q], opts, nullptr);
+    EXPECT_EQ(ids_of(ra.neighbors), ids_of(rb.neighbors)) << "query " << q;
+    for (std::size_t i = 0; i < ra.neighbors.size(); ++i) {
+      EXPECT_NEAR(ra.neighbors[i].dist, rb.neighbors[i].dist,
+                  1e-3 + 1e-4 * ra.neighbors[i].dist);
+    }
+  }
+}
+
+TEST(Metamorphic, UniformScalingScalesDistances) {
+  const PointSet points = test::small_clustered(4, 1000, 205);
+  const PointSet scaled = transform(points, 3, 0);
+  const PointSet queries = test::random_queries(4, 6, 207);
+  const PointSet scaled_q = transform(queries, 3, 0);
+
+  const sstree::SSTree a = sstree::build_kmeans(points, 32).tree;
+  const sstree::SSTree b = sstree::build_kmeans(scaled, 32).tree;
+  GpuKnnOptions opts;
+  opts.k = 8;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto ra = psb_query(a, queries[q], opts, nullptr);
+    const auto rb = psb_query(b, scaled_q[q], opts, nullptr);
+    for (std::size_t i = 0; i < ra.neighbors.size(); ++i) {
+      EXPECT_NEAR(rb.neighbors[i].dist, ra.neighbors[i].dist * 3,
+                  1e-2 + 1e-3 * rb.neighbors[i].dist);
+    }
+  }
+}
+
+TEST(Metamorphic, AddingFarPointsDoesNotChangeLocalAnswers) {
+  PointSet points = test::small_clustered(4, 800, 209);
+  const PointSet queries = test::random_queries(4, 6, 211);
+  const sstree::SSTree before = sstree::build_hilbert(points, 32).tree;
+  GpuKnnOptions opts;
+  opts.k = 8;
+  std::vector<std::vector<Scalar>> before_dists;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto r = psb_query(before, queries[q], opts, nullptr);
+    std::vector<Scalar> ds;
+    for (const auto& e : r.neighbors) ds.push_back(e.dist);
+    before_dists.push_back(std::move(ds));
+  }
+
+  // Add a distant cluster (far outside both data and query extents).
+  Rng rng(213);
+  for (int i = 0; i < 200; ++i) {
+    points.append(std::vector<Scalar>{static_cast<Scalar>(1e7 + rng.normal(0, 10)),
+                                      static_cast<Scalar>(1e7 + rng.normal(0, 10)),
+                                      static_cast<Scalar>(1e7), static_cast<Scalar>(1e7)});
+  }
+  const sstree::SSTree after = sstree::build_hilbert(points, 32).tree;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto r = psb_query(after, queries[q], opts, nullptr);
+    ASSERT_EQ(r.neighbors.size(), before_dists[q].size());
+    for (std::size_t i = 0; i < before_dists[q].size(); ++i) {
+      EXPECT_FLOAT_EQ(r.neighbors[i].dist, before_dists[q][i]) << "query " << q;
+    }
+  }
+}
+
+TEST(Metamorphic, DataPermutationPreservesAnswersByDistance) {
+  // Reordering the dataset permutes point ids but must not change the
+  // neighbor distance multiset.
+  const PointSet points = test::small_clustered(8, 1200, 215);
+  Rng rng(217);
+  std::vector<PointId> perm(points.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<PointId>(i);
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.next_below(i)]);
+  }
+  const PointSet shuffled = points.subset(perm);
+
+  const sstree::SSTree a = sstree::build_kmeans(points, 32).tree;
+  const sstree::SSTree b = sstree::build_kmeans(shuffled, 32).tree;
+  const PointSet queries = test::random_queries(8, 6, 219);
+  GpuKnnOptions opts;
+  opts.k = 10;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto ra = psb_query(a, queries[q], opts, nullptr);
+    const auto rb = psb_query(b, queries[q], opts, nullptr);
+    for (std::size_t i = 0; i < ra.neighbors.size(); ++i) {
+      EXPECT_NEAR(ra.neighbors[i].dist, rb.neighbors[i].dist,
+                  1e-3 + 1e-4 * ra.neighbors[i].dist)
+          << "query " << q << " rank " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psb::knn

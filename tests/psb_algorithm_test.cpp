@@ -1,0 +1,154 @@
+// PSB-specific behavioral tests: the properties that make Algorithm 1 what it
+// is — monotonic left-to-right leaf scanning, coalesced sibling traffic,
+// ablation switches, and the relationships to branch-and-bound the paper
+// reports (§V-B, §V-D).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "data/synthetic.hpp"
+#include "knn/branch_and_bound.hpp"
+#include "knn/brute_force.hpp"
+#include "knn/psb.hpp"
+#include "sstree/builders.hpp"
+#include "test_util.hpp"
+
+namespace psb::knn {
+namespace {
+
+// The tree holds a pointer into `points`, so the workload lives on the heap
+// at a stable address.
+struct Workload {
+  PointSet points;
+  PointSet queries;
+  std::optional<sstree::SSTree> treeval;
+
+  const sstree::SSTree& tree() const { return *treeval; }
+};
+
+std::unique_ptr<Workload> make_workload(std::size_t dims = 16, std::size_t n = 4000,
+                                        std::size_t degree = 64) {
+  auto w = std::make_unique<Workload>();
+  w->points = test::small_clustered(dims, n, 1234);
+  w->queries = test::random_queries(dims, 16, 987);
+  w->treeval.emplace(sstree::build_kmeans(w->points, degree).tree);
+  return w;
+}
+
+TEST(PsbBehavior, ProducesCoalescedLeafTraffic) {
+  const auto w = make_workload();
+  GpuKnnOptions opts;
+  const BatchResult psb_r = psb_batch(w->tree(), w->queries, opts);
+  const BatchResult bnb_r = bnb_batch(w->tree(), w->queries, opts);
+  // PSB's defining optimization: a large share of its traffic is linear
+  // sibling scanning; B&B's traffic is all pointer-chasing.
+  EXPECT_GT(psb_r.metrics.bytes_coalesced, 0u);
+  EXPECT_EQ(bnb_r.metrics.bytes_coalesced, 0u);
+}
+
+TEST(PsbBehavior, AblationsRemainExact) {
+  const auto w = make_workload(8, 2000, 32);
+  for (const bool descent : {true, false}) {
+    for (const bool scan : {true, false}) {
+      GpuKnnOptions opts;
+      opts.k = 16;
+      opts.psb_initial_descent = descent;
+      opts.psb_leaf_scan = scan;
+      const BatchResult r = psb_batch(w->tree(), w->queries, opts);
+      for (std::size_t q = 0; q < w->queries.size(); ++q) {
+        const auto expected = test::reference_knn_distances(w->points, w->queries[q], opts.k);
+        test::expect_knn_matches(r.queries[q].neighbors, expected,
+                                 descent ? (scan ? "full" : "no-scan")
+                                         : (scan ? "no-descent" : "neither"));
+      }
+    }
+  }
+}
+
+TEST(PsbBehavior, InitialDescentTightensEarlyPruning) {
+  const auto w = make_workload();
+  GpuKnnOptions with;
+  GpuKnnOptions without;
+  without.psb_initial_descent = false;
+  const BatchResult a = psb_batch(w->tree(), w->queries, with);
+  const BatchResult b = psb_batch(w->tree(), w->queries, without);
+  // Without the initial bound the scan starts unpruned and must touch at
+  // least as many leaves (the descent itself adds one leaf per query).
+  EXPECT_LE(a.stats.leaves_visited, b.stats.leaves_visited + w->queries.size());
+}
+
+TEST(PsbBehavior, WarpEfficiencyIsHigh) {
+  // §V-C headline: data-parallel SS-tree traversal > 50 % warp efficiency.
+  const auto w = make_workload(64, 4000, 128);
+  GpuKnnOptions opts;
+  const BatchResult r = psb_batch(w->tree(), w->queries, opts);
+  EXPECT_GT(r.metrics.warp_efficiency(), 0.5);
+}
+
+TEST(PsbBehavior, LeafVisitsAreMonotonicLeftToRight) {
+  // Structural check via stats: each query scans every leaf at most once, so
+  // leaf visits can never exceed the leaf count plus the initial descent.
+  const auto w = make_workload(4, 3000, 32);
+  GpuKnnOptions opts;
+  for (std::size_t q = 0; q < w->queries.size(); ++q) {
+    const QueryResult r = psb_query(w->tree(), w->queries[q], opts, nullptr);
+    EXPECT_LE(r.stats.leaves_visited, w->tree().leaves().size() + 1);
+  }
+}
+
+TEST(PsbBehavior, ClusteredQueriesVisitFewLeaves) {
+  // A query on a data point in clustered data should prune the vast majority
+  // of the tree (this is what makes tree indexing beat brute force, Fig. 7).
+  const auto w = make_workload(16, 6000, 64);
+  GpuKnnOptions opts;
+  opts.k = 8;
+  const QueryResult r = psb_query(w->tree(), w->points[100], opts, nullptr);
+  EXPECT_LT(r.stats.leaves_visited, w->tree().leaves().size() / 2);
+}
+
+TEST(PsbBehavior, FasterThanBnbOnClusteredData) {
+  // §V headline: PSB consistently outperforms branch-and-bound.
+  const auto w = make_workload(64, 8000, 128);
+  GpuKnnOptions opts;
+  const BatchResult psb_r = psb_batch(w->tree(), w->queries, opts);
+  const BatchResult bnb_r = bnb_batch(w->tree(), w->queries, opts);
+  EXPECT_LT(psb_r.timing.avg_query_ms, bnb_r.timing.avg_query_ms);
+}
+
+TEST(PsbBehavior, TreeBeatsBruteForceOnClusteredData) {
+  // Paper setting: clustered data AND clustered queries (uniform queries in
+  // 32-d are the curse-of-dimensionality regime where trees rightfully lose).
+  const auto w = make_workload(32, 20000, 128);
+  const PointSet queries = data::sample_queries(w->points, 16, 0.0, 5);
+  GpuKnnOptions opts;
+  const BatchResult psb_r = psb_batch(w->tree(), queries, opts);
+  const BatchResult brute_r = brute_force_batch(w->points, queries, opts);
+  EXPECT_LT(psb_r.metrics.total_bytes(), brute_r.metrics.total_bytes());
+  EXPECT_LT(psb_r.timing.avg_query_ms, brute_r.timing.avg_query_ms);
+}
+
+TEST(PsbBehavior, SpillModeShrinksSharedFootprint) {
+  const auto w = make_workload(8, 3000, 64);
+  GpuKnnOptions shared;
+  shared.k = 512;
+  GpuKnnOptions spill = shared;
+  spill.spill_heap_to_global = true;
+  const BatchResult a = psb_batch(w->tree(), w->queries, shared);
+  const BatchResult b = psb_batch(w->tree(), w->queries, spill);
+  EXPECT_LT(b.metrics.shared_bytes, a.metrics.shared_bytes);
+  EXPECT_GT(b.timing.occupancy, a.timing.occupancy);
+}
+
+TEST(PsbBehavior, StatsAreInternallyConsistent) {
+  const auto w = make_workload(8, 2000, 32);
+  GpuKnnOptions opts;
+  const BatchResult r = psb_batch(w->tree(), w->queries, opts);
+  EXPECT_GE(r.stats.nodes_visited, r.stats.leaves_visited);
+  EXPECT_GE(r.stats.points_examined, r.stats.leaves_visited);  // leaves are non-empty
+  EXPECT_EQ(r.metrics.node_fetches, r.stats.nodes_visited);
+  EXPECT_EQ(r.queries.size(), w->queries.size());
+}
+
+}  // namespace
+}  // namespace psb::knn

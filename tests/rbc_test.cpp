@@ -1,0 +1,122 @@
+// Tests for the Random Ball Cover comparison system (§VI related work).
+#include <gtest/gtest.h>
+
+#include "rbc/rbc.hpp"
+#include "test_util.hpp"
+
+namespace psb::rbc {
+namespace {
+
+TEST(Rbc, BuildInvariants) {
+  const PointSet points = test::small_clustered(8, 2000, 11);
+  const RandomBallCover rbc(&points);
+  rbc.validate();
+  // Default representative count: ceil(sqrt(n)).
+  EXPECT_EQ(rbc.num_representatives(), 45u);
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < rbc.num_representatives(); ++r) total += rbc.list(r).size();
+  EXPECT_EQ(total, points.size());
+}
+
+TEST(Rbc, ExactMatchesReference) {
+  for (const std::size_t dims : {2u, 16u, 64u}) {
+    const PointSet points = test::small_clustered(dims, 1500, dims * 7);
+    const RandomBallCover rbc(&points);
+    const PointSet queries = test::random_queries(dims, 10, dims * 9);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const auto got = rbc.query_exact(queries[q], 16);
+      const auto expected = test::reference_knn_distances(points, queries[q], 16);
+      test::expect_knn_matches(got.neighbors, expected, "rbc exact");
+    }
+  }
+}
+
+TEST(Rbc, ExactPrunesListsOnClusteredData) {
+  const PointSet points = test::small_clustered(8, 4000, 13);
+  const RandomBallCover rbc(&points);
+  const auto r = rbc.query_exact(points[0], 8);
+  // Triangle-inequality pruning must skip most lists for an on-cluster query.
+  EXPECT_LT(r.stats.nodes_visited, rbc.num_representatives() / 2);
+  EXPECT_LT(r.stats.points_examined, points.size());
+}
+
+TEST(Rbc, OneShotRecallIncreasesWithS) {
+  const PointSet points = test::small_clustered(16, 3000, 17);
+  const RandomBallCover rbc(&points);
+  const PointSet queries = test::random_queries(16, 20, 19);
+
+  auto mean_recall = [&](std::size_t s) {
+    double acc = 0;
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const auto got = rbc.query_one_shot(queries[q], 8, s);
+      const auto expected = test::reference_knn_distances(points, queries[q], 8);
+      acc += recall(got.neighbors, expected);
+    }
+    return acc / static_cast<double>(queries.size());
+  };
+
+  const double r1 = mean_recall(1);
+  const double r5 = mean_recall(5);
+  const double r_all = mean_recall(rbc.num_representatives());
+  EXPECT_LE(r1, r5 + 1e-9);
+  EXPECT_NEAR(r_all, 1.0, 1e-9);  // scanning every list is exhaustive
+  EXPECT_GT(r5, 0.5) << "one-shot with s=5 should recover most neighbors";
+}
+
+TEST(Rbc, OneShotIsCheaperThanExhaustive) {
+  const PointSet points = test::small_clustered(8, 4000, 23);
+  const RandomBallCover rbc(&points);
+  simt::Metrics m;
+  rbc.query_one_shot(points[5], 8, 2, &m);
+  EXPECT_LT(m.total_bytes(), points.byte_size());
+}
+
+TEST(Rbc, BatchAggregatesAndTimes) {
+  const PointSet points = test::small_clustered(4, 1000, 29);
+  const RandomBallCover rbc(&points);
+  const PointSet queries = test::random_queries(4, 12, 31);
+  const auto r = rbc.batch_exact(queries, 4);
+  EXPECT_EQ(r.queries.size(), 12u);
+  EXPECT_GT(r.timing.avg_query_ms, 0);
+  EXPECT_GT(r.metrics.bytes_coalesced, 0u);
+  EXPECT_EQ(r.metrics.bytes_random, 0u);  // RBC is all streaming
+}
+
+TEST(Rbc, DegenerateInputs) {
+  PointSet one(3);
+  one.append(std::vector<Scalar>{1, 2, 3});
+  const RandomBallCover tiny(&one);
+  tiny.validate();
+  EXPECT_EQ(tiny.query_exact(std::vector<Scalar>{0, 0, 0}, 5).neighbors.size(), 1u);
+
+  PointSet dup(2);
+  for (int i = 0; i < 100; ++i) dup.append(std::vector<Scalar>{4, 4});
+  const RandomBallCover dups(&dup);
+  dups.validate();
+  const auto r = dups.query_exact(std::vector<Scalar>{4, 4}, 10);
+  ASSERT_EQ(r.neighbors.size(), 10u);
+  for (const auto& e : r.neighbors) EXPECT_FLOAT_EQ(e.dist, 0.0F);
+}
+
+TEST(Rbc, Preconditions) {
+  PointSet empty_set(2);
+  EXPECT_THROW(RandomBallCover over_empty(&empty_set), InvalidArgument);
+  const PointSet points = test::small_clustered(2, 50, 37);
+  const RandomBallCover rbc(&points);
+  EXPECT_THROW(rbc.query_exact(points[0], 0), InvalidArgument);
+  EXPECT_THROW(rbc.query_one_shot(points[0], 1, 0), InvalidArgument);
+  EXPECT_THROW(rbc.query_exact(std::vector<Scalar>{1, 2, 3}, 1), InvalidArgument);
+}
+
+TEST(RecallMetric, Basics) {
+  std::vector<KnnHeap::Entry> got{{1.0F, 0}, {2.0F, 1}};
+  const std::vector<Scalar> ref{1.0F, 2.0F};
+  EXPECT_DOUBLE_EQ(recall(got, ref), 1.0);
+  const std::vector<Scalar> ref2{1.0F, 3.0F};
+  EXPECT_DOUBLE_EQ(recall(got, ref2), 0.5);
+  EXPECT_DOUBLE_EQ(recall({}, ref), 0.0);
+  EXPECT_DOUBLE_EQ(recall(got, {}), 1.0);
+}
+
+}  // namespace
+}  // namespace psb::rbc

@@ -1,0 +1,213 @@
+// Tests for the SIMT simulator substrate: the charging laws are what make
+// the paper's metrics (warp efficiency, accessed bytes) trustworthy.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "simt/block.hpp"
+#include "simt/task_parallel.hpp"
+
+namespace psb::simt {
+namespace {
+
+TEST(Metrics, WarpEfficiencyDefinition) {
+  Metrics m;
+  EXPECT_DOUBLE_EQ(m.warp_efficiency(), 1.0);  // nothing issued
+  m.warp_instructions = 10;
+  m.active_lane_slots = 320;
+  EXPECT_DOUBLE_EQ(m.warp_efficiency(), 1.0);  // all 32 lanes active
+  m.active_lane_slots = 160;
+  EXPECT_DOUBLE_EQ(m.warp_efficiency(), 0.5);
+}
+
+TEST(Metrics, MergeSumsAndMaxes) {
+  Metrics a;
+  a.warp_instructions = 1;
+  a.bytes_coalesced = 100;
+  a.shared_bytes = 64;
+  Metrics b;
+  b.warp_instructions = 2;
+  b.bytes_random = 50;
+  b.shared_bytes = 32;
+  a.merge(b);
+  EXPECT_EQ(a.warp_instructions, 3u);
+  EXPECT_EQ(a.total_bytes(), 150u);
+  EXPECT_EQ(a.shared_bytes, 64u);  // high-water, not sum
+}
+
+TEST(Block, RoundsThreadsUpToWarp) {
+  DeviceSpec spec;
+  Metrics m;
+  Block block(spec, 33, &m);
+  EXPECT_EQ(block.threads(), 64);
+  Block one(spec, 1, &m);
+  EXPECT_EQ(one.threads(), 32);
+}
+
+TEST(Block, ParForExecutesEveryTask) {
+  DeviceSpec spec;
+  Metrics m;
+  Block block(spec, 64, &m);
+  std::vector<int> hit(150, 0);
+  block.par_for(hit.size(), 1, [&](std::size_t i) { hit[i] += 1; });
+  EXPECT_TRUE(std::all_of(hit.begin(), hit.end(), [](int v) { return v == 1; }));
+}
+
+TEST(Block, ParForChargesRaggedTail) {
+  DeviceSpec spec;
+  Metrics m;
+  Block block(spec, 64, &m);  // 2 warps
+  // 96 tasks on 64 lanes: round 1 = 64 active (2 warps), round 2 = 32 active
+  // (1 live warp; the empty warp issues nothing).
+  block.par_for(96, 1, [](std::size_t) {});
+  EXPECT_EQ(m.warp_instructions, 3u);
+  EXPECT_EQ(m.active_lane_slots, 96u);
+  EXPECT_DOUBLE_EQ(m.warp_efficiency(), 1.0);
+}
+
+TEST(Block, DivergenceLowersEfficiency) {
+  DeviceSpec spec;
+  Metrics m;
+  Block block(spec, 32, &m);
+  block.par_for(8, 1, [](std::size_t) {});  // 8 of 32 lanes
+  EXPECT_EQ(m.warp_instructions, 1u);
+  EXPECT_EQ(m.active_lane_slots, 8u);
+  EXPECT_DOUBLE_EQ(m.warp_efficiency(), 0.25);
+}
+
+TEST(Block, OpsMultiplierScalesCharges) {
+  DeviceSpec spec;
+  Metrics m;
+  Block block(spec, 32, &m);
+  block.par_for(32, 10, [](std::size_t) {});
+  EXPECT_EQ(m.warp_instructions, 10u);
+  EXPECT_EQ(m.active_lane_slots, 320u);
+}
+
+TEST(Block, LoadGlobalRoutesByPattern) {
+  DeviceSpec spec;
+  Metrics m;
+  Block block(spec, 32, &m);
+  block.load_global(1000, Access::kCoalesced);
+  block.load_global(500, Access::kRandom);
+  block.load_global(200, Access::kCached);
+  EXPECT_EQ(m.bytes_coalesced, 1000u);
+  EXPECT_EQ(m.bytes_random, 500u);
+  EXPECT_EQ(m.bytes_cached, 200u);
+  EXPECT_EQ(m.node_fetches, 3u);
+  EXPECT_EQ(m.total_bytes(), 1700u);
+  // Only dependent fetches pay latency; streaming does not.
+  EXPECT_EQ(m.fetches_random, 1u);
+  EXPECT_EQ(m.fetches_cached, 1u);
+}
+
+TEST(Block, SerializeChargesSingleLaneSteps) {
+  DeviceSpec spec;
+  Metrics m;
+  Block block(spec, 128, &m);
+  block.serialize(10);
+  EXPECT_EQ(m.serial_ops, 10u);
+  EXPECT_EQ(m.warp_instructions, 10u);
+  EXPECT_EQ(m.active_lane_slots, 10u);
+  EXPECT_DOUBLE_EQ(m.warp_efficiency(), 1.0 / 32.0);
+}
+
+TEST(Block, UseSharedKeepsHighWater) {
+  DeviceSpec spec;
+  Metrics m;
+  Block block(spec, 32, &m);
+  block.use_shared(100);
+  block.use_shared(50);
+  EXPECT_EQ(m.shared_bytes, 100u);
+}
+
+TEST(Block, ReductionsComputeCorrectValues) {
+  DeviceSpec spec;
+  Metrics m;
+  Block block(spec, 128, &m);
+  const std::vector<Scalar> v{5, 2, 9, 1, 7, 3};
+  EXPECT_FLOAT_EQ(block.reduce_min(v), 1.0F);
+  EXPECT_FLOAT_EQ(block.reduce_max(v), 9.0F);
+  EXPECT_EQ(block.reduce_argmin(v), 3u);
+  EXPECT_EQ(block.reduce_argmax(v), 2u);
+  EXPECT_FLOAT_EQ(block.reduce_kth_min(v, 1), 1.0F);
+  EXPECT_FLOAT_EQ(block.reduce_kth_min(v, 3), 3.0F);
+  EXPECT_FLOAT_EQ(block.reduce_kth_min(v, 6), 9.0F);
+  // k beyond size clamps to the maximum.
+  EXPECT_FLOAT_EQ(block.reduce_kth_min(v, 100), 9.0F);
+}
+
+TEST(Block, ReductionChargesLogTree) {
+  DeviceSpec spec;
+  Metrics m;
+  Block block(spec, 128, &m);
+  const std::vector<Scalar> v(64, 1.0F);
+  block.reduce_min(v);
+  // Widths 32, 16, 8, 4, 2, 1 — six steps; the 32-wide step is one warp.
+  EXPECT_EQ(m.warp_instructions, 6u);
+  EXPECT_EQ(m.active_lane_slots, 63u);
+}
+
+TEST(Block, ZeroTasksChargeNothing) {
+  DeviceSpec spec;
+  Metrics m;
+  Block block(spec, 64, &m);
+  block.par_for(0, 5, [](std::size_t) { FAIL() << "body must not run"; });
+  EXPECT_EQ(m.warp_instructions, 0u);
+}
+
+TEST(Block, SingleElementReduction) {
+  DeviceSpec spec;
+  Metrics m;
+  Block block(spec, 32, &m);
+  const std::vector<Scalar> one{7.5F};
+  EXPECT_FLOAT_EQ(block.reduce_min(one), 7.5F);
+  EXPECT_FLOAT_EQ(block.reduce_kth_min(one, 1), 7.5F);
+  EXPECT_EQ(block.reduce_argmax(one), 0u);
+}
+
+TEST(Block, EmptyReductionThrows) {
+  DeviceSpec spec;
+  Metrics m;
+  Block block(spec, 32, &m);
+  EXPECT_THROW(block.reduce_min({}), InvalidArgument);
+}
+
+TEST(TaskParallel, SingleLaneEfficiencyIsOneOverWarp) {
+  DeviceSpec spec;
+  Metrics m;
+  LaneWork lw;
+  lw.steps = 100;
+  lw.bytes_random = 640;
+  accumulate_task_parallel(spec, {&lw, 1}, &m);
+  EXPECT_EQ(m.warp_instructions, 100u);
+  EXPECT_EQ(m.active_lane_slots, 100u);
+  EXPECT_NEAR(m.warp_efficiency(), 1.0 / 32.0, 1e-12);
+  EXPECT_EQ(m.bytes_random, 640u);
+}
+
+TEST(TaskParallel, WarpCostIsMaxLane) {
+  DeviceSpec spec;
+  Metrics m;
+  std::vector<LaneWork> lanes(32);
+  for (std::size_t i = 0; i < lanes.size(); ++i) lanes[i].steps = i + 1;  // 1..32
+  accumulate_task_parallel(spec, lanes, &m);
+  EXPECT_EQ(m.warp_instructions, 32u);                 // max lane
+  EXPECT_EQ(m.active_lane_slots, 32u * 33u / 2u);      // sum of lanes
+  EXPECT_NEAR(m.warp_efficiency(), (32.0 * 33 / 2) / (32 * 32), 1e-12);
+}
+
+TEST(TaskParallel, LanesPackIntoMultipleWarps) {
+  DeviceSpec spec;
+  Metrics m;
+  std::vector<LaneWork> lanes(48);
+  for (auto& lw : lanes) lw.steps = 10;
+  accumulate_task_parallel(spec, lanes, &m);
+  // Warp 1: 32 lanes @10; warp 2: 16 lanes @10.
+  EXPECT_EQ(m.warp_instructions, 20u);
+  EXPECT_EQ(m.active_lane_slots, 480u);
+}
+
+}  // namespace
+}  // namespace psb::simt

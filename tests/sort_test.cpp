@@ -1,0 +1,99 @@
+// Tests for the instrumented radix sort used by Hilbert bottom-up build.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "simt/sort.hpp"
+
+namespace psb::simt {
+namespace {
+
+std::vector<std::uint64_t> random_keys(std::size_t n, std::size_t words, std::uint64_t seed,
+                                       std::uint64_t mask = ~0ULL) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> keys(n * words);
+  for (auto& k : keys) k = rng.next_u64() & mask;
+  return keys;
+}
+
+bool is_sorted_order(std::span<const std::uint64_t> keys, std::size_t words,
+                     std::span<const PointId> order) {
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    std::span<const std::uint64_t> a{keys.data() + order[i - 1] * words, words};
+    std::span<const std::uint64_t> b{keys.data() + order[i] * words, words};
+    if (compare_keys(a, b) > 0) return false;
+  }
+  return true;
+}
+
+TEST(RadixSort, SingleWordMatchesStdSort) {
+  const auto keys = random_keys(1000, 1, 42);
+  const auto order = radix_sort_order(keys, nullptr);
+  ASSERT_EQ(order.size(), 1000u);
+  EXPECT_TRUE(is_sorted_order(keys, 1, order));
+  // Permutation check.
+  std::vector<PointId> sorted_ids(order.begin(), order.end());
+  std::sort(sorted_ids.begin(), sorted_ids.end());
+  for (std::size_t i = 0; i < sorted_ids.size(); ++i) EXPECT_EQ(sorted_ids[i], i);
+}
+
+TEST(RadixSort, MultiWordLexicographic) {
+  for (const std::size_t words : {2u, 3u, 5u}) {
+    const auto keys = random_keys(500, words, 1000 + words);
+    const auto order = radix_sort_order(keys, words, nullptr);
+    EXPECT_TRUE(is_sorted_order(keys, words, order)) << words << " words";
+  }
+}
+
+TEST(RadixSort, StableOnEqualKeys) {
+  // All-equal keys: order must be the identity (stability).
+  std::vector<std::uint64_t> keys(100, 7);
+  const auto order = radix_sort_order(keys, 1, nullptr);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(RadixSort, SparseKeysWithTrivialPasses) {
+  // Keys only in the low byte: the high-digit passes must be skipped without
+  // corrupting the result.
+  const auto keys = random_keys(300, 2, 5, 0xFFULL);
+  const auto order = radix_sort_order(keys, 2, nullptr);
+  EXPECT_TRUE(is_sorted_order(keys, 2, order));
+}
+
+TEST(RadixSort, EmptyAndSingle) {
+  EXPECT_TRUE(radix_sort_order({}, 1, nullptr).empty());
+  const std::vector<std::uint64_t> one{99};
+  const auto order = radix_sort_order(one, 1, nullptr);
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_EQ(order[0], 0u);
+}
+
+TEST(RadixSort, ChargesCoalescedTraffic) {
+  Metrics m;
+  const auto keys = random_keys(128, 2, 77);
+  radix_sort_order(keys, 2, &m);
+  // 2 words -> 8 passes; each pass moves key bytes + 2 payload words.
+  const std::uint64_t expected = 8ull * 128 * (16 + 8);
+  EXPECT_EQ(m.bytes_coalesced, expected);
+  EXPECT_EQ(m.bytes_random, 0u);
+}
+
+TEST(RadixSort, RejectsMalformedInput) {
+  const std::vector<std::uint64_t> keys{1, 2, 3};
+  EXPECT_THROW(radix_sort_order(keys, 2, nullptr), InvalidArgument);
+  EXPECT_THROW(radix_sort_order(keys, 0, nullptr), InvalidArgument);
+}
+
+TEST(CompareKeys, Lexicographic) {
+  const std::vector<std::uint64_t> a{1, 5};
+  const std::vector<std::uint64_t> b{1, 7};
+  const std::vector<std::uint64_t> c{2, 0};
+  EXPECT_LT(compare_keys(a, b), 0);
+  EXPECT_GT(compare_keys(c, b), 0);
+  EXPECT_EQ(compare_keys(a, a), 0);
+}
+
+}  // namespace
+}  // namespace psb::simt

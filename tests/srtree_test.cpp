@@ -1,0 +1,109 @@
+// Tests for the SR-tree CPU baseline.
+#include <gtest/gtest.h>
+
+#include "srtree/srtree.hpp"
+#include "srtree/srtree_knn.hpp"
+#include "test_util.hpp"
+
+namespace psb::srtree {
+namespace {
+
+TEST(SRTree, CapacitiesDeriveFromPageSize) {
+  const PointSet points = test::small_clustered(64, 100, 1);
+  const SRTree tree(&points);
+  // 8 KB page, 64 dims: internal entry = 4 + (193)*4 + 4 = 780 B -> ~10;
+  // leaf entry = 256 + 4 = 260 B -> ~31.
+  EXPECT_GE(tree.internal_capacity(), 8u);
+  EXPECT_LE(tree.internal_capacity(), 12u);
+  EXPECT_GE(tree.leaf_capacity(), 28u);
+  EXPECT_LE(tree.leaf_capacity(), 33u);
+}
+
+TEST(SRTree, ValidStructureAcrossDims) {
+  for (const std::size_t dims : {2u, 4u, 16u, 64u}) {
+    const PointSet points = test::small_clustered(dims, 1500, dims * 3);
+    const SRTree tree(&points);
+    tree.validate();
+    const auto s = tree.stats();
+    EXPECT_GT(s.leaves, 1u);
+    EXPECT_GT(s.leaf_utilization, 0.2);
+  }
+}
+
+TEST(SRTree, KnnMatchesReference) {
+  const PointSet points = test::small_clustered(8, 2500, 71);
+  const SRTree tree(&points);
+  const PointSet queries = test::random_queries(8, 20, 72);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto r = knn_query(tree, queries[q], 16);
+    const auto expected = test::reference_knn_distances(points, queries[q], 16);
+    test::expect_knn_matches(r.neighbors, expected, "srtree");
+  }
+}
+
+TEST(SRTree, CombinedMindistIsTighterOrEqual) {
+  // The SR-tree's reason to exist: max(sphere, rect) dominates both bounds.
+  const PointSet points = test::small_clustered(4, 800, 73);
+  const SRTree tree(&points);
+  const PointSet queries = test::random_queries(4, 10, 74);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const Node& root = tree.node(tree.root());
+    const Scalar combined = tree.region_mindist(queries[q], root);
+    const Scalar sphere_only =
+        std::max(Scalar{0}, distance(queries[q], root.centroid) - root.radius);
+    const Scalar rect_only = mindist(queries[q], root.rect);
+    EXPECT_GE(combined + 1e-5F, sphere_only);
+    EXPECT_GE(combined + 1e-5F, rect_only);
+  }
+}
+
+TEST(SRTree, BatchReportsTimeAndBytes) {
+  const PointSet points = test::small_clustered(4, 2000, 75);
+  const SRTree tree(&points);
+  const PointSet queries = test::random_queries(4, 25, 76);
+  const CpuBatchResult r = knn_batch(tree, queries, 8);
+  EXPECT_EQ(r.queries.size(), 25u);
+  EXPECT_GT(r.wall_ms, 0.0);
+  EXPECT_NEAR(r.avg_query_ms * 25, r.wall_ms, 1e-9);
+  EXPECT_EQ(r.accessed_bytes, r.stats.nodes_visited * tree.page_bytes());
+}
+
+TEST(SRTree, KnnWithKGreaterThanN) {
+  const PointSet points = test::small_clustered(3, 12, 77);
+  const SRTree tree(&points);
+  const auto r = knn_query(tree, std::vector<Scalar>{0, 0, 0}, 99);
+  EXPECT_EQ(r.neighbors.size(), 12u);
+}
+
+TEST(SRTree, DuplicatePoints) {
+  PointSet points(2);
+  for (int i = 0; i < 300; ++i) points.append(std::vector<Scalar>{1, 2});
+  const SRTree tree(&points);
+  tree.validate();
+  const auto r = knn_query(tree, std::vector<Scalar>{1, 2}, 10);
+  ASSERT_EQ(r.neighbors.size(), 10u);
+  for (const auto& e : r.neighbors) EXPECT_FLOAT_EQ(e.dist, 0.0F);
+}
+
+TEST(SRTree, Preconditions) {
+  PointSet empty_set(2);
+  EXPECT_THROW(SRTree tree_over_empty(&empty_set), InvalidArgument);
+  const PointSet points = test::small_clustered(2, 10, 79);
+  SRTree::Options opts;
+  opts.page_bytes = 16;  // too small for any entry
+  EXPECT_THROW(SRTree(&points, opts), InvalidArgument);
+}
+
+TEST(SRTree, AccessesFewerBytesThanGpuSsTreeWouldButMoreTime) {
+  // Fig. 3's qualitative relationship is exercised in the integration test;
+  // here we only pin the byte accounting definition.
+  const PointSet points = test::small_clustered(16, 3000, 81);
+  const SRTree tree(&points);
+  const PointSet queries = test::random_queries(16, 10, 82);
+  const CpuBatchResult r = knn_batch(tree, queries, 32);
+  EXPECT_GT(r.accessed_mb(), 0.0);
+  EXPECT_LT(r.accessed_mb(), points.byte_size() * 10.0 / 1e6);
+}
+
+}  // namespace
+}  // namespace psb::srtree

@@ -1,0 +1,168 @@
+// Tests for the SSTree container: finalize() derivations and the invariant
+// validator itself (including that it *catches* broken trees).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "mbs/ritter.hpp"
+#include "sstree/tree.hpp"
+#include "test_util.hpp"
+
+namespace psb::sstree {
+namespace {
+
+/// Hand-build a small two-level tree: points packed into leaves of
+/// `leaf_size`, one root over all leaves. Returns the tree (not finalized).
+SSTree manual_tree(const PointSet& points, std::size_t degree, std::size_t leaf_size) {
+  SSTree tree(&points, degree);
+  std::vector<NodeId> leaves;
+  std::vector<PointId> ids(points.size());
+  std::iota(ids.begin(), ids.end(), PointId{0});
+  for (std::size_t base = 0; base < ids.size(); base += leaf_size) {
+    const std::size_t count = std::min(leaf_size, ids.size() - base);
+    const NodeId id = tree.add_node(0);
+    Node& leaf = tree.node(id);
+    leaf.points.assign(ids.begin() + base, ids.begin() + base + count);
+    leaf.sphere = mbs::ritter_points(points, leaf.points);
+    leaves.push_back(id);
+  }
+  const NodeId root = tree.add_node(1);
+  tree.node(root).children = leaves;
+  std::vector<Sphere> spheres;
+  for (const NodeId l : leaves) spheres.push_back(tree.node(l).sphere);
+  tree.node(root).sphere = mbs::ritter_spheres(spheres);
+  tree.set_root(root);
+  return tree;
+}
+
+TEST(SSTree, FinalizeDerivesLeafChainAndRanges) {
+  const PointSet points = test::small_clustered(3, 64, 3);
+  SSTree tree = manual_tree(points, 16, 8);
+  tree.finalize();
+  tree.validate();
+
+  EXPECT_EQ(tree.leaves().size(), 8u);
+  EXPECT_EQ(tree.height(), 2);
+  EXPECT_EQ(tree.last_leaf_id(), 7u);
+
+  // Chain is left-to-right.
+  NodeId cur = tree.leftmost_leaf();
+  std::uint32_t expect = 0;
+  while (cur != kInvalidNode) {
+    EXPECT_EQ(tree.node(cur).leaf_id, expect++);
+    cur = tree.node(cur).right_sibling;
+  }
+  EXPECT_EQ(expect, 8u);
+
+  // Root subtree covers all leaves.
+  const Node& root = tree.node(tree.root());
+  EXPECT_EQ(root.subtree_min_leaf, 0u);
+  EXPECT_EQ(root.subtree_max_leaf, 7u);
+  EXPECT_EQ(root.parent, kInvalidNode);
+}
+
+TEST(SSTree, SoAChildArraysMatchChildSpheres) {
+  const PointSet points = test::small_clustered(4, 40, 5);
+  SSTree tree = manual_tree(points, 10, 10);
+  tree.finalize();
+  const Node& root = tree.node(tree.root());
+  const std::size_t c = root.children.size();
+  for (std::size_t i = 0; i < c; ++i) {
+    const Node& child = tree.node(root.children[i]);
+    EXPECT_EQ(root.child_radii[i], child.sphere.radius);
+    for (std::size_t t = 0; t < tree.dims(); ++t) {
+      EXPECT_EQ(root.child_centers[t * c + i], child.sphere.center[t]);
+    }
+  }
+}
+
+TEST(SSTree, StagedLeafCoordsAreSoA) {
+  const PointSet points = test::small_clustered(3, 12, 7);
+  SSTree tree = manual_tree(points, 6, 6);
+  tree.finalize();
+  const Node& leaf = tree.node(tree.leftmost_leaf());
+  const std::size_t n = leaf.points.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t t = 0; t < 3; ++t) {
+      EXPECT_EQ(leaf.coords[t * n + i], points[leaf.points[i]][t]);
+    }
+  }
+}
+
+TEST(SSTree, NodeByteSizeFormula) {
+  const PointSet points = test::small_clustered(4, 32, 9);
+  SSTree tree = manual_tree(points, 8, 8);
+  tree.finalize();
+  const Node& leaf = tree.node(tree.leftmost_leaf());
+  // header 32 + 8 points * (4 dims * 4B + 4B id)
+  EXPECT_EQ(tree.node_byte_size(leaf), 32 + 8 * (16 + 4));
+  const Node& root = tree.node(tree.root());
+  // header 32 + 4 children * ((4+1)*4B sphere + 4B child id)
+  EXPECT_EQ(tree.node_byte_size(root), 32 + 4 * (20 + 4));
+}
+
+TEST(SSTree, StatsUtilization) {
+  const PointSet points = test::small_clustered(2, 32, 11);
+  SSTree tree = manual_tree(points, 8, 8);  // 4 leaves, all full
+  tree.finalize();
+  const auto s = tree.stats();
+  EXPECT_EQ(s.leaves, 4u);
+  EXPECT_EQ(s.nodes, 5u);
+  EXPECT_DOUBLE_EQ(s.leaf_utilization, 1.0);
+  EXPECT_DOUBLE_EQ(s.internal_utilization, 0.5);  // 4 children of degree 8
+  EXPECT_GT(s.total_bytes, 0u);
+}
+
+TEST(SSTree, ValidatorCatchesBrokenSphere) {
+  const PointSet points = test::small_clustered(3, 64, 13);
+  SSTree tree = manual_tree(points, 16, 8);
+  tree.finalize();
+  // Sabotage: shrink the root sphere so a child escapes.
+  tree.node(tree.root()).sphere.radius *= 0.01F;
+  EXPECT_THROW(tree.validate(), InternalError);
+}
+
+TEST(SSTree, ValidatorCatchesBrokenChain) {
+  const PointSet points = test::small_clustered(3, 64, 17);
+  SSTree tree = manual_tree(points, 16, 8);
+  tree.finalize();
+  tree.node(tree.leftmost_leaf()).right_sibling = kInvalidNode;  // cut the chain
+  EXPECT_THROW(tree.validate(), InternalError);
+}
+
+TEST(SSTree, ValidatorCatchesDuplicatePoint) {
+  const PointSet points = test::small_clustered(3, 64, 19);
+  SSTree tree = manual_tree(points, 16, 8);
+  tree.finalize();
+  Node& leaf = tree.node(tree.leftmost_leaf());
+  leaf.points[0] = leaf.points[1];  // duplicate a point id
+  EXPECT_THROW(tree.validate(), InternalError);
+}
+
+TEST(SSTree, Preconditions) {
+  const PointSet points = test::small_clustered(2, 8, 21);
+  EXPECT_THROW(SSTree(nullptr, 8), InvalidArgument);
+  EXPECT_THROW(SSTree(&points, 1), InvalidArgument);
+  SSTree t(&points, 8);
+  EXPECT_THROW(t.finalize(), InvalidArgument);  // no root set
+}
+
+TEST(SSTree, SingleLeafTree) {
+  const PointSet points = test::small_clustered(2, 5, 23);
+  SSTree tree(&points, 8);
+  const NodeId leaf = tree.add_node(0);
+  std::vector<PointId> ids(points.size());
+  std::iota(ids.begin(), ids.end(), PointId{0});
+  tree.node(leaf).points = ids;
+  tree.node(leaf).sphere = mbs::ritter_points(points, ids);
+  tree.set_root(leaf);
+  tree.finalize();
+  tree.validate();
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_EQ(tree.last_leaf_id(), 0u);
+  EXPECT_EQ(tree.node(leaf).right_sibling, kInvalidNode);
+}
+
+}  // namespace
+}  // namespace psb::sstree

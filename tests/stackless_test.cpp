@@ -1,0 +1,169 @@
+// Tests for the §II-A stackless baselines (kd-restart, skip pointers) and
+// the radius-query extension: exactness first, then the structural
+// relationships the strategy comparison relies on.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "knn/best_first.hpp"
+#include "knn/psb.hpp"
+#include "knn/radius.hpp"
+#include "knn/stackless_baselines.hpp"
+#include "sstree/builders.hpp"
+#include "test_util.hpp"
+
+namespace psb::knn {
+namespace {
+
+class StacklessExactness
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(StacklessExactness, RestartAndSkipPointerMatchReference) {
+  const auto [dims, k, degree] = GetParam();
+  const PointSet points = test::small_clustered(dims, 1500, dims * 41 + k);
+  const PointSet queries = test::random_queries(dims, 10, dims * 43 + k);
+  const sstree::SSTree tree = sstree::build_hilbert(points, degree).tree;
+
+  GpuKnnOptions opts;
+  opts.k = k;
+  const BatchResult restart_r = restart_batch(tree, queries, opts);
+  const BatchResult skip_r = skip_pointer_batch(tree, queries, opts);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto expected = test::reference_knn_distances(points, queries[q], k);
+    test::expect_knn_matches(restart_r.queries[q].neighbors, expected, "restart");
+    test::expect_knn_matches(skip_r.queries[q].neighbors, expected, "skip-pointer");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StacklessExactness,
+                         ::testing::Values(std::make_tuple(2u, 1u, 16u),
+                                           std::make_tuple(4u, 16u, 32u),
+                                           std::make_tuple(16u, 8u, 64u),
+                                           std::make_tuple(64u, 32u, 128u)));
+
+TEST(Stackless, SkipPointerVisitsAtLeastAsManyNodesAsPsb) {
+  // §II-A: "visiting all sibling nodes requires too many accesses to
+  // unnecessary tree nodes, especially for kNN query processing".
+  const PointSet points = test::small_clustered(16, 5000, 71);
+  const PointSet queries = test::random_queries(16, 12, 73);
+  const sstree::SSTree tree = sstree::build_kmeans(points, 64).tree;
+  GpuKnnOptions opts;
+  const BatchResult skip_r = skip_pointer_batch(tree, queries, opts);
+  const BatchResult psb_r = psb_batch(tree, queries, opts);
+  EXPECT_GE(skip_r.stats.nodes_visited * 10, psb_r.stats.nodes_visited * 9)
+      << "skip pointers should not beat PSB on node visits by a wide margin";
+}
+
+TEST(Stackless, RestartRedescendsMoreInternalNodesThanPsb) {
+  const PointSet points = test::small_clustered(16, 5000, 75);
+  const PointSet queries = test::random_queries(16, 12, 77);
+  const sstree::SSTree tree = sstree::build_kmeans(points, 64).tree;
+  GpuKnnOptions opts;
+  const BatchResult restart_r = restart_batch(tree, queries, opts);
+  const BatchResult psb_r = psb_batch(tree, queries, opts);
+  const auto internal_visits = [](const BatchResult& r) {
+    return r.stats.nodes_visited - r.stats.leaves_visited;
+  };
+  EXPECT_GE(internal_visits(restart_r), internal_visits(psb_r));
+}
+
+TEST(Stackless, AllStrategiesVisitEveryLeafAtMostOnce) {
+  const PointSet points = test::small_clustered(8, 2000, 79);
+  const sstree::SSTree tree = sstree::build_hilbert(points, 32).tree;
+  const PointSet queries = test::random_queries(8, 6, 81);
+  GpuKnnOptions opts;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_LE(restart_query(tree, queries[i], opts, nullptr).stats.leaves_visited,
+              tree.leaves().size());
+    EXPECT_LE(skip_pointer_query(tree, queries[i], opts, nullptr).stats.leaves_visited,
+              tree.leaves().size());
+  }
+}
+
+TEST(BestFirstGpu, ExactAndVisitsFewestNodes) {
+  const PointSet points = test::small_clustered(16, 4000, 95);
+  const sstree::SSTree tree = sstree::build_kmeans(points, 64).tree;
+  const PointSet queries = test::random_queries(16, 10, 97);
+  GpuKnnOptions opts;
+  opts.k = 16;
+  const BatchResult bf = best_first_gpu_batch(tree, queries, opts);
+  const BatchResult ps = psb_batch(tree, queries, opts);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto expected = test::reference_knn_distances(points, queries[q], opts.k);
+    test::expect_knn_matches(bf.queries[q].neighbors, expected, "best-first gpu");
+  }
+  // Best-first is node-access optimal among the exact traversals...
+  EXPECT_LE(bf.stats.nodes_visited, ps.stats.nodes_visited);
+  // ...but its lock-serialized shared priority queue costs issue slots
+  // (§II-C): far more serialized work than PSB's merge-based list updates.
+  EXPECT_GT(bf.metrics.serial_ops, ps.metrics.serial_ops * 5);
+}
+
+TEST(Radius, MatchesLinearScan) {
+  const PointSet points = test::small_clustered(8, 3000, 83);
+  const sstree::SSTree tree = sstree::build_kmeans(points, 64).tree;
+  const PointSet queries = test::random_queries(8, 8, 85);
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    // Pick a radius that captures a meaningful number of points.
+    const auto ref32 = test::reference_knn_distances(points, queries[qi], 32);
+    const Scalar radius = ref32.back();
+
+    const RadiusResult r = radius_query(tree, queries[qi], radius);
+    std::vector<Scalar> expected;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const Scalar d = distance(queries[qi], points[i]);
+      if (d <= radius) expected.push_back(d);
+    }
+    std::sort(expected.begin(), expected.end());
+    ASSERT_EQ(r.matches.size(), expected.size()) << "query " << qi;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_FLOAT_EQ(r.matches[i].dist, expected[i]);
+    }
+  }
+}
+
+TEST(Radius, ZeroRadiusFindsExactDuplicates) {
+  PointSet points(2);
+  for (int i = 0; i < 50; ++i) points.append(std::vector<Scalar>{1, 2});
+  for (int i = 0; i < 50; ++i) points.append(std::vector<Scalar>{5, 6});
+  const sstree::SSTree tree = sstree::build_hilbert(points, 16).tree;
+  const RadiusResult r = radius_query(tree, std::vector<Scalar>{1, 2}, 0);
+  EXPECT_EQ(r.matches.size(), 50u);
+  for (const auto& m : r.matches) EXPECT_FLOAT_EQ(m.dist, 0.0F);
+}
+
+TEST(Radius, EmptyResultAndPreconditions) {
+  const PointSet points = test::small_clustered(4, 200, 87);
+  const sstree::SSTree tree = sstree::build_hilbert(points, 16).tree;
+  std::vector<Scalar> far_query{-1e6F, -1e6F, -1e6F, -1e6F};
+  const RadiusResult r = radius_query(tree, far_query, 1.0F);
+  EXPECT_TRUE(r.matches.empty());
+  EXPECT_THROW(radius_query(tree, far_query, -1.0F), InvalidArgument);
+  EXPECT_THROW(radius_query(tree, std::vector<Scalar>{1, 2}, 1.0F), InvalidArgument);
+}
+
+TEST(Radius, WorksOnRectModeTrees) {
+  const PointSet points = test::small_clustered(4, 1000, 91);
+  sstree::KMeansBuildOptions bopts;
+  bopts.bounds = sstree::BoundsMode::kRect;
+  const sstree::SSTree tree = sstree::build_kmeans(points, 32, bopts).tree;
+  const auto ref = test::reference_knn_distances(points, points[3], 12);
+  const RadiusResult r = radius_query(tree, points[3], ref.back());
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (distance(points[3], points[i]) <= ref.back()) ++expected;
+  }
+  EXPECT_EQ(r.matches.size(), expected);
+}
+
+TEST(Radius, PrunesComparedToFullScan) {
+  const PointSet points = test::small_clustered(8, 4000, 89);
+  const sstree::SSTree tree = sstree::build_kmeans(points, 64).tree;
+  const auto ref = test::reference_knn_distances(points, points[0], 8);
+  const RadiusResult r = radius_query(tree, points[0], ref.back());
+  EXPECT_LT(r.stats.points_examined, points.size() / 2)
+      << "radius search failed to prune a clustered dataset";
+}
+
+}  // namespace
+}  // namespace psb::knn

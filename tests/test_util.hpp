@@ -1,0 +1,76 @@
+// Shared helpers for the PSB test suite: plain-CPU reference kNN (the ground
+// truth every algorithm must match), dataset shorthands, and comparison
+// helpers that are robust to distance ties.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/geometry.hpp"
+#include "common/points.hpp"
+#include "common/rng.hpp"
+
+namespace psb::test {
+
+/// Ground-truth kNN distances by exhaustive scan + sort (double precision).
+inline std::vector<Scalar> reference_knn_distances(const PointSet& data,
+                                                   std::span<const Scalar> q, std::size_t k) {
+  std::vector<Scalar> dists(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) dists[i] = distance(q, data[i]);
+  const std::size_t kk = std::min(k, dists.size());
+  std::partial_sort(dists.begin(), dists.begin() + static_cast<std::ptrdiff_t>(kk), dists.end());
+  dists.resize(kk);
+  return dists;
+}
+
+/// Assert that `got` (sorted KnnHeap entries) matches the reference distance
+/// multiset within float tolerance. Ids are not compared: ties between
+/// equidistant points may legitimately resolve differently across algorithms.
+inline void expect_knn_matches(const std::vector<KnnHeap::Entry>& got,
+                               const std::vector<Scalar>& expected, const char* label) {
+  ASSERT_EQ(got.size(), expected.size()) << label;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double tol = 1e-3 + 1e-4 * static_cast<double>(expected[i]);
+    EXPECT_NEAR(got[i].dist, expected[i], tol) << label << " rank " << i;
+  }
+}
+
+/// Small clustered dataset for correctness tests.
+inline PointSet small_clustered(std::size_t dims, std::size_t n, std::uint64_t seed,
+                                double extent = 1000.0, double stddev = 20.0,
+                                std::size_t clusters = 8) {
+  Rng rng(seed);
+  PointSet out(dims);
+  out.reserve(n);
+  std::vector<Scalar> mean(dims);
+  std::vector<Scalar> p(dims);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    for (auto& m : mean) m = static_cast<Scalar>(rng.uniform(0.0, extent));
+    const std::size_t count = (c + 1 == clusters) ? n - (n / clusters) * (clusters - 1)
+                                                  : n / clusters;
+    for (std::size_t i = 0; i < count; ++i) {
+      for (std::size_t t = 0; t < dims; ++t) {
+        p[t] = static_cast<Scalar>(rng.normal(mean[t], stddev));
+      }
+      out.append(p);
+    }
+  }
+  return out;
+}
+
+/// Uniform random queries over roughly the data extent.
+inline PointSet random_queries(std::size_t dims, std::size_t n, std::uint64_t seed,
+                               double extent = 1000.0) {
+  Rng rng(seed);
+  PointSet out(dims);
+  std::vector<Scalar> p(dims);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& v : p) v = static_cast<Scalar>(rng.uniform(0.0, extent));
+    out.append(p);
+  }
+  return out;
+}
+
+}  // namespace psb::test

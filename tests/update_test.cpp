@@ -1,0 +1,180 @@
+// Tests for online SS-tree maintenance (insert / erase / commit).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <numeric>
+#include <set>
+
+#include "knn/psb.hpp"
+#include "sstree/builders.hpp"
+#include "sstree/serialize.hpp"
+#include "sstree/update.hpp"
+#include "test_util.hpp"
+
+namespace psb::sstree {
+namespace {
+
+/// Reference kNN over only the ids currently indexed.
+std::vector<Scalar> reference_over(const PointSet& points, const std::set<PointId>& live,
+                                   std::span<const Scalar> q, std::size_t k) {
+  std::vector<Scalar> dists;
+  dists.reserve(live.size());
+  for (const PointId id : live) dists.push_back(distance(q, points[id]));
+  std::sort(dists.begin(), dists.end());
+  if (dists.size() > k) dists.resize(k);
+  return dists;
+}
+
+TEST(Updater, InsertGrowsTheIndexExactly) {
+  // Start from a single-point tree and stream 499 more points in online,
+  // appending to the dataset behind the tree (the Updater contract).
+  const PointSet points = test::small_clustered(8, 2000, 51);
+  PointSet growable(8);
+  growable.append(points[0]);
+  SSTree tree = build_hilbert(growable, 16).tree;
+  // Grow the dataset *behind* the tree: PointSet references stay stable via
+  // the Updater contract (append then insert).
+  Updater updater(&tree);
+  for (std::size_t i = 1; i < 500; ++i) {
+    growable.append(points[i]);
+    updater.insert(static_cast<PointId>(i));
+  }
+  updater.commit();
+  tree.validate();
+
+  knn::GpuKnnOptions opts;
+  opts.k = 8;
+  const PointSet queries = test::random_queries(8, 8, 53);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto expected = test::reference_knn_distances(growable, queries[q], opts.k);
+    const auto got = knn::psb_query(tree, queries[q], opts, nullptr);
+    test::expect_knn_matches(got.neighbors, expected, "after online inserts");
+  }
+}
+
+TEST(Updater, EraseRemovesFromAnswers) {
+  const PointSet points = test::small_clustered(4, 1000, 55);
+  SSTree tree = build_kmeans(points, 32).tree;
+  Updater updater(&tree);
+
+  std::set<PointId> live;
+  for (PointId i = 0; i < points.size(); ++i) live.insert(i);
+  Rng rng(57);
+  for (int i = 0; i < 300; ++i) {
+    const PointId victim = static_cast<PointId>(rng.next_below(points.size()));
+    if (live.count(victim) == 0) {
+      EXPECT_FALSE(updater.erase(victim));  // double-erase reports false
+      continue;
+    }
+    EXPECT_TRUE(updater.erase(victim));
+    live.erase(victim);
+  }
+  updater.commit();
+  tree.validate(/*require_complete=*/false);
+
+  knn::GpuKnnOptions opts;
+  opts.k = 16;
+  const PointSet queries = test::random_queries(4, 8, 59);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto expected = reference_over(points, live, queries[q], opts.k);
+    const auto got = knn::psb_query(tree, queries[q], opts, nullptr);
+    test::expect_knn_matches(got.neighbors, expected, "after erases");
+    // No erased point may appear in any answer.
+    for (const auto& e : got.neighbors) EXPECT_TRUE(live.count(e.id)) << e.id;
+  }
+}
+
+TEST(Updater, MixedInsertEraseCycles) {
+  PointSet points = test::small_clustered(8, 600, 61);
+  SSTree tree = build_hilbert(points, 16).tree;
+  Updater updater(&tree);
+  std::set<PointId> live;
+  for (PointId i = 0; i < points.size(); ++i) live.insert(i);
+
+  Rng rng(63);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (int i = 0; i < 100; ++i) {
+      const PointId victim = static_cast<PointId>(rng.next_below(points.size()));
+      if (live.count(victim)) {
+        updater.erase(victim);
+        live.erase(victim);
+      }
+    }
+    for (int i = 0; i < 60; ++i) {
+      const PointId back = static_cast<PointId>(rng.next_below(points.size()));
+      if (!live.count(back)) {
+        updater.insert(back);
+        live.insert(back);
+      }
+    }
+    updater.commit();
+    tree.validate(false);
+    const auto q = test::random_queries(8, 1, 100 + cycle);
+    const auto expected = reference_over(points, live, q[0], 8);
+    knn::GpuKnnOptions opts;
+    opts.k = 8;
+    const auto got = knn::psb_query(tree, q[0], opts, nullptr);
+    test::expect_knn_matches(got.neighbors, expected, "mixed cycle");
+  }
+  EXPECT_GT(updater.metrics().node_fetches, 0u);
+}
+
+TEST(Updater, SplitsKeepDegreeBound) {
+  PointSet growable(2);
+  growable.append(std::vector<Scalar>{0, 0});
+  SSTree tree = build_hilbert(growable, 8).tree;
+  Updater updater(&tree);
+  Rng rng(65);
+  for (int i = 1; i < 400; ++i) {
+    growable.append(std::vector<Scalar>{static_cast<Scalar>(rng.uniform(0, 100)),
+                                        static_cast<Scalar>(rng.uniform(0, 100))});
+    updater.insert(static_cast<PointId>(i));
+  }
+  updater.commit();
+  tree.validate();
+  EXPECT_GT(tree.height(), 1);  // splits must have happened
+}
+
+TEST(Updater, SurvivesSerializationRoundTrip) {
+  // An updated (incomplete) index must persist and reload correctly.
+  const PointSet points = test::small_clustered(4, 500, 69);
+  SSTree tree = build_kmeans(points, 16).tree;
+  Updater updater(&tree);
+  for (PointId i = 0; i < 100; ++i) updater.erase(i);
+  updater.commit();
+
+  const std::string path = ::testing::TempDir() + "/updated.psbt";
+  write_index(tree, path);
+  const SSTree loaded = read_index(&points, path);
+  EXPECT_EQ(loaded.num_nodes(), tree.num_nodes());
+
+  knn::GpuKnnOptions opts;
+  opts.k = 8;
+  const auto q = test::random_queries(4, 3, 71);
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    const auto a = knn::psb_query(tree, q[i], opts, nullptr);
+    const auto b = knn::psb_query(loaded, q[i], opts, nullptr);
+    ASSERT_EQ(a.neighbors.size(), b.neighbors.size());
+    for (std::size_t j = 0; j < a.neighbors.size(); ++j) {
+      EXPECT_EQ(a.neighbors[j].dist, b.neighbors[j].dist);
+      // No erased id may reappear after the round trip.
+      EXPECT_GE(b.neighbors[j].id, 100u);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Updater, Preconditions) {
+  const PointSet points = test::small_clustered(4, 100, 67);
+  SSTree tree = build_hilbert(points, 16).tree;
+  Updater updater(&tree);
+  EXPECT_THROW(updater.insert(9999), InvalidArgument);
+
+  KMeansBuildOptions rect;
+  rect.bounds = BoundsMode::kRect;
+  SSTree rtree = build_kmeans(points, 16, rect).tree;
+  EXPECT_THROW(Updater rect_updater(&rtree), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace psb::sstree

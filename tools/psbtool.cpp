@@ -1,0 +1,227 @@
+// psbtool — command-line front end for the PSB library: generate datasets,
+// build and persist indexes, run exact kNN / radius queries, inspect index
+// structure. Everything a user needs to drive the system without writing C++.
+//
+//   psbtool generate --type clustered --dims 16 --count 100000 --out data.psb
+//   psbtool build    --data data.psb --out index.psbt --builder kmeans --degree 128
+//   psbtool info     --data data.psb --index index.psbt
+//   psbtool query    --data data.psb --index index.psbt --k 8 --num-queries 16
+//   psbtool radius   --data data.psb --index index.psbt --radius 50 --num-queries 4
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "psb.hpp"
+
+namespace {
+
+using namespace psb;
+
+[[noreturn]] void usage(const std::string& err = "") {
+  if (!err.empty()) std::cerr << "error: " << err << "\n\n";
+  std::cerr <<
+      R"(usage: psbtool <command> [options]
+
+commands:
+  generate  --out FILE [--type clustered|uniform|noaa] [--dims N] [--count N]
+            [--clusters N] [--stddev X] [--seed N]
+  build     --data FILE --out FILE [--builder kmeans|hilbert|topdown]
+            [--degree N] [--bounds sphere|rect]
+  info      --data FILE --index FILE
+  query     --data FILE --index FILE [--k N] [--num-queries N]
+            [--algo psb|bnb|brute|bestfirst] [--seed N]
+  radius    --data FILE --index FILE --radius X [--num-queries N] [--seed N]
+)";
+  std::exit(2);
+}
+
+/// Minimal --key value parser; flags listed in `known` only.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) usage("unexpected token: " + key);
+      if (i + 1 >= argc) usage("missing value for " + key);
+      values_[key.substr(2)] = argv[++i];
+    }
+  }
+  std::string str(const std::string& key, const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      if (fallback.empty()) usage("missing required option --" + key);
+      return fallback;
+    }
+    return it->second;
+  }
+  std::size_t num(const std::string& key, std::size_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  double real(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  }
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int cmd_generate(const Args& args) {
+  const std::string type = args.str("type", "clustered");
+  const std::string out = args.str("out");
+  PointSet points(1);
+  if (type == "clustered") {
+    data::ClusteredSpec spec;
+    spec.dims = args.num("dims", 16);
+    spec.num_clusters = args.num("clusters", 100);
+    spec.points_per_cluster = args.num("count", 100000) / std::max<std::size_t>(1, spec.num_clusters);
+    spec.stddev = args.real("stddev", 160.0);
+    spec.seed = args.num("seed", 2016);
+    points = data::make_clustered(spec);
+  } else if (type == "uniform") {
+    points = data::make_uniform(args.num("dims", 16), args.num("count", 100000),
+                                args.real("extent", 65536.0), args.num("seed", 2016));
+  } else if (type == "noaa") {
+    data::NoaaSpec spec;
+    spec.stations = args.num("count", 100000) / std::max<std::size_t>(1, spec.readings_per_station);
+    spec.seed = args.num("seed", 1973);
+    points = data::make_noaa_like(spec);
+  } else {
+    usage("unknown --type " + type);
+  }
+  data::write_binary(points, out);
+  std::cout << "wrote " << points.size() << " x " << points.dims() << "-d points to " << out
+            << "\n";
+  return 0;
+}
+
+int cmd_build(const Args& args) {
+  const PointSet points = data::read_binary(args.str("data"));
+  const std::size_t degree = args.num("degree", 128);
+  const std::string builder = args.str("builder", "kmeans");
+  const std::string bounds_s = args.str("bounds", "sphere");
+  const sstree::BoundsMode bounds =
+      bounds_s == "rect" ? sstree::BoundsMode::kRect : sstree::BoundsMode::kSphere;
+
+  sstree::BuildOutput built = [&] {
+    if (builder == "kmeans") {
+      sstree::KMeansBuildOptions opts;
+      opts.bounds = bounds;
+      return sstree::build_kmeans(points, degree, opts);
+    }
+    if (builder == "hilbert") {
+      sstree::HilbertBuildOptions opts;
+      opts.bounds = bounds;
+      return sstree::build_hilbert(points, degree, opts);
+    }
+    if (builder == "topdown") {
+      if (bounds == sstree::BoundsMode::kRect) usage("topdown supports sphere bounds only");
+      return sstree::build_topdown(points, degree);
+    }
+    usage("unknown --builder " + builder);
+  }();
+  built.tree.validate();
+  sstree::write_index(built.tree, args.str("out"));
+
+  const auto s = built.tree.stats();
+  std::cout << "built " << builder << " SS-tree (" << bounds_s << " bounds) in "
+            << built.host_build_seconds << " s: " << s.nodes << " nodes, " << s.leaves
+            << " leaves, height " << s.height << ", leaf fill " << s.leaf_utilization * 100
+            << "%\nindex written to " << args.str("out") << "\n";
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  const PointSet points = data::read_binary(args.str("data"));
+  const sstree::SSTree tree = sstree::read_index(&points, args.str("index"));
+  const auto s = tree.stats();
+  std::cout << "dataset: " << points.size() << " x " << points.dims() << "-d ("
+            << points.byte_size() / 1024 << " KiB)\n"
+            << "index:   degree " << tree.degree() << ", "
+            << (tree.bounds_mode() == sstree::BoundsMode::kSphere ? "sphere" : "rect")
+            << " bounds, " << s.nodes << " nodes (" << s.leaves << " leaves), height "
+            << s.height << "\n"
+            << "         leaf fill " << s.leaf_utilization * 100 << "%, internal fill "
+            << s.internal_utilization * 100 << "%, " << s.total_bytes / 1024
+            << " KiB simulated device size\n";
+  return 0;
+}
+
+int cmd_query(const Args& args) {
+  const PointSet points = data::read_binary(args.str("data"));
+  const sstree::SSTree tree = sstree::read_index(&points, args.str("index"));
+  const std::size_t k = args.num("k", 8);
+  const std::size_t nq = args.num("num-queries", 8);
+  const PointSet queries = data::sample_queries(points, nq, 0.0, args.num("seed", 7));
+  const std::string algo = args.str("algo", "psb");
+
+  knn::GpuKnnOptions opts;
+  opts.k = k;
+  knn::BatchResult r;
+  if (algo == "psb") {
+    r = knn::psb_batch(tree, queries, opts);
+  } else if (algo == "bnb") {
+    r = knn::bnb_batch(tree, queries, opts);
+  } else if (algo == "brute") {
+    r = knn::brute_force_batch(points, queries, opts);
+  } else if (algo == "bestfirst") {
+    auto qs = knn::best_first_batch(tree, queries, k);
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+      std::cout << "query " << i << ": nearest id " << qs[i].neighbors.front().id
+                << " at distance " << qs[i].neighbors.front().dist << "\n";
+    }
+    return 0;
+  } else {
+    usage("unknown --algo " + algo);
+  }
+
+  for (std::size_t i = 0; i < r.queries.size(); ++i) {
+    std::cout << "query " << i << ":";
+    for (const auto& e : r.queries[i].neighbors) {
+      std::cout << " (" << e.id << ", " << e.dist << ")";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n" << algo << ": " << r.timing.avg_query_ms << " ms/query, "
+            << r.accessed_mb() / static_cast<double>(queries.size()) << " MB/query, warp eff "
+            << r.metrics.warp_efficiency() * 100 << "%\n";
+  return 0;
+}
+
+int cmd_radius(const Args& args) {
+  const PointSet points = data::read_binary(args.str("data"));
+  const sstree::SSTree tree = sstree::read_index(&points, args.str("index"));
+  const auto radius = static_cast<Scalar>(args.real("radius", -1));
+  if (radius < 0) usage("--radius is required and must be >= 0");
+  const std::size_t nq = args.num("num-queries", 4);
+  const PointSet queries = data::sample_queries(points, nq, 0.0, args.num("seed", 7));
+
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const knn::RadiusResult r = knn::radius_query(tree, queries[i], radius);
+    std::cout << "query " << i << ": " << r.matches.size() << " points within " << radius
+              << " (examined " << r.stats.points_examined << " of " << points.size() << ")\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "build") return cmd_build(args);
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "query") return cmd_query(args);
+    if (cmd == "radius") return cmd_radius(args);
+    usage("unknown command " + cmd);
+  } catch (const std::exception& e) {
+    std::cerr << "psbtool: " << e.what() << "\n";
+    return 1;
+  }
+}

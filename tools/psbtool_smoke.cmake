@@ -1,0 +1,20 @@
+# End-to-end CLI smoke test: exercises every psbtool subcommand and fails on
+# any non-zero exit.
+function(run)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+endfunction()
+
+set(DATA ${WORKDIR}/smoke_data.psb)
+set(INDEX ${WORKDIR}/smoke_index.psbt)
+
+run(${PSBTOOL} generate --type clustered --dims 8 --count 5000 --clusters 10 --out ${DATA})
+run(${PSBTOOL} build --data ${DATA} --out ${INDEX} --builder kmeans --degree 32)
+run(${PSBTOOL} info --data ${DATA} --index ${INDEX})
+run(${PSBTOOL} query --data ${DATA} --index ${INDEX} --k 4 --num-queries 3)
+run(${PSBTOOL} query --data ${DATA} --index ${INDEX} --k 4 --num-queries 3 --algo bnb)
+run(${PSBTOOL} radius --data ${DATA} --index ${INDEX} --radius 100 --num-queries 2)
+run(${PSBTOOL} build --data ${DATA} --out ${INDEX}.rect --builder hilbert --bounds rect)
+run(${PSBTOOL} info --data ${DATA} --index ${INDEX}.rect)
