@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_psb.dir/ablation_psb.cpp.o"
+  "CMakeFiles/ablation_psb.dir/ablation_psb.cpp.o.d"
+  "ablation_psb"
+  "ablation_psb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_psb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

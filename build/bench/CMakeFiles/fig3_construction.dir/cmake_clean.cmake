@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_construction.dir/fig3_construction.cpp.o"
+  "CMakeFiles/fig3_construction.dir/fig3_construction.cpp.o.d"
+  "fig3_construction"
+  "fig3_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_datasets.dir/fig4_datasets.cpp.o"
+  "CMakeFiles/fig4_datasets.dir/fig4_datasets.cpp.o.d"
+  "fig4_datasets"
+  "fig4_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_degree.dir/fig6_degree.cpp.o"
+  "CMakeFiles/fig6_degree.dir/fig6_degree.cpp.o.d"
+  "fig6_degree"
+  "fig6_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

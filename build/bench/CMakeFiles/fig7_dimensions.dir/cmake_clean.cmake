@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_dimensions.dir/fig7_dimensions.cpp.o"
+  "CMakeFiles/fig7_dimensions.dir/fig7_dimensions.cpp.o.d"
+  "fig7_dimensions"
+  "fig7_dimensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_dimensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_k.dir/fig8_k.cpp.o"
+  "CMakeFiles/fig8_k.dir/fig8_k.cpp.o.d"
+  "fig8_k"
+  "fig8_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

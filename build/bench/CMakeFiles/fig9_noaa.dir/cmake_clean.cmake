@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_noaa.dir/fig9_noaa.cpp.o"
+  "CMakeFiles/fig9_noaa.dir/fig9_noaa.cpp.o.d"
+  "fig9_noaa"
+  "fig9_noaa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_noaa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

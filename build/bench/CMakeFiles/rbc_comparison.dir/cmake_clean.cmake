@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbc_comparison.dir/rbc_comparison.cpp.o"
+  "CMakeFiles/rbc_comparison.dir/rbc_comparison.cpp.o.d"
+  "rbc_comparison"
+  "rbc_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbc_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stackless_strategies.dir/stackless_strategies.cpp.o"
+  "CMakeFiles/stackless_strategies.dir/stackless_strategies.cpp.o.d"
+  "stackless_strategies"
+  "stackless_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stackless_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

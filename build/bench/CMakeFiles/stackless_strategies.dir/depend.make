@@ -1,0 +1,2 @@
+# Empty dependencies file for stackless_strategies.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/throughput_vs_response.dir/throughput_vs_response.cpp.o"
+  "CMakeFiles/throughput_vs_response.dir/throughput_vs_response.cpp.o.d"
+  "throughput_vs_response"
+  "throughput_vs_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throughput_vs_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

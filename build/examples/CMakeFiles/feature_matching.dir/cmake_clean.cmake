@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_matching.dir/feature_matching.cpp.o"
+  "CMakeFiles/feature_matching.dir/feature_matching.cpp.o.d"
+  "feature_matching"
+  "feature_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weather_stations.dir/weather_stations.cpp.o"
+  "CMakeFiles/weather_stations.dir/weather_stations.cpp.o.d"
+  "weather_stations"
+  "weather_stations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weather_stations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("simt")
+subdirs("hilbert")
+subdirs("cluster")
+subdirs("mbs")
+subdirs("data")
+subdirs("sstree")
+subdirs("knn")
+subdirs("kdtree")
+subdirs("srtree")
+subdirs("rbc")
+subdirs("bench_util")

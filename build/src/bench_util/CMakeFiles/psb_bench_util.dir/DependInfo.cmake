@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_util/config.cpp" "src/bench_util/CMakeFiles/psb_bench_util.dir/config.cpp.o" "gcc" "src/bench_util/CMakeFiles/psb_bench_util.dir/config.cpp.o.d"
+  "/root/repo/src/bench_util/stats.cpp" "src/bench_util/CMakeFiles/psb_bench_util.dir/stats.cpp.o" "gcc" "src/bench_util/CMakeFiles/psb_bench_util.dir/stats.cpp.o.d"
+  "/root/repo/src/bench_util/table.cpp" "src/bench_util/CMakeFiles/psb_bench_util.dir/table.cpp.o" "gcc" "src/bench_util/CMakeFiles/psb_bench_util.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/psb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

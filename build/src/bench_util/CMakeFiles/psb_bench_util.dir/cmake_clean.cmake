@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psb_bench_util.dir/config.cpp.o"
+  "CMakeFiles/psb_bench_util.dir/config.cpp.o.d"
+  "CMakeFiles/psb_bench_util.dir/stats.cpp.o"
+  "CMakeFiles/psb_bench_util.dir/stats.cpp.o.d"
+  "CMakeFiles/psb_bench_util.dir/table.cpp.o"
+  "CMakeFiles/psb_bench_util.dir/table.cpp.o.d"
+  "libpsb_bench_util.a"
+  "libpsb_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psb_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpsb_bench_util.a"
+)

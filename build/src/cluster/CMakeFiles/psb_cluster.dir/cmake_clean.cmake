@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psb_cluster.dir/kmeans.cpp.o"
+  "CMakeFiles/psb_cluster.dir/kmeans.cpp.o.d"
+  "libpsb_cluster.a"
+  "libpsb_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psb_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

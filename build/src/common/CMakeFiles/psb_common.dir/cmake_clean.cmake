@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psb_common.dir/geometry.cpp.o"
+  "CMakeFiles/psb_common.dir/geometry.cpp.o.d"
+  "CMakeFiles/psb_common.dir/points.cpp.o"
+  "CMakeFiles/psb_common.dir/points.cpp.o.d"
+  "CMakeFiles/psb_common.dir/rng.cpp.o"
+  "CMakeFiles/psb_common.dir/rng.cpp.o.d"
+  "libpsb_common.a"
+  "libpsb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

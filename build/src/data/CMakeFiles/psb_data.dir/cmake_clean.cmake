@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psb_data.dir/io.cpp.o"
+  "CMakeFiles/psb_data.dir/io.cpp.o.d"
+  "CMakeFiles/psb_data.dir/noaa_synth.cpp.o"
+  "CMakeFiles/psb_data.dir/noaa_synth.cpp.o.d"
+  "CMakeFiles/psb_data.dir/synthetic.cpp.o"
+  "CMakeFiles/psb_data.dir/synthetic.cpp.o.d"
+  "libpsb_data.a"
+  "libpsb_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psb_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

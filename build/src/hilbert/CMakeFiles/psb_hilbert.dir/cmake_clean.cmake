@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psb_hilbert.dir/hilbert.cpp.o"
+  "CMakeFiles/psb_hilbert.dir/hilbert.cpp.o.d"
+  "libpsb_hilbert.a"
+  "libpsb_hilbert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psb_hilbert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psb_kdtree.dir/kdtree.cpp.o"
+  "CMakeFiles/psb_kdtree.dir/kdtree.cpp.o.d"
+  "CMakeFiles/psb_kdtree.dir/task_parallel_knn.cpp.o"
+  "CMakeFiles/psb_kdtree.dir/task_parallel_knn.cpp.o.d"
+  "libpsb_kdtree.a"
+  "libpsb_kdtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psb_kdtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/knn/best_first.cpp" "src/knn/CMakeFiles/psb_knn.dir/best_first.cpp.o" "gcc" "src/knn/CMakeFiles/psb_knn.dir/best_first.cpp.o.d"
+  "/root/repo/src/knn/branch_and_bound.cpp" "src/knn/CMakeFiles/psb_knn.dir/branch_and_bound.cpp.o" "gcc" "src/knn/CMakeFiles/psb_knn.dir/branch_and_bound.cpp.o.d"
+  "/root/repo/src/knn/brute_force.cpp" "src/knn/CMakeFiles/psb_knn.dir/brute_force.cpp.o" "gcc" "src/knn/CMakeFiles/psb_knn.dir/brute_force.cpp.o.d"
+  "/root/repo/src/knn/psb.cpp" "src/knn/CMakeFiles/psb_knn.dir/psb.cpp.o" "gcc" "src/knn/CMakeFiles/psb_knn.dir/psb.cpp.o.d"
+  "/root/repo/src/knn/radius.cpp" "src/knn/CMakeFiles/psb_knn.dir/radius.cpp.o" "gcc" "src/knn/CMakeFiles/psb_knn.dir/radius.cpp.o.d"
+  "/root/repo/src/knn/shared_heap.cpp" "src/knn/CMakeFiles/psb_knn.dir/shared_heap.cpp.o" "gcc" "src/knn/CMakeFiles/psb_knn.dir/shared_heap.cpp.o.d"
+  "/root/repo/src/knn/stackless_baselines.cpp" "src/knn/CMakeFiles/psb_knn.dir/stackless_baselines.cpp.o" "gcc" "src/knn/CMakeFiles/psb_knn.dir/stackless_baselines.cpp.o.d"
+  "/root/repo/src/knn/task_parallel_sstree.cpp" "src/knn/CMakeFiles/psb_knn.dir/task_parallel_sstree.cpp.o" "gcc" "src/knn/CMakeFiles/psb_knn.dir/task_parallel_sstree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/psb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/psb_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sstree/CMakeFiles/psb_sstree.dir/DependInfo.cmake"
+  "/root/repo/build/src/hilbert/CMakeFiles/psb_hilbert.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/psb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/mbs/CMakeFiles/psb_mbs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

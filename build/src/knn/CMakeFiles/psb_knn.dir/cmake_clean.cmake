@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psb_knn.dir/best_first.cpp.o"
+  "CMakeFiles/psb_knn.dir/best_first.cpp.o.d"
+  "CMakeFiles/psb_knn.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/psb_knn.dir/branch_and_bound.cpp.o.d"
+  "CMakeFiles/psb_knn.dir/brute_force.cpp.o"
+  "CMakeFiles/psb_knn.dir/brute_force.cpp.o.d"
+  "CMakeFiles/psb_knn.dir/psb.cpp.o"
+  "CMakeFiles/psb_knn.dir/psb.cpp.o.d"
+  "CMakeFiles/psb_knn.dir/radius.cpp.o"
+  "CMakeFiles/psb_knn.dir/radius.cpp.o.d"
+  "CMakeFiles/psb_knn.dir/shared_heap.cpp.o"
+  "CMakeFiles/psb_knn.dir/shared_heap.cpp.o.d"
+  "CMakeFiles/psb_knn.dir/stackless_baselines.cpp.o"
+  "CMakeFiles/psb_knn.dir/stackless_baselines.cpp.o.d"
+  "CMakeFiles/psb_knn.dir/task_parallel_sstree.cpp.o"
+  "CMakeFiles/psb_knn.dir/task_parallel_sstree.cpp.o.d"
+  "libpsb_knn.a"
+  "libpsb_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psb_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

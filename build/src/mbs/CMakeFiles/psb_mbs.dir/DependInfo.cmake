@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mbs/parallel_ritter.cpp" "src/mbs/CMakeFiles/psb_mbs.dir/parallel_ritter.cpp.o" "gcc" "src/mbs/CMakeFiles/psb_mbs.dir/parallel_ritter.cpp.o.d"
+  "/root/repo/src/mbs/ritter.cpp" "src/mbs/CMakeFiles/psb_mbs.dir/ritter.cpp.o" "gcc" "src/mbs/CMakeFiles/psb_mbs.dir/ritter.cpp.o.d"
+  "/root/repo/src/mbs/welzl.cpp" "src/mbs/CMakeFiles/psb_mbs.dir/welzl.cpp.o" "gcc" "src/mbs/CMakeFiles/psb_mbs.dir/welzl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/psb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/psb_simt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

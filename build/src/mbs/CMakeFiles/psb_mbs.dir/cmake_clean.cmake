@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psb_mbs.dir/parallel_ritter.cpp.o"
+  "CMakeFiles/psb_mbs.dir/parallel_ritter.cpp.o.d"
+  "CMakeFiles/psb_mbs.dir/ritter.cpp.o"
+  "CMakeFiles/psb_mbs.dir/ritter.cpp.o.d"
+  "CMakeFiles/psb_mbs.dir/welzl.cpp.o"
+  "CMakeFiles/psb_mbs.dir/welzl.cpp.o.d"
+  "libpsb_mbs.a"
+  "libpsb_mbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psb_mbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

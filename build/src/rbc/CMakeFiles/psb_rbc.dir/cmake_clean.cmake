@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psb_rbc.dir/rbc.cpp.o"
+  "CMakeFiles/psb_rbc.dir/rbc.cpp.o.d"
+  "libpsb_rbc.a"
+  "libpsb_rbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psb_rbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simt/block.cpp" "src/simt/CMakeFiles/psb_simt.dir/block.cpp.o" "gcc" "src/simt/CMakeFiles/psb_simt.dir/block.cpp.o.d"
+  "/root/repo/src/simt/coalescing.cpp" "src/simt/CMakeFiles/psb_simt.dir/coalescing.cpp.o" "gcc" "src/simt/CMakeFiles/psb_simt.dir/coalescing.cpp.o.d"
+  "/root/repo/src/simt/cost_model.cpp" "src/simt/CMakeFiles/psb_simt.dir/cost_model.cpp.o" "gcc" "src/simt/CMakeFiles/psb_simt.dir/cost_model.cpp.o.d"
+  "/root/repo/src/simt/metrics.cpp" "src/simt/CMakeFiles/psb_simt.dir/metrics.cpp.o" "gcc" "src/simt/CMakeFiles/psb_simt.dir/metrics.cpp.o.d"
+  "/root/repo/src/simt/sort.cpp" "src/simt/CMakeFiles/psb_simt.dir/sort.cpp.o" "gcc" "src/simt/CMakeFiles/psb_simt.dir/sort.cpp.o.d"
+  "/root/repo/src/simt/task_parallel.cpp" "src/simt/CMakeFiles/psb_simt.dir/task_parallel.cpp.o" "gcc" "src/simt/CMakeFiles/psb_simt.dir/task_parallel.cpp.o.d"
+  "/root/repo/src/simt/warp_ops.cpp" "src/simt/CMakeFiles/psb_simt.dir/warp_ops.cpp.o" "gcc" "src/simt/CMakeFiles/psb_simt.dir/warp_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/psb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psb_simt.dir/block.cpp.o"
+  "CMakeFiles/psb_simt.dir/block.cpp.o.d"
+  "CMakeFiles/psb_simt.dir/coalescing.cpp.o"
+  "CMakeFiles/psb_simt.dir/coalescing.cpp.o.d"
+  "CMakeFiles/psb_simt.dir/cost_model.cpp.o"
+  "CMakeFiles/psb_simt.dir/cost_model.cpp.o.d"
+  "CMakeFiles/psb_simt.dir/metrics.cpp.o"
+  "CMakeFiles/psb_simt.dir/metrics.cpp.o.d"
+  "CMakeFiles/psb_simt.dir/sort.cpp.o"
+  "CMakeFiles/psb_simt.dir/sort.cpp.o.d"
+  "CMakeFiles/psb_simt.dir/task_parallel.cpp.o"
+  "CMakeFiles/psb_simt.dir/task_parallel.cpp.o.d"
+  "CMakeFiles/psb_simt.dir/warp_ops.cpp.o"
+  "CMakeFiles/psb_simt.dir/warp_ops.cpp.o.d"
+  "libpsb_simt.a"
+  "libpsb_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psb_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psb_srtree.dir/srtree.cpp.o"
+  "CMakeFiles/psb_srtree.dir/srtree.cpp.o.d"
+  "CMakeFiles/psb_srtree.dir/srtree_knn.cpp.o"
+  "CMakeFiles/psb_srtree.dir/srtree_knn.cpp.o.d"
+  "libpsb_srtree.a"
+  "libpsb_srtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psb_srtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

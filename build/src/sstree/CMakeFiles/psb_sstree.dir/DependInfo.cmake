@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sstree/build_hilbert.cpp" "src/sstree/CMakeFiles/psb_sstree.dir/build_hilbert.cpp.o" "gcc" "src/sstree/CMakeFiles/psb_sstree.dir/build_hilbert.cpp.o.d"
+  "/root/repo/src/sstree/build_kmeans.cpp" "src/sstree/CMakeFiles/psb_sstree.dir/build_kmeans.cpp.o" "gcc" "src/sstree/CMakeFiles/psb_sstree.dir/build_kmeans.cpp.o.d"
+  "/root/repo/src/sstree/build_topdown.cpp" "src/sstree/CMakeFiles/psb_sstree.dir/build_topdown.cpp.o" "gcc" "src/sstree/CMakeFiles/psb_sstree.dir/build_topdown.cpp.o.d"
+  "/root/repo/src/sstree/serialize.cpp" "src/sstree/CMakeFiles/psb_sstree.dir/serialize.cpp.o" "gcc" "src/sstree/CMakeFiles/psb_sstree.dir/serialize.cpp.o.d"
+  "/root/repo/src/sstree/tree.cpp" "src/sstree/CMakeFiles/psb_sstree.dir/tree.cpp.o" "gcc" "src/sstree/CMakeFiles/psb_sstree.dir/tree.cpp.o.d"
+  "/root/repo/src/sstree/update.cpp" "src/sstree/CMakeFiles/psb_sstree.dir/update.cpp.o" "gcc" "src/sstree/CMakeFiles/psb_sstree.dir/update.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/psb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/psb_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hilbert/CMakeFiles/psb_hilbert.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/psb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/mbs/CMakeFiles/psb_mbs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

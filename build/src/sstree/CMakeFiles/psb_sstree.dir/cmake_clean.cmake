@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psb_sstree.dir/build_hilbert.cpp.o"
+  "CMakeFiles/psb_sstree.dir/build_hilbert.cpp.o.d"
+  "CMakeFiles/psb_sstree.dir/build_kmeans.cpp.o"
+  "CMakeFiles/psb_sstree.dir/build_kmeans.cpp.o.d"
+  "CMakeFiles/psb_sstree.dir/build_topdown.cpp.o"
+  "CMakeFiles/psb_sstree.dir/build_topdown.cpp.o.d"
+  "CMakeFiles/psb_sstree.dir/serialize.cpp.o"
+  "CMakeFiles/psb_sstree.dir/serialize.cpp.o.d"
+  "CMakeFiles/psb_sstree.dir/tree.cpp.o"
+  "CMakeFiles/psb_sstree.dir/tree.cpp.o.d"
+  "CMakeFiles/psb_sstree.dir/update.cpp.o"
+  "CMakeFiles/psb_sstree.dir/update.cpp.o.d"
+  "libpsb_sstree.a"
+  "libpsb_sstree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psb_sstree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knn_correctness_test.dir/knn_correctness_test.cpp.o"
+  "CMakeFiles/knn_correctness_test.dir/knn_correctness_test.cpp.o.d"
+  "knn_correctness_test"
+  "knn_correctness_test.pdb"
+  "knn_correctness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knn_correctness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbs_test.dir/mbs_test.cpp.o"
+  "CMakeFiles/mbs_test.dir/mbs_test.cpp.o.d"
+  "mbs_test"
+  "mbs_test.pdb"
+  "mbs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

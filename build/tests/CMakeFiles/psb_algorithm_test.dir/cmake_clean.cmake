@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psb_algorithm_test.dir/psb_algorithm_test.cpp.o"
+  "CMakeFiles/psb_algorithm_test.dir/psb_algorithm_test.cpp.o.d"
+  "psb_algorithm_test"
+  "psb_algorithm_test.pdb"
+  "psb_algorithm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psb_algorithm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simt_test.cpp" "tests/CMakeFiles/simt_test.dir/simt_test.cpp.o" "gcc" "tests/CMakeFiles/simt_test.dir/simt_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/psb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/psb_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hilbert/CMakeFiles/psb_hilbert.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/psb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/mbs/CMakeFiles/psb_mbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/psb_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/rbc/CMakeFiles/psb_rbc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sstree/CMakeFiles/psb_sstree.dir/DependInfo.cmake"
+  "/root/repo/build/src/knn/CMakeFiles/psb_knn.dir/DependInfo.cmake"
+  "/root/repo/build/src/kdtree/CMakeFiles/psb_kdtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/srtree/CMakeFiles/psb_srtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_util/CMakeFiles/psb_bench_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

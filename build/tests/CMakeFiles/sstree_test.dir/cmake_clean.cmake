@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstree_test.dir/sstree_test.cpp.o"
+  "CMakeFiles/sstree_test.dir/sstree_test.cpp.o.d"
+  "sstree_test"
+  "sstree_test.pdb"
+  "sstree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stackless_test.dir/stackless_test.cpp.o"
+  "CMakeFiles/stackless_test.dir/stackless_test.cpp.o.d"
+  "stackless_test"
+  "stackless_test.pdb"
+  "stackless_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stackless_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

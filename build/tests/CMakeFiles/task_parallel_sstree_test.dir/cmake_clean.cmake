@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_parallel_sstree_test.dir/task_parallel_sstree_test.cpp.o"
+  "CMakeFiles/task_parallel_sstree_test.dir/task_parallel_sstree_test.cpp.o.d"
+  "task_parallel_sstree_test"
+  "task_parallel_sstree_test.pdb"
+  "task_parallel_sstree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_parallel_sstree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/simt_test[1]_include.cmake")
+include("/root/repo/build/tests/sort_test[1]_include.cmake")
+include("/root/repo/build/tests/hilbert_test[1]_include.cmake")
+include("/root/repo/build/tests/kmeans_test[1]_include.cmake")
+include("/root/repo/build/tests/mbs_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/sstree_test[1]_include.cmake")
+include("/root/repo/build/tests/builders_test[1]_include.cmake")
+include("/root/repo/build/tests/knn_correctness_test[1]_include.cmake")
+include("/root/repo/build/tests/psb_algorithm_test[1]_include.cmake")
+include("/root/repo/build/tests/kdtree_test[1]_include.cmake")
+include("/root/repo/build/tests/srtree_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/bench_util_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/bounds_mode_test[1]_include.cmake")
+include("/root/repo/build/tests/stackless_test[1]_include.cmake")
+include("/root/repo/build/tests/coalescing_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/task_parallel_sstree_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/rbc_test[1]_include.cmake")
+include("/root/repo/build/tests/update_test[1]_include.cmake")
+include("/root/repo/build/tests/metamorphic_test[1]_include.cmake")

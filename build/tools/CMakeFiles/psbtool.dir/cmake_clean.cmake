@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psbtool.dir/psbtool.cpp.o"
+  "CMakeFiles/psbtool.dir/psbtool.cpp.o.d"
+  "psbtool"
+  "psbtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psbtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
