@@ -1,12 +1,16 @@
 // Shared plumbing for the figure-reproduction benches.
 #pragma once
 
+#include <cstdint>
 #include <iostream>
 #include <string>
 
 #include "bench_util/config.hpp"
 #include "bench_util/table.hpp"
 #include "data/synthetic.hpp"
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
 
 namespace psb::bench {
 
@@ -37,6 +41,47 @@ inline void emit(const Table& table, const BenchConfig& cfg, const std::string& 
     table.write_csv(path);
     std::cout << "csv written: " << path << "\n";
   }
+}
+
+/// Flat BENCH_<name>.json builder — the machine-readable sibling of the
+/// console table, in the schema bench_gate diffs. Workload config fields are
+/// emitted up front so a gate mismatch on scale is immediately visible.
+class BenchJson {
+ public:
+  explicit BenchJson(const BenchConfig& cfg) {
+    w_.begin_object();
+    w_.field("schema", "psb.bench.v1");
+    w_.field("config.points", static_cast<std::uint64_t>(cfg.total_points()));
+    w_.field("config.num_queries", static_cast<std::uint64_t>(cfg.num_queries));
+    w_.field("config.k", static_cast<std::uint64_t>(cfg.k));
+    w_.field("config.degree", static_cast<std::uint64_t>(cfg.degree));
+    w_.field("config.seed", static_cast<std::uint64_t>(cfg.seed));
+  }
+
+  void add(const std::string& key, double v) { w_.field(key, v); }
+  void add(const std::string& key, std::uint64_t v) { w_.field(key, v); }
+
+  /// Write <csv_dir>/BENCH_<name>.json (no-op without --csv-dir).
+  void write(const BenchConfig& cfg, const std::string& name) {
+    if (cfg.csv_dir.empty()) return;
+    w_.end_object();
+    const std::string path = cfg.csv_dir + "/BENCH_" + name + ".json";
+    obs::write_text_file(path, w_.str());
+    std::cout << "bench json written: " << path << "\n";
+  }
+
+ private:
+  obs::JsonWriter w_;
+};
+
+/// Write the per-query trace report captured during a bench run alongside
+/// its CSVs (no-op without --csv-dir).
+inline void emit_trace(const obs::TraceReport& report, const BenchConfig& cfg,
+                       const std::string& name) {
+  if (cfg.csv_dir.empty() || report.empty()) return;
+  const std::string path = cfg.csv_dir + "/BENCH_" + name + "_trace.json";
+  obs::write_text_file(path, obs::trace_to_json(report));
+  std::cout << "trace json written: " << path << "\n";
 }
 
 inline void print_header(const BenchConfig& cfg, const std::string& what) {

@@ -32,7 +32,12 @@ int main(int argc, char** argv) {
   knn::GpuKnnOptions opts;
   opts.k = cfg.k;
 
-  auto report = [&](const char* name, const knn::BatchResult& r) {
+  // The batch drivers emit per-query traces into this session; the exported
+  // JSON carries the per-query shape counters the table's averages hide.
+  obs::TraceSession session;
+  BenchJson json(cfg);
+
+  auto report = [&](const char* name, const char* key, const knn::BatchResult& r) {
     const double coal = r.metrics.total_bytes() == 0
                             ? 0
                             : 100.0 * static_cast<double>(r.metrics.bytes_coalesced) /
@@ -40,15 +45,24 @@ int main(int argc, char** argv) {
     tab.add_row({name, fmt(r.timing.avg_query_ms), fmt_mb(r.metrics.total_bytes() / q),
                  fmt(static_cast<double>(r.stats.nodes_visited) / q, 1),
                  fmt(static_cast<double>(r.stats.leaves_visited) / q, 1), fmt(coal, 1)});
+    json.add(std::string(key) + ".avg_query_ms", r.timing.avg_query_ms);
+    json.add(std::string(key) + ".accessed_bytes", r.metrics.total_bytes());
+    json.add(std::string(key) + ".nodes_visited", r.stats.nodes_visited);
+    json.add(std::string(key) + ".warp_instructions", r.metrics.warp_instructions);
   };
 
-  report("restart (kd-restart/MPRS style)", knn::restart_batch(tree, queries, opts));
-  report("skip pointers (Smits'98)", knn::skip_pointer_batch(tree, queries, opts));
-  report("parent-link Branch&Bound", knn::bnb_batch(tree, queries, opts));
-  report("best-first, locked shared PQ (SII-C)", knn::best_first_gpu_batch(tree, queries, opts));
-  report("PSB (Alg. 1)", knn::psb_batch(tree, queries, opts));
+  report("restart (kd-restart/MPRS style)", "stackless_restart",
+         knn::restart_batch(tree, queries, opts));
+  report("skip pointers (Smits'98)", "stackless_skip",
+         knn::skip_pointer_batch(tree, queries, opts));
+  report("parent-link Branch&Bound", "branch_and_bound", knn::bnb_batch(tree, queries, opts));
+  report("best-first, locked shared PQ (SII-C)", "best_first",
+         knn::best_first_gpu_batch(tree, queries, opts));
+  report("PSB (Alg. 1)", "psb", knn::psb_batch(tree, queries, opts));
 
   emit(tab, cfg, "stackless_strategies");
+  json.write(cfg, "stackless_strategies");
+  emit_trace(session.report(), cfg, "stackless_strategies");
   std::cout << "\nexpectation: skip pointers touch the most nodes (every in-range\n"
                "sibling subtree header); restart pays repeated descents; PSB needs\n"
                "the fewest dependent fetches and the highest coalesced share.\n";

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Perf-regression gate wrapper: produce a fresh BENCH json and diff it
+against the checked-in baseline via the bench_gate binary.
+
+    scripts/bench_gate.py [--build-dir build] [--baseline PATH] [--update]
+
+Exit codes follow bench_gate: 0 pass, 1 regression, 2 usage/setup error.
+--update regenerates the baseline in place instead of gating (use after an
+intentional perf-affecting change, and commit the diff)."""
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+# Timing-model outputs involve libm; give them a hair of cross-platform slack.
+# Raw counters are gated exactly.
+TIMING_TOLERANCE = [
+    f"{algo}.{metric}=0.02"
+    for algo in ("psb", "branch_and_bound", "stackless_restart", "stackless_skip")
+    for metric in ("avg_query_ms", "warp_efficiency")
+]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build", help="CMake build directory")
+    parser.add_argument(
+        "--baseline",
+        default="bench/baselines/BENCH_gate_small.json",
+        help="checked-in baseline json (repo-relative)",
+    )
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite the baseline instead of gating"
+    )
+    args = parser.parse_args()
+
+    build = REPO / args.build_dir
+    psbtool = build / "tools" / "psbtool"
+    gate = build / "tools" / "bench_gate"
+    baseline = REPO / args.baseline
+    if not psbtool.exists() or not gate.exists():
+        print(
+            f"bench_gate.py: missing {psbtool} or {gate} — build first "
+            "(cmake --build build)",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.update:
+        subprocess.run([str(psbtool), "bench", "--out", str(baseline)], check=True)
+        print(f"baseline updated: {baseline} — review and commit the diff")
+        return 0
+
+    candidate = build / "BENCH_gate_small.json"
+    subprocess.run([str(psbtool), "bench", "--out", str(candidate)], check=True)
+    cmd = [
+        str(gate),
+        "--baseline", str(baseline),
+        "--candidate", str(candidate),
+        "--tolerance", "0.0",
+    ]
+    for spec in TIMING_TOLERANCE:
+        cmd += ["--metric-tolerance", spec]
+    return subprocess.run(cmd, check=False).returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())

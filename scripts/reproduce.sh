@@ -3,19 +3,38 @@
 #
 #   scripts/reproduce.sh           # reduced scale (~minutes), CSVs in out/
 #   scripts/reproduce.sh --paper   # the paper's 1M-point / 240-query scale
+#   scripts/reproduce.sh --gate    # build + tier1 tests + perf-regression gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+MODE="full"
 SCALE_FLAG=""
 OUT_DIR="out/reduced"
-if [[ "${1:-}" == "--paper" ]]; then
-  SCALE_FLAG="--paper-scale"
-  OUT_DIR="out/paper"
-fi
-mkdir -p "$OUT_DIR"
+case "${1:-}" in
+  --paper)
+    SCALE_FLAG="--paper-scale"
+    OUT_DIR="out/paper"
+    ;;
+  --gate)
+    MODE="gate"
+    ;;
+esac
 
 cmake -B build -G Ninja
 cmake --build build
+
+if [[ "$MODE" == "gate" ]]; then
+  # CI-style run: correctness (tier1) plus the deterministic perf gate
+  # (tier2) against the checked-in baseline. Exits nonzero on regression.
+  echo "== tier1 tests =="
+  ctest --test-dir build --output-on-failure -L tier1
+  echo "== perf-regression gate (tier2) =="
+  ctest --test-dir build --output-on-failure -L tier2
+  echo "gate passed — counters match bench/baselines/"
+  exit 0
+fi
+
+mkdir -p "$OUT_DIR"
 
 echo "== tests =="
 ctest --test-dir build --output-on-failure

@@ -1,0 +1,121 @@
+#include "bench_util/gate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace psb::bench_util {
+namespace {
+
+/// Case-sensitive word match against the last '.'-separated component of the
+/// metric name, where words are '_'-separated (so "avg_query_ms" has words
+/// {"avg", "query", "ms"}).
+bool has_word(std::string_view metric, std::string_view word) {
+  const std::size_t dot = metric.rfind('.');
+  std::string_view tail = dot == std::string_view::npos ? metric : metric.substr(dot + 1);
+  std::size_t pos = 0;
+  while (pos <= tail.size()) {
+    std::size_t next = tail.find('_', pos);
+    if (next == std::string_view::npos) next = tail.size();
+    if (tail.substr(pos, next - pos) == word) return true;
+    pos = next + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+Direction infer_direction(std::string_view metric) {
+  // Throughput-like vocabulary: bigger numbers are wins.
+  for (const char* word : {"qps", "throughput", "speedup", "efficiency", "utilization",
+                           "occupancy", "hits", "hit"}) {
+    if (has_word(metric, word)) return Direction::kHigherIsBetter;
+  }
+  // Everything else (ms, bytes, fetches, instructions, allocs, visits, ...)
+  // is treated as a cost: growth is a regression. Counters the obs layer
+  // exports are all of this kind, so the default errs toward gating.
+  return Direction::kLowerIsBetter;
+}
+
+double GateThresholds::tolerance_for(std::string_view metric) const {
+  const auto it = per_metric.find(std::string(metric));
+  return it != per_metric.end() ? it->second : default_rel_tolerance;
+}
+
+std::size_t GateResult::num_failed() const noexcept {
+  std::size_t n = missing.size();
+  for (const MetricCheck& c : checks) {
+    if (!c.passed) ++n;
+  }
+  return n;
+}
+
+GateResult run_gate(const obs::FlatJson& baseline, const obs::FlatJson& candidate,
+                    const GateThresholds& thresholds) {
+  GateResult out;
+  for (const auto& [name, base] : baseline.numbers) {
+    const auto it = candidate.numbers.find(name);
+    if (it == candidate.numbers.end()) {
+      out.missing.push_back(name);
+      continue;
+    }
+    MetricCheck check;
+    check.name = name;
+    check.baseline = base;
+    check.candidate = it->second;
+    check.direction = infer_direction(name);
+    check.tolerance = thresholds.tolerance_for(name);
+    // Worsening is measured relative to |baseline|; a zero baseline passes
+    // only when the candidate did not move in the bad direction at all.
+    const double delta = check.direction == Direction::kLowerIsBetter
+                             ? check.candidate - check.baseline
+                             : check.baseline - check.candidate;
+    if (base != 0.0) {
+      check.rel_worsening = delta / std::abs(base);
+      check.passed = check.rel_worsening <= check.tolerance;
+    } else {
+      check.rel_worsening = delta > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+      check.passed = delta <= 0.0;
+    }
+    out.checks.push_back(std::move(check));
+  }
+  for (const auto& [name, value] : candidate.numbers) {
+    (void)value;
+    if (!baseline.numbers.contains(name)) out.extra.push_back(name);
+  }
+  out.passed = out.missing.empty() &&
+               std::all_of(out.checks.begin(), out.checks.end(),
+                           [](const MetricCheck& c) { return c.passed; });
+  return out;
+}
+
+std::string format_gate_report(const GateResult& result) {
+  std::ostringstream os;
+  std::vector<const MetricCheck*> order;
+  order.reserve(result.checks.size());
+  for (const MetricCheck& c : result.checks) order.push_back(&c);
+  std::stable_sort(order.begin(), order.end(), [](const MetricCheck* a, const MetricCheck* b) {
+    return a->rel_worsening > b->rel_worsening;
+  });
+  for (const MetricCheck* c : order) {
+    os << (c->passed ? "  ok   " : "  FAIL ") << c->name << ": " << c->baseline << " -> "
+       << c->candidate << " ("
+       << (c->rel_worsening >= 0 ? "worse by " : "better by ")
+       << std::abs(c->rel_worsening) * 100.0 << "%, tolerance "
+       << c->tolerance * 100.0 << "%, "
+       << (c->direction == Direction::kLowerIsBetter ? "lower" : "higher") << "-is-better)\n";
+  }
+  for (const std::string& name : result.missing) {
+    os << "  FAIL " << name << ": present in baseline, missing from candidate\n";
+  }
+  for (const std::string& name : result.extra) {
+    os << "  note " << name << ": new metric, not in baseline (not gated)\n";
+  }
+  os << (result.passed ? "GATE PASS" : "GATE FAIL") << " (" << result.checks.size()
+     << " gated, " << result.num_failed() << " failed, " << result.extra.size()
+     << " ungated)\n";
+  return os.str();
+}
+
+}  // namespace psb::bench_util

@@ -1,0 +1,70 @@
+// Perf-regression gate: compare a freshly produced BENCH_*.json against a
+// checked-in baseline, metric by metric, and fail when any metric moved past
+// its tolerance in the bad direction. The bad direction is inferred from the
+// metric name (throughput-like metrics must not drop, cost-like metrics must
+// not grow) so baselines stay plain flat JSON with no embedded policy.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace psb::bench_util {
+
+enum class Direction {
+  kHigherIsBetter,  ///< qps, speedup, efficiency, ...
+  kLowerIsBetter,   ///< ms, bytes, fetches, instructions, ...
+};
+
+/// Infer the regression direction from a metric name. Matching is on the
+/// trailing name component (after the last '.') against known suffix/word
+/// patterns; unknown names default to lower-is-better, the safe choice for
+/// the counter-style metrics the obs layer exports.
+Direction infer_direction(std::string_view metric);
+
+struct GateThresholds {
+  /// Allowed relative worsening before a metric fails, e.g. 0.05 = 5%.
+  /// Deterministic counter metrics can run with 0.0 (exact match required).
+  double default_rel_tolerance = 0.05;
+  /// Per-metric overrides (exact metric name -> tolerance).
+  std::map<std::string, double> per_metric;
+
+  double tolerance_for(std::string_view metric) const;
+};
+
+struct MetricCheck {
+  std::string name;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  /// Signed relative worsening: positive means "moved in the bad direction";
+  /// 0 when the baseline value is 0 and the candidate matches it.
+  double rel_worsening = 0.0;
+  double tolerance = 0.0;
+  Direction direction = Direction::kLowerIsBetter;
+  bool passed = true;
+};
+
+struct GateResult {
+  std::vector<MetricCheck> checks;          ///< baseline metrics, name order
+  std::vector<std::string> missing;         ///< in baseline, absent from candidate
+  std::vector<std::string> extra;           ///< in candidate only (informational)
+  bool passed = false;
+
+  std::size_t num_failed() const noexcept;
+};
+
+/// Compare candidate against baseline. Every baseline metric must be present
+/// in the candidate (a vanished metric is a failure — a silently dropped
+/// measurement must not pass a gate) and within tolerance; candidate-only
+/// metrics are listed but do not fail the gate.
+GateResult run_gate(const obs::FlatJson& baseline, const obs::FlatJson& candidate,
+                    const GateThresholds& thresholds);
+
+/// Human-readable report, one line per check, worst first; ends with a
+/// PASS/FAIL summary line.
+std::string format_gate_report(const GateResult& result);
+
+}  // namespace psb::bench_util

@@ -130,13 +130,20 @@ KnnHeap::KnnHeap(std::size_t k) : k_(k) {
 }
 
 bool KnnHeap::offer(Scalar dist, PointId id) {
-  const auto cmp = [](const Entry& a, const Entry& b) { return a.dist < b.dist; };
+  // Lexicographic (dist, id) order makes the retained set *deterministic*:
+  // whatever order candidates arrive in, the heap keeps exactly the k
+  // smallest (dist, id) pairs — ties between equidistant points always
+  // resolve toward the lower point id (the differential-test contract).
+  const auto cmp = [](const Entry& a, const Entry& b) {
+    return a.dist != b.dist ? a.dist < b.dist : a.id < b.id;
+  };
   if (!full()) {
     entries_.push_back({dist, id});
     std::push_heap(entries_.begin(), entries_.end(), cmp);
     return true;
   }
-  if (dist >= entries_.front().dist) return false;
+  const Entry& top = entries_.front();
+  if (dist > top.dist || (dist == top.dist && id >= top.id)) return false;
   std::pop_heap(entries_.begin(), entries_.end(), cmp);
   entries_.back() = {dist, id};
   std::push_heap(entries_.begin(), entries_.end(), cmp);

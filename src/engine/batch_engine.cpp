@@ -1,0 +1,155 @@
+#include "engine/batch_engine.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "knn/best_first.hpp"
+#include "knn/branch_and_bound.hpp"
+#include "knn/brute_force.hpp"
+#include "knn/detail/traversal_common.hpp"
+#include "knn/psb.hpp"
+#include "knn/stackless_baselines.hpp"
+#include "knn/task_parallel_sstree.hpp"
+#include "obs/registry.hpp"
+
+namespace psb::engine {
+namespace {
+
+constexpr int kBruteForceDefaultThreads = 256;  // brute_force.cpp's block width
+
+int block_threads_for(Algorithm a, const sstree::SSTree& tree, const knn::GpuKnnOptions& gpu) {
+  switch (a) {
+    case Algorithm::kBruteForce:
+      return gpu.threads_per_block > 0 ? gpu.threads_per_block : kBruteForceDefaultThreads;
+    case Algorithm::kTaskParallel:
+      return gpu.device.warp_size;
+    default:
+      return knn::detail::resolve_block_threads(gpu, tree.degree());
+  }
+}
+
+}  // namespace
+
+std::string_view algorithm_name(Algorithm a) noexcept {
+  switch (a) {
+    case Algorithm::kPsb: return "psb";
+    case Algorithm::kBestFirst: return "best_first";
+    case Algorithm::kBranchAndBound: return "branch_and_bound";
+    case Algorithm::kStacklessRestart: return "stackless_restart";
+    case Algorithm::kStacklessSkip: return "stackless_skip";
+    case Algorithm::kBruteForce: return "brute_force";
+    case Algorithm::kTaskParallel: return "task_parallel_sstree";
+  }
+  return "unknown";
+}
+
+Algorithm parse_algorithm(std::string_view name) {
+  for (Algorithm a : {Algorithm::kPsb, Algorithm::kBestFirst, Algorithm::kBranchAndBound,
+                      Algorithm::kStacklessRestart, Algorithm::kStacklessSkip,
+                      Algorithm::kBruteForce, Algorithm::kTaskParallel}) {
+    if (algorithm_name(a) == name) return a;
+  }
+  throw InvalidArgument("unknown algorithm name: " + std::string(name));
+}
+
+BatchEngine::BatchEngine(const sstree::SSTree& tree, BatchEngineOptions opts)
+    : tree_(tree), opts_(std::move(opts)) {
+  PSB_REQUIRE(opts_.gpu.k > 0, "k must be > 0");
+}
+
+knn::BatchResult BatchEngine::run(const PointSet& queries) const {
+  PSB_REQUIRE(queries.dims() == tree_.dims(), "query dimensionality mismatch");
+
+  obs::Registry& reg = obs::Registry::global();
+  reg.add("engine.batches", 1);
+  reg.add("engine.queries", queries.size());
+
+  // The task-parallel kernel has no per-query entry point (its throughput
+  // mode packs queries into warps); delegate to its batch driver, which is
+  // serial, deterministic, and already emits traces with batch indices.
+  if (opts_.algorithm == Algorithm::kTaskParallel) {
+    knn::TaskParallelSsOptions tp;
+    tp.k = opts_.gpu.k;
+    tp.device = opts_.gpu.device;
+    return knn::task_parallel_sstree_knn(tree_, queries, tp);
+  }
+
+  const std::size_t n = queries.size();
+  std::vector<knn::QueryResult> results(n);
+  std::vector<simt::Metrics> metrics(n);
+
+  // Workers fill disjoint slots; nothing is merged or emitted until the
+  // single-threaded pass below, so totals, traces and results are identical
+  // for every thread count.
+  auto work = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t q = begin; q < end; ++q) {
+      switch (opts_.algorithm) {
+        case Algorithm::kPsb:
+          results[q] = knn::psb_query(tree_, queries[q], opts_.gpu, &metrics[q]);
+          break;
+        case Algorithm::kBestFirst:
+          results[q] = knn::best_first_gpu_query(tree_, queries[q], opts_.gpu, &metrics[q]);
+          break;
+        case Algorithm::kBranchAndBound:
+          results[q] = knn::bnb_query(tree_, queries[q], opts_.gpu, &metrics[q]);
+          break;
+        case Algorithm::kStacklessRestart:
+          results[q] = knn::restart_query(tree_, queries[q], opts_.gpu, &metrics[q]);
+          break;
+        case Algorithm::kStacklessSkip:
+          results[q] = knn::skip_pointer_query(tree_, queries[q], opts_.gpu, &metrics[q]);
+          break;
+        case Algorithm::kBruteForce:
+          results[q] = knn::brute_force_query(tree_.data(), queries[q], opts_.gpu, &metrics[q]);
+          break;
+        case Algorithm::kTaskParallel:
+          break;  // handled above
+      }
+    }
+  };
+
+  std::size_t workers = opts_.num_threads;
+  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min(workers, std::max<std::size_t>(n, 1));
+  if (workers <= 1 || n <= 1) {
+    work(0, n);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    const std::size_t per = (n + workers - 1) / workers;
+    for (std::size_t w = 0; w < workers; ++w) {
+      const std::size_t begin = w * per;
+      const std::size_t end = std::min(n, begin + per);
+      if (begin >= end) break;
+      pool.emplace_back(work, begin, end);
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  knn::BatchResult out;
+  out.queries = std::move(results);
+  const bool traced = obs::enabled();
+  const std::string_view name = algorithm_name(opts_.algorithm);
+  for (std::size_t q = 0; q < n; ++q) {
+    out.stats.merge(out.queries[q].stats);
+    out.metrics.merge(metrics[q]);
+    if (traced) obs::emit(name, knn::make_query_trace(q, out.queries[q].stats, metrics[q]));
+  }
+  simt::KernelConfig cfg;
+  cfg.blocks = static_cast<int>(std::max<std::size_t>(n, 1));
+  cfg.threads_per_block = block_threads_for(opts_.algorithm, tree_, opts_.gpu);
+  out.timing = simt::estimate(opts_.gpu.device, out.metrics, cfg);
+  return out;
+}
+
+BatchEngine::TracedRun BatchEngine::run_traced(const PointSet& queries) const {
+  obs::TraceSession session;
+  TracedRun out;
+  out.result = run(queries);
+  out.trace = session.report();
+  return out;
+}
+
+}  // namespace psb::engine

@@ -1,0 +1,73 @@
+// BatchEngine: the host-side serving layer over the kNN algorithm zoo. One
+// engine owns an index and a fixed algorithm choice; each run() answers a
+// batch of queries with deterministic results and (optionally) a per-query
+// obs trace — the unit every scaling PR (sharding, caching, async) builds
+// on and is measured through.
+//
+// Determinism contract: results, aggregated counters and trace totals are a
+// pure function of (tree, queries, options) — independent of num_threads and
+// bit-identical across runs. Worker threads each process a static slice of
+// the query range into preallocated slots; all merging happens afterwards in
+// query order on the calling thread.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "knn/result.hpp"
+#include "obs/trace.hpp"
+#include "sstree/tree.hpp"
+
+namespace psb::engine {
+
+enum class Algorithm {
+  kPsb,
+  kBestFirst,
+  kBranchAndBound,
+  kStacklessRestart,
+  kStacklessSkip,
+  kBruteForce,
+  kTaskParallel,
+};
+
+/// Stable name used for traces, registry counters and CLI flags.
+std::string_view algorithm_name(Algorithm a) noexcept;
+
+/// Parse an algorithm name (as printed by algorithm_name); throws
+/// InvalidArgument on unknown names.
+Algorithm parse_algorithm(std::string_view name);
+
+struct BatchEngineOptions {
+  Algorithm algorithm = Algorithm::kPsb;
+  knn::GpuKnnOptions gpu{};
+  /// Host worker threads; 0 = hardware concurrency. Results do not depend
+  /// on this value.
+  std::size_t num_threads = 1;
+};
+
+class BatchEngine {
+ public:
+  /// The engine borrows the tree (and its backing data); both must outlive
+  /// the engine.
+  BatchEngine(const sstree::SSTree& tree, BatchEngineOptions opts);
+
+  const BatchEngineOptions& options() const noexcept { return opts_; }
+
+  /// Answer a batch. Emits per-query traces to the active obs session (if
+  /// any) under the algorithm's name.
+  knn::BatchResult run(const PointSet& queries) const;
+
+  struct TracedRun {
+    knn::BatchResult result;
+    obs::TraceReport trace;  ///< one AlgorithmTrace, queries in index order
+  };
+  /// Like run(), but also returns the per-query traces directly (installs a
+  /// private collector; must not be called while a TraceSession is active).
+  TracedRun run_traced(const PointSet& queries) const;
+
+ private:
+  const sstree::SSTree& tree_;
+  BatchEngineOptions opts_;
+};
+
+}  // namespace psb::engine

@@ -38,7 +38,7 @@ QueryResult best_first_query(const sstree::SSTree& tree, std::span<const Scalar>
     if (n.is_leaf()) {
       ++out.stats.leaves_visited;
       for (const PointId pid : n.points) {
-        heap.offer(distance(query, tree.data()[pid]), pid);
+        if (heap.offer(distance(query, tree.data()[pid]), pid)) ++out.stats.heap_inserts;
       }
       out.stats.points_examined += n.points.size();
     } else {
@@ -70,7 +70,10 @@ QueryResult best_first_query(const sstree::SSTree& tree, std::span<const Scalar>
           }
           mind = static_cast<Scalar>(std::sqrt(sq));
         }
-        if (!heap.full() || mind <= heap.bound()) pq.push({mind, n.children[i]});
+        if (!heap.full() || mind <= heap.bound()) {
+          pq.push({mind, n.children[i]});
+          ++out.stats.heap_pushes;
+        }
       }
     }
   }
@@ -84,6 +87,10 @@ std::vector<QueryResult> best_first_batch(const sstree::SSTree& tree, const Poin
   out.reserve(queries.size());
   for (std::size_t q = 0; q < queries.size(); ++q) {
     out.push_back(best_first_query(tree, queries[q], k));
+    if (obs::enabled()) {
+      // Host-side traversal: structure counters only, no device metrics.
+      obs::emit("best_first_host", make_query_trace(q, out.back().stats, simt::Metrics{}));
+    }
   }
   return out;
 }
@@ -123,7 +130,7 @@ void best_first_gpu_run(simt::Block& block, const sstree::SSTree& tree,
       ++out.stats.leaves_visited;
       const std::vector<Scalar> dists = detail::leaf_distances(block, tree, n, q);
       out.stats.points_examined += dists.size();
-      list.offer_batch(dists, n.points);
+      out.stats.heap_inserts += list.offer_batch(dists, n.points);
       continue;
     }
     const detail::ChildBounds cb =
@@ -131,6 +138,7 @@ void best_first_gpu_run(simt::Block& block, const sstree::SSTree& tree,
     for (std::size_t i = 0; i < cb.mindist.size(); ++i) {
       if (cb.mindist[i] < list.pruning_distance()) {
         pq.push({cb.mindist[i], n.children[i]});
+        ++out.stats.heap_pushes;
         // Lock-protected push, one candidate at a time — the serialization
         // §II-C predicts ("the lock will serialize a large number of
         // threads").
@@ -164,7 +172,7 @@ BatchResult best_first_gpu_batch(const sstree::SSTree& tree, const PointSet& que
   PSB_REQUIRE(opts.k > 0, "k must be > 0");
   PSB_REQUIRE(queries.dims() == tree.dims(), "query dimensionality mismatch");
   const int threads = detail::resolve_block_threads(opts, tree.degree());
-  return detail::run_batch(queries, opts, threads,
+  return detail::run_batch("best_first", queries, opts, threads,
                            [&](simt::Block& block, std::span<const Scalar> q, QueryResult& r) {
                              best_first_gpu_run(block, tree, q, opts, r);
                            });

@@ -30,7 +30,7 @@ void bnb_visit(BnbContext& ctx, NodeId id) {
     ++ctx.st.leaves_visited;
     const std::vector<Scalar> dists = leaf_distances(ctx.block, ctx.tree, n, ctx.q);
     ctx.st.points_examined += dists.size();
-    ctx.list.offer_batch(dists, n.points);
+    ctx.st.heap_inserts += ctx.list.offer_batch(dists, n.points);
     return;
   }
 
@@ -56,6 +56,7 @@ void bnb_visit(BnbContext& ctx, NodeId id) {
     // cost; this is the drawback the paper identifies for parent links.
     fetch_node(ctx.block, ctx.tree, n, simt::Access::kCached);
     ++ctx.st.nodes_visited;
+    ++ctx.st.backtracks;
     child_bounds(ctx.block, ctx.tree, n, ctx.q, /*need_max=*/false);
     ctx.block.reduce_kth_min(cb.mindist, 1);  // charge the re-selection
   }
@@ -66,6 +67,7 @@ void bnb_run(simt::Block& block, const sstree::SSTree& tree, std::span<const Sca
   const std::size_t k_eff = std::min(opts.k, tree.data().size());
   SharedKnnList list(block, k_eff, opts.spill_heap_to_global);
   BnbContext ctx{block, tree, q, list, out.stats, opts.bnb_minmax_tighten};
+  ++out.stats.restarts;  // the single root descent
   bnb_visit(ctx, tree.root());
   out.neighbors = list.sorted();
 }
@@ -89,7 +91,7 @@ BatchResult bnb_batch(const sstree::SSTree& tree, const PointSet& queries,
   PSB_REQUIRE(opts.k > 0, "k must be > 0");
   PSB_REQUIRE(queries.dims() == tree.dims(), "query dimensionality mismatch");
   const int threads = detail::resolve_block_threads(opts, tree.degree());
-  return detail::run_batch(queries, opts, threads,
+  return detail::run_batch("branch_and_bound", queries, opts, threads,
                            [&](simt::Block& block, std::span<const Scalar> q, QueryResult& r) {
                              bnb_run(block, tree, q, opts, r);
                            });

@@ -24,7 +24,7 @@ void brute_run(simt::Block& block, const PointSet& data, std::span<const Scalar>
       ids[i] = static_cast<PointId>(base + i);
     });
     out.stats.points_examined += count;
-    list.offer_batch({dists.data(), count}, {ids.data(), count});
+    out.stats.heap_inserts += list.offer_batch({dists.data(), count}, {ids.data(), count});
   }
   out.neighbors = list.sorted();
 }
@@ -50,7 +50,7 @@ BatchResult brute_force_batch(const PointSet& data, const PointSet& queries,
   PSB_REQUIRE(!data.empty(), "brute force over empty dataset");
   PSB_REQUIRE(queries.dims() == data.dims(), "query dimensionality mismatch");
   const int threads = opts.threads_per_block > 0 ? opts.threads_per_block : kDefaultThreads;
-  return detail::run_batch(queries, opts, threads,
+  return detail::run_batch("brute_force", queries, opts, threads,
                            [&](simt::Block& block, std::span<const Scalar> q, QueryResult& r) {
                              brute_run(block, data, q, opts, r);
                            });

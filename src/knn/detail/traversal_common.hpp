@@ -127,9 +127,11 @@ inline int resolve_block_threads(const GpuKnnOptions& opts, std::size_t degree) 
 
 /// Run `query_fn(block, query_row, out_result)` once per query, each with a
 /// fresh Metrics (one thread block per query), then aggregate counters and
-/// estimate batch timing.
-inline BatchResult run_batch(const PointSet& queries, const GpuKnnOptions& opts,
-                             int threads_per_block,
+/// estimate batch timing. When an obs::TraceSession is active, every query
+/// emits its trace under `algorithm`; the enabled() guard keeps the disabled
+/// path to a single relaxed atomic load per query.
+inline BatchResult run_batch(std::string_view algorithm, const PointSet& queries,
+                             const GpuKnnOptions& opts, int threads_per_block,
                              const std::function<void(simt::Block&, std::span<const Scalar>,
                                                       QueryResult&)>& query_fn) {
   BatchResult out;
@@ -140,6 +142,7 @@ inline BatchResult run_batch(const PointSet& queries, const GpuKnnOptions& opts,
     query_fn(block, queries[q], out.queries[q]);
     out.stats.merge(out.queries[q].stats);
     out.metrics.merge(m);
+    if (obs::enabled()) obs::emit(algorithm, make_query_trace(q, out.queries[q].stats, m));
   }
   simt::KernelConfig cfg;
   cfg.blocks = static_cast<int>(std::max<std::size_t>(queries.size(), 1));

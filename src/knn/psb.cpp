@@ -51,6 +51,7 @@ class PsbRun {
   /// main scan re-discovers them, keeping the list duplicate-free.
   void initial_descent() {
     NodeId cur = tree_.root();
+    ++st_.restarts;
     for (;;) {
       const sstree::Node& n = tree_.node(cur);
       fetch(n);
@@ -80,6 +81,7 @@ class PsbRun {
     const std::int64_t last_leaf = tree_.last_leaf_id();
     std::int64_t visited = -1;
     NodeId cur = tree_.root();
+    ++st_.restarts;
     bool done = false;
 
     while (!done) {
@@ -113,6 +115,7 @@ class PsbRun {
             break;
           }
           cur = n.parent;  // Alg. 1 line 29: backtrack via the parent link
+          ++st_.backtracks;
         }
       }
       if (done || visited >= last_leaf) break;
@@ -125,6 +128,7 @@ class PsbRun {
         const std::vector<Scalar> dists = leaf_distances(block_, tree_, leaf, q_);
         st_.points_examined += dists.size();
         const std::size_t inserted = list_.offer_batch(dists, leaf.points);
+        st_.heap_inserts += inserted;
         visited = leaf.leaf_id;
 
         if (visited >= last_leaf) {
@@ -133,9 +137,11 @@ class PsbRun {
         }
         if (inserted > 0 && opts_.psb_leaf_scan) {
           cur = leaf.right_sibling;  // keep scanning while the list improves
+          ++st_.leaf_scans;
           continue;
         }
         cur = leaf.parent;  // no improvement: backtrack
+        ++st_.backtracks;
         break;
       }
     }
@@ -170,7 +176,7 @@ BatchResult psb_batch(const sstree::SSTree& tree, const PointSet& queries,
   PSB_REQUIRE(opts.k > 0, "k must be > 0");
   PSB_REQUIRE(queries.dims() == tree.dims(), "query dimensionality mismatch");
   const int threads = detail::resolve_block_threads(opts, tree.degree());
-  return detail::run_batch(queries, opts, threads,
+  return detail::run_batch("psb", queries, opts, threads,
                            [&](simt::Block& block, std::span<const Scalar> q, QueryResult& r) {
                              PsbRun(block, tree, q, opts, r);
                            });

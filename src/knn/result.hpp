@@ -12,17 +12,55 @@
 namespace psb::knn {
 
 /// Per-query traversal statistics (structure-level, device-independent).
+/// Per-algorithm semantics of the shape counters are documented in
+/// docs/observability.md; a counter an algorithm has no equivalent for
+/// stays 0 (e.g. brute force never backtracks).
 struct TraversalStats {
   std::uint64_t nodes_visited = 0;   ///< node fetches incl. refetches
   std::uint64_t leaves_visited = 0;  ///< distinct leaf visits
   std::uint64_t points_examined = 0;
+  std::uint64_t backtracks = 0;      ///< parent-link hops / subtree skips
+  std::uint64_t leaf_scans = 0;      ///< right-sibling hops of a linear leaf scan
+  std::uint64_t restarts = 0;        ///< root descents initiated
+  std::uint64_t heap_inserts = 0;    ///< candidates accepted into the k-NN list
+  std::uint64_t heap_pushes = 0;     ///< frontier priority-queue pushes
 
   void merge(const TraversalStats& o) noexcept {
     nodes_visited += o.nodes_visited;
     leaves_visited += o.leaves_visited;
     points_examined += o.points_examined;
+    backtracks += o.backtracks;
+    leaf_scans += o.leaf_scans;
+    restarts += o.restarts;
+    heap_inserts += o.heap_inserts;
+    heap_pushes += o.heap_pushes;
+  }
+
+  /// Add these counters to a per-query trace (the structure-level columns of
+  /// the obs schema; device columns come from simt::Metrics::add_to).
+  void add_to(obs::QueryTrace& trace) const noexcept {
+    using obs::TraceCounter;
+    trace[TraceCounter::kNodesVisited] += nodes_visited;
+    trace[TraceCounter::kLeavesVisited] += leaves_visited;
+    trace[TraceCounter::kPointsExamined] += points_examined;
+    trace[TraceCounter::kBacktracks] += backtracks;
+    trace[TraceCounter::kLeafScans] += leaf_scans;
+    trace[TraceCounter::kRestarts] += restarts;
+    trace[TraceCounter::kHeapInserts] += heap_inserts;
+    trace[TraceCounter::kHeapPushes] += heap_pushes;
   }
 };
+
+/// Assemble the full per-query trace a kNN kernel emits: structure-level
+/// stats plus the query's device counters.
+inline obs::QueryTrace make_query_trace(std::uint64_t query_index, const TraversalStats& stats,
+                                        const simt::Metrics& metrics) noexcept {
+  obs::QueryTrace trace;
+  trace.query_index = query_index;
+  stats.add_to(trace);
+  metrics.add_to(trace);
+  return trace;
+}
 
 /// One query's answer: the k nearest neighbors sorted ascending by distance.
 struct QueryResult {

@@ -37,6 +37,7 @@ void restart_run(simt::Block& block, const sstree::SSTree& tree, std::span<const
 
   while (visited < last_leaf) {
     NodeId cur = tree.root();
+    ++st.restarts;
     // Root-to-leaf descent toward the leftmost unscanned in-range leaf.
     while (!tree.node(cur).is_leaf()) {
       const sstree::Node& n = tree.node(cur);
@@ -69,7 +70,7 @@ void restart_run(simt::Block& block, const sstree::SSTree& tree, std::span<const
     ++st.leaves_visited;
     const std::vector<Scalar> dists = leaf_distances(block, tree, leaf, q);
     st.points_examined += dists.size();
-    list.offer_batch(dists, leaf.points);
+    st.heap_inserts += list.offer_batch(dists, leaf.points);
     visited = leaf.leaf_id;
   }
   finalize(list, out);
@@ -88,6 +89,7 @@ void skip_pointer_run(simt::Block& block, const sstree::SSTree& tree,
 
   std::int64_t last_fetched_leaf = -2;
   NodeId cur = tree.root();
+  ++st.restarts;  // one preorder sweep from the root
   while (cur != kInvalidNode) {
     const sstree::Node& n = tree.node(cur);
     // Consecutive leaves are address-sequential, exactly as in PSB's scan;
@@ -104,14 +106,16 @@ void skip_pointer_run(simt::Block& block, const sstree::SSTree& tree,
     block.par_for(1, tree.dims() * 3 + 2, [](std::size_t) {});
     if (!(mind < list.pruning_distance())) {
       cur = n.skip;  // skip the whole subtree
+      ++st.backtracks;
       continue;
     }
     if (n.is_leaf()) {
       ++st.leaves_visited;
       const std::vector<Scalar> dists = leaf_distances(block, tree, n, q);
       st.points_examined += dists.size();
-      list.offer_batch(dists, n.points);
+      st.heap_inserts += list.offer_batch(dists, n.points);
       cur = n.skip;
+      ++st.leaf_scans;  // forward hop to the next preorder node
     } else {
       cur = n.children.front();  // descend
     }
@@ -138,7 +142,7 @@ BatchResult restart_batch(const sstree::SSTree& tree, const PointSet& queries,
   PSB_REQUIRE(opts.k > 0, "k must be > 0");
   PSB_REQUIRE(queries.dims() == tree.dims(), "query dimensionality mismatch");
   const int threads = detail::resolve_block_threads(opts, tree.degree());
-  return detail::run_batch(queries, opts, threads,
+  return detail::run_batch("stackless_restart", queries, opts, threads,
                            [&](simt::Block& block, std::span<const Scalar> q, QueryResult& r) {
                              restart_run(block, tree, q, opts, r);
                            });
@@ -161,7 +165,7 @@ BatchResult skip_pointer_batch(const sstree::SSTree& tree, const PointSet& queri
   PSB_REQUIRE(opts.k > 0, "k must be > 0");
   PSB_REQUIRE(queries.dims() == tree.dims(), "query dimensionality mismatch");
   const int threads = detail::resolve_block_threads(opts, tree.degree());
-  return detail::run_batch(queries, opts, threads,
+  return detail::run_batch("stackless_skip", queries, opts, threads,
                            [&](simt::Block& block, std::span<const Scalar> q, QueryResult& r) {
                              skip_pointer_run(block, tree, q, opts, r);
                            });

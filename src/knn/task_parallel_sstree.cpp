@@ -34,7 +34,10 @@ void lane_visit(const sstree::SSTree& tree, NodeId id, std::span<const Scalar> q
         acc += diff * diff;
       }
       lane.steps += d * 3 + 1;
-      if (heap.offer(static_cast<Scalar>(std::sqrt(acc)), n.points[i])) lane.steps += logk;
+      if (heap.offer(static_cast<Scalar>(std::sqrt(acc)), n.points[i])) {
+        lane.steps += logk;
+        ++st.heap_inserts;
+      }
       ++st.points_examined;
     }
     return;
@@ -59,6 +62,7 @@ void lane_visit(const sstree::SSTree& tree, NodeId id, std::span<const Scalar> q
   for (const auto& [mind, child] : branches) {
     if (heap.full() && mind > heap.bound()) break;
     lane_visit(tree, child, q, heap, lane, st);
+    ++st.backtracks;  // return to this node after the child's subtree
   }
 }
 
@@ -76,9 +80,18 @@ BatchResult task_parallel_sstree_knn(const sstree::SSTree& tree, const PointSet&
   std::vector<simt::LaneWork> lanes(queries.size());
   for (std::size_t i = 0; i < queries.size(); ++i) {
     KnnHeap heap(std::min(opts.k, tree.data().size()));
+    ++out.queries[i].stats.restarts;
     lane_visit(tree, tree.root(), queries[i], heap, lanes[i], out.queries[i].stats);
     out.queries[i].neighbors = heap.sorted();
     out.stats.merge(out.queries[i].stats);
+    if (obs::enabled()) {
+      // Per-query device view: this lane accumulated alone (the response-time
+      // accounting); the throughput-mode warp packing only affects batch
+      // totals, not a single query's own work.
+      simt::Metrics m;
+      accumulate_task_parallel(opts.device, {&lanes[i], 1}, &m);
+      obs::emit("task_parallel_sstree", make_query_trace(i, out.queries[i].stats, m));
+    }
   }
 
   simt::KernelConfig cfg;

@@ -1,0 +1,94 @@
+#include "obs/export.hpp"
+
+#include "obs/json.hpp"
+
+namespace psb::obs {
+
+namespace {
+
+void write_counters(JsonWriter& w, const QueryTrace& t) {
+  for (std::size_t i = 0; i < kNumTraceCounters; ++i) {
+    w.field(trace_counter_name(static_cast<TraceCounter>(i)), t.counters[i]);
+  }
+}
+
+}  // namespace
+
+std::string trace_to_json(const TraceReport& report, const TraceExportOptions& opts) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema", "psb.trace.v1");
+  w.begin_array("algorithms");
+  for (const AlgorithmTrace& a : report.algorithms) {
+    w.begin_object();
+    w.field("algorithm", a.algorithm);
+    w.field("num_queries", static_cast<std::uint64_t>(a.queries.size()));
+    w.key("totals");
+    w.begin_object();
+    write_counters(w, a.totals());
+    w.end_object();
+    if (opts.per_query) {
+      w.begin_array("queries");
+      for (const QueryTrace& q : a.queries) {
+        w.begin_object();
+        w.field("query_index", q.query_index);
+        write_counters(w, q);
+        w.end_object();
+      }
+      w.end_array();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string trace_to_csv(const TraceReport& report, const TraceExportOptions& opts) {
+  std::string out = "algorithm,query_index";
+  for (std::size_t i = 0; i < kNumTraceCounters; ++i) {
+    out += ",";
+    out += trace_counter_name(static_cast<TraceCounter>(i));
+  }
+  out += "\n";
+  const auto row = [&](const std::string& algorithm, std::string_view index_cell,
+                       const QueryTrace& t) {
+    out += algorithm;
+    out += ",";
+    out += index_cell;
+    for (std::size_t i = 0; i < kNumTraceCounters; ++i) {
+      out += ",";
+      out += std::to_string(t.counters[i]);
+    }
+    out += "\n";
+  };
+  for (const AlgorithmTrace& a : report.algorithms) {
+    if (opts.per_query) {
+      for (const QueryTrace& q : a.queries) {
+        row(a.algorithm, std::to_string(q.query_index), q);
+      }
+    }
+    row(a.algorithm, "totals", a.totals());
+  }
+  return out;
+}
+
+std::string registry_to_json(const Registry::Snapshot& snapshot, bool include_timers) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema", "psb.registry.v1");
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, value] : snapshot.counters) w.field(name, value);
+  w.end_object();
+  if (include_timers) {
+    w.key("timers_seconds");
+    w.begin_object();
+    for (const auto& [name, seconds] : snapshot.timers_seconds) w.field(name, seconds);
+    w.end_object();
+  }
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace psb::obs

@@ -1,0 +1,33 @@
+// Exporters: one deterministic serialization path for traces and registry
+// snapshots, replacing the per-binary hand-rolled printing in bench/, tools/
+// and tests. Trace exports contain integers only — two runs with the same
+// seed produce byte-identical output, the property the regression gate and
+// the metamorphic tests assert.
+#pragma once
+
+#include <string>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace psb::obs {
+
+struct TraceExportOptions {
+  /// Emit the per-query trace rows, not just per-algorithm totals.
+  bool per_query = true;
+};
+
+/// JSON: {"schema": "psb.trace.v1", "algorithms": [{"algorithm": ...,
+/// "totals": {...}, "queries": [{"query_index": ..., counters...}]}]}.
+std::string trace_to_json(const TraceReport& report, const TraceExportOptions& opts = {});
+
+/// CSV: header `algorithm,query_index,<counter...>`; one row per query plus
+/// a `totals` row (query_index = query count) per algorithm.
+std::string trace_to_csv(const TraceReport& report, const TraceExportOptions& opts = {});
+
+/// Registry snapshot as JSON: counters always; wall-clock timers only when
+/// `include_timers` (timers are nondeterministic and must stay out of any
+/// export that is diffed byte-for-byte).
+std::string registry_to_json(const Registry::Snapshot& snapshot, bool include_timers = false);
+
+}  // namespace psb::obs

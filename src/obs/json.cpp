@@ -1,0 +1,275 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace psb::obs {
+
+std::string format_double(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  // Prefer the shortest representation that round-trips: try increasing
+  // precision until strtod gives the value back.
+  for (int prec = 1; prec < 17; ++prec) {
+    char probe[40];
+    std::snprintf(probe, sizeof(probe), "%.*g", prec, value);
+    if (std::strtod(probe, nullptr) == value) return probe;
+  }
+  return buf;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma() {
+  if (need_comma_) out_ += ",";
+  if (!out_.empty()) out_ += "\n";
+  indent();
+}
+
+void JsonWriter::indent() { out_.append(static_cast<std::size_t>(depth_) * 2, ' '); }
+
+JsonWriter& JsonWriter::begin_object() {
+  if (!pending_key_) comma();
+  pending_key_ = false;
+  out_ += "{";
+  ++depth_;
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  --depth_;
+  out_ += "\n";
+  indent();
+  out_ += "}";
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(std::string_view k) {
+  if (!k.empty()) key(k);
+  if (!pending_key_) comma();
+  pending_key_ = false;
+  out_ += "[";
+  ++depth_;
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  --depth_;
+  out_ += "\n";
+  indent();
+  out_ += "]";
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  comma();
+  out_ += "\"";
+  out_ += json_escape(k);
+  out_ += "\": ";
+  need_comma_ = false;
+  pending_key_ = true;
+  return *this;
+}
+
+namespace {
+void append_scalar(std::string& out, bool& need_comma, bool& pending_key,
+                   const std::string& text) {
+  out += text;
+  need_comma = true;
+  pending_key = false;
+}
+}  // namespace
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  if (!pending_key_) comma();
+  append_scalar(out_, need_comma_, pending_key_, "\"" + json_escape(v) + "\"");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  if (!pending_key_) comma();
+  append_scalar(out_, need_comma_, pending_key_, std::to_string(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  if (!pending_key_) comma();
+  append_scalar(out_, need_comma_, pending_key_, std::to_string(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!pending_key_) comma();
+  append_scalar(out_, need_comma_, pending_key_, format_double(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  if (!pending_key_) comma();
+  append_scalar(out_, need_comma_, pending_key_, v ? "true" : "false");
+  return *this;
+}
+
+std::string JsonWriter::str() const { return out_ + "\n"; }
+
+// ---------------------------------------------------------------------------
+// Flat parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class FlatParser {
+ public:
+  explicit FlatParser(std::string_view text) : text_(text) {}
+
+  FlatJson parse() {
+    FlatJson out;
+    skip_ws();
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    for (;;) {
+      skip_ws();
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      parse_value(out, key);
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return out;
+    }
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("flat json parse error at offset " + std::to_string(pos_) +
+                             ": " + what);
+  }
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("dangling escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          default: fail("unsupported escape");
+        }
+      }
+      out += c;
+    }
+    expect('"');
+    return out;
+  }
+
+  void parse_value(FlatJson& out, const std::string& key) {
+    const char c = peek();
+    if (c == '"') {
+      out.strings[key] = parse_string();
+      return;
+    }
+    if (c == '{' || c == '[') fail("nested values are not allowed in flat json");
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out.numbers[key] = 1;
+      pos_ += 4;
+      return;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out.numbers[key] = 0;
+      pos_ += 5;
+      return;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;  // tolerated and dropped (format_double emits null for inf)
+      return;
+    }
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) fail("expected a value");
+    pos_ += static_cast<std::size_t>(end - begin);
+    out.numbers[key] = v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+FlatJson parse_flat_json(std::string_view text) { return FlatParser(text).parse(); }
+
+FlatJson read_flat_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_flat_json(ss.str());
+}
+
+void write_text_file(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << content;
+  if (!out) throw std::runtime_error("short write to " + path);
+}
+
+}  // namespace psb::obs

@@ -1,0 +1,81 @@
+// Minimal JSON support shared by every exporter in the repository: a
+// deterministic writer (insertion-ordered objects, fixed number formatting)
+// and a flat parser for the BENCH_*.json files the regression gate diffs.
+// Deliberately small — the repo's JSON is flat machine-generated telemetry,
+// not arbitrary documents.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace psb::obs {
+
+/// Format a double the way every exporter must: shortest round-trip form via
+/// %.17g with trailing-zero trimming, "NaN"-free (non-finite values are
+/// exported as null). Identical bit patterns always format identically,
+/// which is what makes repeated exports byte-comparable.
+std::string format_double(double value);
+
+/// Streaming JSON writer with explicit begin/end nesting. Keys keep
+/// insertion order; the caller is responsible for emitting them in a
+/// deterministic order (fixed schema or sorted names).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array(std::string_view key = {});
+  JsonWriter& end_array();
+
+  JsonWriter& key(std::string_view k);  ///< next value() belongs to k
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  /// Finished document (adds a trailing newline once).
+  std::string str() const;
+
+ private:
+  void comma();
+  void indent();
+
+  std::string out_;
+  int depth_ = 0;
+  bool need_comma_ = false;
+  bool pending_key_ = false;
+};
+
+/// Escape a string for embedding in JSON (quotes not included).
+std::string json_escape(std::string_view s);
+
+/// Parsed flat JSON document: top-level object only. Numeric and boolean
+/// values land in `numbers` (true = 1, false = 0); strings in `strings`.
+/// Nested objects/arrays are rejected — BENCH files are flat by contract.
+struct FlatJson {
+  std::map<std::string, double> numbers;
+  std::map<std::string, std::string> strings;
+};
+
+/// Parse `text` as a flat JSON object. Throws std::runtime_error (with a
+/// character offset) on malformed input or nesting.
+FlatJson parse_flat_json(std::string_view text);
+
+/// Read and parse a flat JSON file. Throws on I/O or parse errors.
+FlatJson read_flat_json(const std::string& path);
+
+/// Write `content` to `path`, throwing on failure.
+void write_text_file(const std::string& path, std::string_view content);
+
+}  // namespace psb::obs

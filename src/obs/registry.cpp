@@ -1,0 +1,48 @@
+#include "obs/registry.hpp"
+
+namespace psb::obs {
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+std::atomic<std::uint64_t>& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  counter_cells_.emplace_back(0);
+  std::atomic<std::uint64_t>* cell = &counter_cells_.back();
+  counters_.emplace(std::string(name), cell);
+  return *cell;
+}
+
+void Registry::add_timer_seconds(std::string_view name, double seconds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = timers_.find(name);
+  if (it != timers_.end()) {
+    it->second += seconds;
+  } else {
+    timers_.emplace(std::string(name), seconds);
+  }
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  Snapshot out;
+  const std::lock_guard<std::mutex> lock(mu_);
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, cell] : counters_) {
+    out.counters.emplace_back(name, cell->load(std::memory_order_relaxed));
+  }
+  out.timers_seconds.reserve(timers_.size());
+  for (const auto& [name, seconds] : timers_) out.timers_seconds.emplace_back(name, seconds);
+  return out;  // maps iterate sorted by name already
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& cell : counter_cells_) cell.store(0, std::memory_order_relaxed);
+  for (auto& [name, seconds] : timers_) seconds = 0;
+}
+
+}  // namespace psb::obs

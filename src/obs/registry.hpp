@@ -1,0 +1,76 @@
+// Process-wide counter / timer registry: named monotonic counters any
+// subsystem can bump without plumbing a sink through its call chain (index
+// builds, engine batches, cache layers added by later PRs).
+//
+// Counters are integers and deterministic; timers are wall-clock and are
+// therefore kept in a separate category so deterministic exports (the trace
+// JSON the regression gate diffs) can exclude them. Snapshots are sorted by
+// name — exporting a snapshot is reproducible for identical counter values.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace psb::obs {
+
+class Registry {
+ public:
+  /// The process-wide instance (individual Registry objects can still be
+  /// created for scoped use, e.g. in tests).
+  static Registry& global();
+
+  /// Named monotonic counter, created on first use. The returned reference
+  /// stays valid for the registry's lifetime; hot paths should cache it.
+  std::atomic<std::uint64_t>& counter(std::string_view name);
+
+  /// Convenience one-shot add (looks the counter up each call).
+  void add(std::string_view name, std::uint64_t delta) { counter(name) += delta; }
+
+  /// Accumulate wall-clock seconds into a named timer.
+  void add_timer_seconds(std::string_view name, double seconds);
+
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;  ///< sorted by name
+    std::vector<std::pair<std::string, double>> timers_seconds;   ///< sorted by name
+  };
+  Snapshot snapshot() const;
+
+  /// Zero every counter and timer (keeps registrations).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  // Deques: stable addresses for the references counter() hands out.
+  std::deque<std::atomic<std::uint64_t>> counter_cells_;
+  std::map<std::string, std::atomic<std::uint64_t>*, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> timers_;
+};
+
+/// RAII wall-clock timer accumulating into Registry::add_timer_seconds.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string name, Registry& registry = Registry::global())
+      : registry_(registry), name_(std::move(name)),
+        start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    registry_.add_timer_seconds(name_, elapsed.count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Registry& registry_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace psb::obs

@@ -1,0 +1,97 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+namespace psb::obs {
+
+namespace {
+std::atomic<TraceCollector*> g_active{nullptr};
+}  // namespace
+
+std::string_view trace_counter_name(TraceCounter c) noexcept {
+  switch (c) {
+    case TraceCounter::kNodesVisited: return "nodes_visited";
+    case TraceCounter::kLeavesVisited: return "leaves_visited";
+    case TraceCounter::kPointsExamined: return "points_examined";
+    case TraceCounter::kBacktracks: return "backtracks";
+    case TraceCounter::kLeafScans: return "leaf_scans";
+    case TraceCounter::kRestarts: return "restarts";
+    case TraceCounter::kHeapInserts: return "heap_inserts";
+    case TraceCounter::kHeapPushes: return "heap_pushes";
+    case TraceCounter::kBytesCoalesced: return "bytes_coalesced";
+    case TraceCounter::kBytesRandom: return "bytes_random";
+    case TraceCounter::kBytesCached: return "bytes_cached";
+    case TraceCounter::kNodeFetches: return "node_fetches";
+    case TraceCounter::kWarpInstructions: return "warp_instructions";
+    case TraceCounter::kActiveLaneSlots: return "active_lane_slots";
+    case TraceCounter::kDivergentSteps: return "divergent_steps";
+    case TraceCounter::kSerialOps: return "serial_ops";
+  }
+  return "unknown";
+}
+
+QueryTrace AlgorithmTrace::totals() const noexcept {
+  QueryTrace out;
+  out.query_index = queries.size();
+  for (const QueryTrace& q : queries) out.merge(q);
+  return out;
+}
+
+const AlgorithmTrace* TraceReport::find(std::string_view algorithm) const noexcept {
+  for (const AlgorithmTrace& a : algorithms) {
+    if (a.algorithm == algorithm) return &a;
+  }
+  return nullptr;
+}
+
+void TraceCollector::record(std::string_view algorithm, const QueryTrace& trace) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(algorithm);
+  if (it == index_.end()) {
+    it = index_.emplace(std::string(algorithm), algorithms_.size()).first;
+    algorithms_.push_back(AlgorithmTrace{std::string(algorithm), {}});
+  }
+  algorithms_[it->second].queries.push_back(trace);
+}
+
+TraceReport TraceCollector::report() const {
+  TraceReport out;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    out.algorithms = algorithms_;
+  }
+  for (AlgorithmTrace& a : out.algorithms) {
+    std::stable_sort(a.queries.begin(), a.queries.end(),
+                     [](const QueryTrace& x, const QueryTrace& y) {
+                       return x.query_index < y.query_index;
+                     });
+  }
+  return out;
+}
+
+void TraceCollector::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  algorithms_.clear();
+  index_.clear();
+}
+
+TraceCollector* active_collector() noexcept {
+  return g_active.load(std::memory_order_relaxed);
+}
+
+void emit(std::string_view algorithm, const QueryTrace& trace) {
+  if (TraceCollector* c = active_collector()) c->record(algorithm, trace);
+}
+
+TraceSession::TraceSession() {
+  TraceCollector* expected = nullptr;
+  if (!g_active.compare_exchange_strong(expected, &collector_)) {
+    throw std::logic_error("obs::TraceSession already active");
+  }
+}
+
+TraceSession::~TraceSession() { g_active.store(nullptr, std::memory_order_relaxed); }
+
+}  // namespace psb::obs

@@ -1,0 +1,133 @@
+// Per-query trace events: the observability core every kNN algorithm reports
+// through. A trace is a fixed-schema vector of deterministic counters — the
+// paper's evaluation metrics (nodes visited, accessed bytes, warp behavior)
+// plus the traversal-shape events (backtracks, leaf scans, restarts, heap
+// ops) that explain *why* one algorithm beats another.
+//
+// Design constraints:
+//   * Zero overhead when disabled: algorithms guard every emission behind
+//     `obs::enabled()`, a single relaxed atomic load of the active-collector
+//     pointer. No session installed -> no allocation, no locking, no work.
+//   * Deterministic export: counters are integers, the schema order is fixed
+//     by the TraceCounter enum, and reports list algorithms in first-emission
+//     order and queries in index order — two runs with the same seed produce
+//     byte-identical JSON/CSV.
+//   * Layering: obs depends on nothing but the standard library. simt and
+//     knn adapt their structs into QueryTrace (see simt/metrics.hpp and
+//     knn/result.hpp); obs never includes them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace psb::obs {
+
+/// Fixed trace schema. Order defines the export column order — append only,
+/// and update docs/observability.md when you do.
+enum class TraceCounter : std::size_t {
+  kNodesVisited = 0,    ///< node fetches incl. refetches
+  kLeavesVisited,       ///< leaf visits (a leaf refetch counts again)
+  kPointsExamined,      ///< point distances evaluated
+  kBacktracks,          ///< parent-link hops (and skip-pointer subtree skips)
+  kLeafScans,           ///< right-sibling hops of PSB's linear leaf scan
+  kRestarts,            ///< root descents initiated (kd-restart: per leaf)
+  kHeapInserts,         ///< candidates accepted into the k-NN list
+  kHeapPushes,          ///< frontier priority-queue pushes (best-first)
+  kBytesCoalesced,      ///< streaming global-memory bytes
+  kBytesRandom,         ///< scattered first-touch global-memory bytes
+  kBytesCached,         ///< L2 re-fetch bytes
+  kNodeFetches,         ///< global-memory load operations
+  kWarpInstructions,    ///< warp-instructions issued
+  kActiveLaneSlots,     ///< sum of active lanes over warp-instructions
+  kDivergentSteps,      ///< warp-instructions issued with a partial warp
+  kSerialOps,           ///< warp-serialized scalar operations
+};
+inline constexpr std::size_t kNumTraceCounters = 16;
+
+/// Stable snake_case name (JSON key / CSV column) for a counter.
+std::string_view trace_counter_name(TraceCounter c) noexcept;
+
+/// One query's trace: the counter vector plus the query's batch index.
+struct QueryTrace {
+  std::uint64_t query_index = 0;
+  std::array<std::uint64_t, kNumTraceCounters> counters{};
+
+  std::uint64_t& operator[](TraceCounter c) noexcept {
+    return counters[static_cast<std::size_t>(c)];
+  }
+  std::uint64_t operator[](TraceCounter c) const noexcept {
+    return counters[static_cast<std::size_t>(c)];
+  }
+
+  void merge(const QueryTrace& other) noexcept {
+    for (std::size_t i = 0; i < kNumTraceCounters; ++i) counters[i] += other.counters[i];
+  }
+};
+
+/// All traces one algorithm emitted during a session.
+struct AlgorithmTrace {
+  std::string algorithm;
+  std::vector<QueryTrace> queries;
+
+  /// Element-wise sum over queries (query_index = number of queries).
+  QueryTrace totals() const noexcept;
+};
+
+/// A full session snapshot: algorithms in first-emission order.
+struct TraceReport {
+  std::vector<AlgorithmTrace> algorithms;
+
+  const AlgorithmTrace* find(std::string_view algorithm) const noexcept;
+  bool empty() const noexcept { return algorithms.empty(); }
+};
+
+/// Thread-safe trace sink. Usually managed through TraceSession; exposed so
+/// long-lived services (the batch engine) can own a collector directly.
+class TraceCollector {
+ public:
+  void record(std::string_view algorithm, const QueryTrace& trace);
+
+  /// Snapshot with queries sorted by query_index within each algorithm (a
+  /// multi-threaded batch may record out of order; sorting restores the
+  /// deterministic export order).
+  TraceReport report() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<AlgorithmTrace> algorithms_;
+  std::map<std::string, std::size_t, std::less<>> index_;
+};
+
+/// The process-wide active collector, or nullptr when tracing is disabled.
+TraceCollector* active_collector() noexcept;
+
+/// The one-branch hook guard: algorithms test this before assembling a trace.
+inline bool enabled() noexcept { return active_collector() != nullptr; }
+
+/// Record one query trace into the active collector (no-op when disabled).
+void emit(std::string_view algorithm, const QueryTrace& trace);
+
+/// RAII scope that installs a collector as the process-wide sink. Sessions
+/// do not nest: constructing a second concurrent session throws.
+class TraceSession {
+ public:
+  TraceSession();
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  TraceReport report() const { return collector_.report(); }
+  TraceCollector& collector() noexcept { return collector_; }
+
+ private:
+  TraceCollector collector_;
+};
+
+}  // namespace psb::obs

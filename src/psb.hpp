@@ -10,6 +10,11 @@
 // Individual module headers can be included directly for faster builds.
 #pragma once
 
+#include "obs/export.hpp"    // IWYU pragma: export
+#include "obs/json.hpp"      // IWYU pragma: export
+#include "obs/registry.hpp"  // IWYU pragma: export
+#include "obs/trace.hpp"     // IWYU pragma: export
+
 #include "common/error.hpp"      // IWYU pragma: export
 #include "common/geometry.hpp"   // IWYU pragma: export
 #include "common/points.hpp"     // IWYU pragma: export
@@ -47,6 +52,8 @@
 #include "knn/radius.hpp"               // IWYU pragma: export
 #include "knn/stackless_baselines.hpp"   // IWYU pragma: export
 #include "knn/task_parallel_sstree.hpp"  // IWYU pragma: export
+
+#include "engine/batch_engine.hpp"  // IWYU pragma: export
 
 #include "kdtree/kdtree.hpp"             // IWYU pragma: export
 #include "kdtree/task_parallel_knn.hpp"  // IWYU pragma: export

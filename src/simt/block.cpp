@@ -23,6 +23,9 @@ void Block::charge_step(std::size_t active_lanes, std::uint64_t ops) {
   const std::uint64_t live_warps = (active_lanes + w - 1) / w;
   metrics_->warp_instructions += live_warps * ops;
   metrics_->active_lane_slots += static_cast<std::uint64_t>(active_lanes) * ops;
+  // A ragged last warp (active % warp != 0) executes every one of its `ops`
+  // instructions with idle lanes — each is a divergence event.
+  if (active_lanes % w != 0) metrics_->divergent_steps += ops;
 }
 
 void Block::load_global(std::size_t bytes, Access pattern) {

@@ -1,6 +1,7 @@
 #include "simt/metrics.hpp"
 
 #include <algorithm>
+#include <string>
 
 namespace psb::simt {
 
@@ -14,6 +15,7 @@ void Metrics::merge(const Metrics& other) noexcept {
   warp_instructions += other.warp_instructions;
   active_lane_slots += other.active_lane_slots;
   serial_ops += other.serial_ops;
+  divergent_steps += other.divergent_steps;
   bytes_coalesced += other.bytes_coalesced;
   bytes_random += other.bytes_random;
   bytes_cached += other.bytes_cached;
@@ -21,6 +23,32 @@ void Metrics::merge(const Metrics& other) noexcept {
   fetches_random += other.fetches_random;
   fetches_cached += other.fetches_cached;
   shared_bytes = std::max(shared_bytes, other.shared_bytes);
+}
+
+void Metrics::add_to(obs::QueryTrace& trace) const noexcept {
+  using obs::TraceCounter;
+  trace[TraceCounter::kBytesCoalesced] += bytes_coalesced;
+  trace[TraceCounter::kBytesRandom] += bytes_random;
+  trace[TraceCounter::kBytesCached] += bytes_cached;
+  trace[TraceCounter::kNodeFetches] += node_fetches;
+  trace[TraceCounter::kWarpInstructions] += warp_instructions;
+  trace[TraceCounter::kActiveLaneSlots] += active_lane_slots;
+  trace[TraceCounter::kDivergentSteps] += divergent_steps;
+  trace[TraceCounter::kSerialOps] += serial_ops;
+}
+
+void Metrics::publish(obs::Registry& registry, std::string_view prefix) const {
+  const auto add = [&](std::string_view name, std::uint64_t v) {
+    registry.add(std::string(prefix) + std::string(name), v);
+  };
+  add("warp_instructions", warp_instructions);
+  add("active_lane_slots", active_lane_slots);
+  add("serial_ops", serial_ops);
+  add("divergent_steps", divergent_steps);
+  add("bytes_coalesced", bytes_coalesced);
+  add("bytes_random", bytes_random);
+  add("bytes_cached", bytes_cached);
+  add("node_fetches", node_fetches);
 }
 
 }  // namespace psb::simt

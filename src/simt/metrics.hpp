@@ -9,6 +9,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace psb::simt {
 
@@ -28,6 +32,10 @@ struct Metrics {
   /// Warp-serialized scalar operations (single-lane critical sections, e.g.
   /// shared-memory k-NN heap insertions).
   std::uint64_t serial_ops = 0;
+  /// Warp-instructions issued by a partially-active warp — each is one
+  /// divergence event (ragged par_for tails, shrinking reduction trees).
+  /// Serialized ops are tracked by serial_ops and not double-counted here.
+  std::uint64_t divergent_steps = 0;
   /// Global-memory bytes fetched with a coalesced access pattern.
   std::uint64_t bytes_coalesced = 0;
   /// Global-memory bytes fetched with a scattered first-touch pattern.
@@ -56,6 +64,14 @@ struct Metrics {
   void merge(const Metrics& other) noexcept;
 
   void reset() noexcept { *this = Metrics{}; }
+
+  /// Add these counters to a per-query trace (the simt-owned columns of the
+  /// obs schema; structure-level columns come from knn::TraversalStats).
+  void add_to(obs::QueryTrace& trace) const noexcept;
+
+  /// Publish into a counter registry under `prefix` (e.g. "psb.batch."),
+  /// using the same names as the trace schema.
+  void publish(obs::Registry& registry, std::string_view prefix) const;
 };
 
 }  // namespace psb::simt

@@ -1,0 +1,205 @@
+// Metamorphic tests for the batch engine: the answers (and the exported
+// traces) must be invariant under query permutation, duplicate queries,
+// duplicate points, and the number of host worker threads — and two runs
+// with the same seed must produce bit-identical trace totals.
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/batch_engine.hpp"
+#include "knn/psb.hpp"
+#include "obs/export.hpp"
+#include "sstree/builders.hpp"
+#include "test_util.hpp"
+
+namespace psb {
+namespace {
+
+using engine::Algorithm;
+using engine::BatchEngine;
+using engine::BatchEngineOptions;
+
+constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::kPsb,          Algorithm::kBestFirst,     Algorithm::kBranchAndBound,
+    Algorithm::kStacklessRestart, Algorithm::kStacklessSkip, Algorithm::kBruteForce,
+    Algorithm::kTaskParallel,
+};
+
+struct Workload {
+  PointSet data;
+  PointSet queries;
+};
+
+Workload make_workload(std::size_t dims = 4, std::size_t n = 700, std::size_t nq = 9) {
+  Workload w;
+  w.data = test::small_clustered(dims, n, /*seed=*/2016);
+  w.queries = test::random_queries(dims, nq, /*seed=*/17);
+  return w;
+}
+
+BatchEngine make_engine(const sstree::SSTree& tree, Algorithm a, std::size_t threads = 1) {
+  BatchEngineOptions opts;
+  opts.algorithm = a;
+  opts.gpu.k = 5;
+  opts.num_threads = threads;
+  return BatchEngine(tree, opts);
+}
+
+void expect_query_equal(const knn::QueryResult& a, const knn::QueryResult& b,
+                        const std::string& label) {
+  ASSERT_EQ(a.neighbors.size(), b.neighbors.size()) << label;
+  for (std::size_t i = 0; i < a.neighbors.size(); ++i) {
+    EXPECT_EQ(a.neighbors[i].id, b.neighbors[i].id) << label << " rank " << i;
+    EXPECT_EQ(a.neighbors[i].dist, b.neighbors[i].dist) << label << " rank " << i;
+  }
+}
+
+TEST(BatchEngineMetamorphic, InvariantUnderQueryPermutation) {
+  const Workload w = make_workload();
+  const sstree::SSTree tree = sstree::build_kmeans(w.data, 16).tree;
+
+  // Reversal: a permutation with no fixed points (except a middle element).
+  PointSet reversed(w.queries.dims());
+  for (std::size_t i = w.queries.size(); i-- > 0;) reversed.append(w.queries[i]);
+
+  for (const Algorithm a : kAllAlgorithms) {
+    const BatchEngine eng = make_engine(tree, a);
+    const knn::BatchResult direct = eng.run(w.queries);
+    const knn::BatchResult permuted = eng.run(reversed);
+    const std::string name(engine::algorithm_name(a));
+    ASSERT_EQ(direct.queries.size(), permuted.queries.size()) << name;
+    for (std::size_t q = 0; q < direct.queries.size(); ++q) {
+      expect_query_equal(direct.queries[q], permuted.queries[direct.queries.size() - 1 - q],
+                         name + " query " + std::to_string(q));
+    }
+  }
+}
+
+TEST(BatchEngineMetamorphic, DuplicateQueriesGetIdenticalAnswers) {
+  const Workload w = make_workload();
+  const sstree::SSTree tree = sstree::build_kmeans(w.data, 16).tree;
+
+  PointSet doubled(w.queries.dims());
+  for (std::size_t i = 0; i < w.queries.size(); ++i) {
+    doubled.append(w.queries[i]);
+    doubled.append(w.queries[i]);
+  }
+
+  for (const Algorithm a : kAllAlgorithms) {
+    const BatchEngine eng = make_engine(tree, a);
+    const knn::BatchResult r = eng.run(doubled);
+    const std::string name(engine::algorithm_name(a));
+    for (std::size_t i = 0; i < w.queries.size(); ++i) {
+      expect_query_equal(r.queries[2 * i], r.queries[2 * i + 1],
+                         name + " duplicate pair " + std::to_string(i));
+    }
+  }
+}
+
+TEST(BatchEngineMetamorphic, DuplicatePointsAppearAsTiedPairs) {
+  const Workload w = make_workload(4, 500, 6);
+  // Duplicate the whole dataset: point n+i is a copy of point i. Querying
+  // for 2k neighbors must return each original neighbor as a tied pair
+  // {i, n+i}, in id order within the pair (the deterministic tie-break).
+  const std::size_t n = w.data.size();
+  PointSet doubled(w.data.dims());
+  for (std::size_t i = 0; i < n; ++i) doubled.append(w.data[i]);
+  for (std::size_t i = 0; i < n; ++i) doubled.append(w.data[i]);
+
+  const sstree::SSTree tree = sstree::build_kmeans(w.data, 16).tree;
+  const sstree::SSTree tree2 = sstree::build_kmeans(doubled, 16).tree;
+
+  for (const Algorithm a : kAllAlgorithms) {
+    BatchEngineOptions opts;
+    opts.algorithm = a;
+    opts.gpu.k = 4;
+    const BatchEngine eng(tree, opts);
+    BatchEngineOptions opts2 = opts;
+    opts2.gpu.k = 8;
+    const BatchEngine eng2(tree2, opts2);
+    const knn::BatchResult base = eng.run(w.queries);
+    const knn::BatchResult dup = eng2.run(w.queries);
+    const std::string name(engine::algorithm_name(a));
+    for (std::size_t q = 0; q < w.queries.size(); ++q) {
+      ASSERT_EQ(dup.queries[q].neighbors.size(), 2 * base.queries[q].neighbors.size()) << name;
+      for (std::size_t j = 0; j < base.queries[q].neighbors.size(); ++j) {
+        const auto& lo = dup.queries[q].neighbors[2 * j];
+        const auto& hi = dup.queries[q].neighbors[2 * j + 1];
+        const auto& ref = base.queries[q].neighbors[j];
+        const std::string label = name + " query " + std::to_string(q) + " rank " +
+                                  std::to_string(j);
+        EXPECT_EQ(lo.dist, ref.dist) << label;
+        EXPECT_EQ(hi.dist, ref.dist) << label;
+        EXPECT_EQ(lo.id, ref.id) << label;
+        EXPECT_EQ(hi.id, ref.id + n) << label;
+      }
+    }
+  }
+}
+
+TEST(BatchEngineMetamorphic, TraceTotalsBitIdenticalAcrossSameSeedRuns) {
+  const Workload w = make_workload();
+  const sstree::SSTree tree = sstree::build_kmeans(w.data, 16).tree;
+  for (const Algorithm a : kAllAlgorithms) {
+    const BatchEngine eng = make_engine(tree, a);
+    const BatchEngine::TracedRun first = eng.run_traced(w.queries);
+    const BatchEngine::TracedRun second = eng.run_traced(w.queries);
+    const std::string name(engine::algorithm_name(a));
+    ASSERT_EQ(first.trace.algorithms.size(), 1U) << name;
+    EXPECT_EQ(first.trace.algorithms[0].algorithm, name);
+    const obs::QueryTrace t1 = first.trace.algorithms[0].totals();
+    const obs::QueryTrace t2 = second.trace.algorithms[0].totals();
+    for (std::size_t c = 0; c < obs::kNumTraceCounters; ++c) {
+      EXPECT_EQ(t1.counters[c], t2.counters[c]) << name << " counter " << c;
+    }
+    // And the full serialized reports agree byte for byte.
+    EXPECT_EQ(obs::trace_to_json(first.trace), obs::trace_to_json(second.trace)) << name;
+  }
+}
+
+TEST(BatchEngineMetamorphic, ThreadCountDoesNotChangeResultsOrTraces) {
+  const Workload w = make_workload(4, 900, 13);
+  const sstree::SSTree tree = sstree::build_kmeans(w.data, 16).tree;
+  for (const Algorithm a : {Algorithm::kPsb, Algorithm::kBranchAndBound,
+                            Algorithm::kBruteForce}) {
+    const BatchEngine::TracedRun serial = make_engine(tree, a, 1).run_traced(w.queries);
+    const BatchEngine::TracedRun threaded = make_engine(tree, a, 4).run_traced(w.queries);
+    const std::string name(engine::algorithm_name(a));
+    ASSERT_EQ(serial.result.queries.size(), threaded.result.queries.size()) << name;
+    for (std::size_t q = 0; q < serial.result.queries.size(); ++q) {
+      expect_query_equal(serial.result.queries[q], threaded.result.queries[q],
+                         name + " query " + std::to_string(q));
+    }
+    EXPECT_EQ(serial.result.metrics.warp_instructions, threaded.result.metrics.warp_instructions)
+        << name;
+    EXPECT_EQ(obs::trace_to_json(serial.trace), obs::trace_to_json(threaded.trace)) << name;
+  }
+}
+
+TEST(BatchEngine, MatchesTheUnderlyingBatchDriver) {
+  const Workload w = make_workload();
+  const sstree::SSTree tree = sstree::build_kmeans(w.data, 16).tree;
+  knn::GpuKnnOptions opts;
+  opts.k = 5;
+  const knn::BatchResult direct = knn::psb_batch(tree, w.queries, opts);
+  const knn::BatchResult engined = make_engine(tree, Algorithm::kPsb).run(w.queries);
+  ASSERT_EQ(direct.queries.size(), engined.queries.size());
+  for (std::size_t q = 0; q < direct.queries.size(); ++q) {
+    expect_query_equal(direct.queries[q], engined.queries[q], "psb query");
+  }
+  EXPECT_EQ(direct.stats.nodes_visited, engined.stats.nodes_visited);
+  EXPECT_EQ(direct.metrics.warp_instructions, engined.metrics.warp_instructions);
+}
+
+TEST(BatchEngine, AlgorithmNamesRoundTrip) {
+  for (const Algorithm a : kAllAlgorithms) {
+    EXPECT_EQ(engine::parse_algorithm(engine::algorithm_name(a)), a);
+  }
+  EXPECT_THROW(engine::parse_algorithm("nope"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace psb

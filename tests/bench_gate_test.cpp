@@ -1,0 +1,122 @@
+// Unit tests for the perf-regression gate: direction inference, threshold
+// resolution, and the pass/fail semantics bench_gate's exit code reflects.
+#include <gtest/gtest.h>
+
+#include "bench_util/gate.hpp"
+
+namespace psb::bench_util {
+namespace {
+
+obs::FlatJson flat(std::initializer_list<std::pair<const char*, double>> values) {
+  obs::FlatJson out;
+  for (const auto& [k, v] : values) out.numbers[k] = v;
+  return out;
+}
+
+TEST(GateDirection, ThroughputVocabularyIsHigherBetter) {
+  EXPECT_EQ(infer_direction("psb.qps"), Direction::kHigherIsBetter);
+  EXPECT_EQ(infer_direction("batch.throughput"), Direction::kHigherIsBetter);
+  EXPECT_EQ(infer_direction("psb.speedup"), Direction::kHigherIsBetter);
+  EXPECT_EQ(infer_direction("psb.warp_efficiency"), Direction::kHigherIsBetter);
+  EXPECT_EQ(infer_direction("cache.hit_rate"), Direction::kHigherIsBetter);
+}
+
+TEST(GateDirection, CostVocabularyIsLowerBetter) {
+  EXPECT_EQ(infer_direction("psb.avg_query_ms"), Direction::kLowerIsBetter);
+  EXPECT_EQ(infer_direction("psb.accessed_bytes"), Direction::kLowerIsBetter);
+  EXPECT_EQ(infer_direction("psb.nodes_visited"), Direction::kLowerIsBetter);
+  EXPECT_EQ(infer_direction("unknown.metric"), Direction::kLowerIsBetter);
+  // Word matching, not substring: "ships" must not match "hits"/"hit".
+  EXPECT_EQ(infer_direction("x.ships"), Direction::kLowerIsBetter);
+}
+
+TEST(GateThresholdsTest, PerMetricOverridesDefault) {
+  GateThresholds t;
+  t.default_rel_tolerance = 0.05;
+  t.per_metric["psb.avg_query_ms"] = 0.2;
+  EXPECT_DOUBLE_EQ(t.tolerance_for("psb.avg_query_ms"), 0.2);
+  EXPECT_DOUBLE_EQ(t.tolerance_for("psb.accessed_bytes"), 0.05);
+}
+
+TEST(GateRun, TenPercentRegressionFailsAtDefaultTolerance) {
+  const auto baseline = flat({{"psb.accessed_bytes", 1000.0}});
+  const auto regressed = flat({{"psb.accessed_bytes", 1100.0}});
+  const GateResult r = run_gate(baseline, regressed, GateThresholds{});
+  EXPECT_FALSE(r.passed);
+  ASSERT_EQ(r.checks.size(), 1U);
+  EXPECT_FALSE(r.checks[0].passed);
+  EXPECT_NEAR(r.checks[0].rel_worsening, 0.10, 1e-12);
+  EXPECT_EQ(r.num_failed(), 1U);
+}
+
+TEST(GateRun, IdenticalCandidatePassesAtZeroTolerance) {
+  const auto baseline = flat({{"psb.accessed_bytes", 1000.0}, {"psb.qps", 50.0}});
+  GateThresholds t;
+  t.default_rel_tolerance = 0.0;
+  const GateResult r = run_gate(baseline, baseline, t);
+  EXPECT_TRUE(r.passed);
+  EXPECT_EQ(r.num_failed(), 0U);
+}
+
+TEST(GateRun, ImprovementAlwaysPasses) {
+  const auto baseline = flat({{"psb.accessed_bytes", 1000.0}, {"psb.qps", 50.0}});
+  const auto improved = flat({{"psb.accessed_bytes", 10.0}, {"psb.qps", 500.0}});
+  GateThresholds t;
+  t.default_rel_tolerance = 0.0;
+  EXPECT_TRUE(run_gate(baseline, improved, t).passed);
+}
+
+TEST(GateRun, HigherIsBetterMetricFailsOnDrop) {
+  const auto baseline = flat({{"psb.qps", 100.0}});
+  const auto dropped = flat({{"psb.qps", 90.0}});
+  const GateResult r = run_gate(baseline, dropped, GateThresholds{});
+  EXPECT_FALSE(r.passed);
+  EXPECT_NEAR(r.checks[0].rel_worsening, 0.10, 1e-12);
+}
+
+TEST(GateRun, WithinToleranceDriftPasses) {
+  const auto baseline = flat({{"psb.avg_query_ms", 100.0}});
+  const auto drifted = flat({{"psb.avg_query_ms", 104.0}});
+  const GateResult r = run_gate(baseline, drifted, GateThresholds{});  // 5% default
+  EXPECT_TRUE(r.passed);
+}
+
+TEST(GateRun, MissingBaselineMetricFails) {
+  const auto baseline = flat({{"psb.accessed_bytes", 1000.0}, {"psb.qps", 50.0}});
+  const auto candidate = flat({{"psb.accessed_bytes", 1000.0}});
+  const GateResult r = run_gate(baseline, candidate, GateThresholds{});
+  EXPECT_FALSE(r.passed);
+  ASSERT_EQ(r.missing.size(), 1U);
+  EXPECT_EQ(r.missing[0], "psb.qps");
+  EXPECT_EQ(r.num_failed(), 1U);
+}
+
+TEST(GateRun, ExtraCandidateMetricIsInformationalOnly) {
+  const auto baseline = flat({{"psb.accessed_bytes", 1000.0}});
+  const auto candidate = flat({{"psb.accessed_bytes", 1000.0}, {"psb.new_metric", 7.0}});
+  const GateResult r = run_gate(baseline, candidate, GateThresholds{});
+  EXPECT_TRUE(r.passed);
+  ASSERT_EQ(r.extra.size(), 1U);
+  EXPECT_EQ(r.extra[0], "psb.new_metric");
+}
+
+TEST(GateRun, ZeroBaselinePassesOnlyWhenUnmoved) {
+  const auto baseline = flat({{"psb.backtracks", 0.0}});
+  EXPECT_TRUE(run_gate(baseline, flat({{"psb.backtracks", 0.0}}), GateThresholds{}).passed);
+  const GateResult r = run_gate(baseline, flat({{"psb.backtracks", 3.0}}), GateThresholds{});
+  EXPECT_FALSE(r.passed);
+}
+
+TEST(GateReport, MentionsWorstMetricAndVerdict) {
+  const auto baseline = flat({{"psb.accessed_bytes", 1000.0}, {"psb.qps", 100.0}});
+  const auto candidate = flat({{"psb.accessed_bytes", 1500.0}, {"psb.qps", 100.0}});
+  const GateResult r = run_gate(baseline, candidate, GateThresholds{});
+  const std::string report = format_gate_report(r);
+  EXPECT_NE(report.find("FAIL psb.accessed_bytes"), std::string::npos);
+  EXPECT_NE(report.find("GATE FAIL"), std::string::npos);
+  // The failing metric sorts first (worst first).
+  EXPECT_LT(report.find("psb.accessed_bytes"), report.find("psb.qps"));
+}
+
+}  // namespace
+}  // namespace psb::bench_util

@@ -1,0 +1,165 @@
+// Differential correctness sweep: every traversal algorithm against the
+// brute-force reference over a (k, dims, degree) grid on seeded uniform and
+// NOAA-like data. Stronger than the per-algorithm exactness tests: when the
+// reference answer has no distance tie at the k-th boundary, the *id
+// sequences* must be identical too — the KnnHeap keeps the k smallest
+// (dist, id) pairs, so every exact algorithm must return literally the same
+// neighbor list, not just the same distances.
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/noaa_synth.hpp"
+#include "data/synthetic.hpp"
+#include "knn/best_first.hpp"
+#include "knn/branch_and_bound.hpp"
+#include "knn/brute_force.hpp"
+#include "knn/psb.hpp"
+#include "knn/stackless_baselines.hpp"
+#include "knn/task_parallel_sstree.hpp"
+#include "sstree/builders.hpp"
+#include "test_util.hpp"
+
+namespace psb {
+namespace {
+
+struct Config {
+  std::size_t k;
+  std::size_t dims;  // ignored for the NOAA dataset (fixed 4-D)
+  std::size_t degree;
+};
+
+std::string config_name(const testing::TestParamInfo<Config>& info) {
+  return "k" + std::to_string(info.param.k) + "d" + std::to_string(info.param.dims) +
+         "deg" + std::to_string(info.param.degree);
+}
+
+/// True when the reference k-th and (k+1)-th distances are (nearly) equal:
+/// a tree algorithm may then legitimately keep either point, because pruning
+/// tests are strict (`mindist < bound`) and a tied subtree can be skipped.
+bool boundary_tied(const std::vector<Scalar>& ref_kplus1, std::size_t k) {
+  if (ref_kplus1.size() <= k) return false;  // k covers the whole dataset
+  const double a = ref_kplus1[k - 1];
+  const double b = ref_kplus1[k];
+  return b - a <= 1e-6 * (1.0 + std::abs(b));
+}
+
+void expect_same_ids(const std::vector<KnnHeap::Entry>& got,
+                     const std::vector<KnnHeap::Entry>& want, const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << label << " rank " << i;
+    EXPECT_EQ(got[i].dist, want[i].dist) << label << " rank " << i;
+  }
+}
+
+void run_differential(const PointSet& data, const PointSet& queries, std::size_t k,
+                      std::size_t degree, const std::string& dataset) {
+  const sstree::SSTree tree = sstree::build_kmeans(data, degree).tree;
+  tree.validate();
+
+  knn::GpuKnnOptions opts;
+  opts.k = k;
+  const knn::BatchResult reference = knn::brute_force_batch(data, queries, opts);
+
+  knn::TaskParallelSsOptions tp;
+  tp.k = k;
+
+  const std::vector<std::pair<std::string, knn::BatchResult>> candidates = {
+      {"psb", knn::psb_batch(tree, queries, opts)},
+      {"branch_and_bound", knn::bnb_batch(tree, queries, opts)},
+      {"best_first", knn::best_first_gpu_batch(tree, queries, opts)},
+      {"stackless_restart", knn::restart_batch(tree, queries, opts)},
+      {"stackless_skip", knn::skip_pointer_batch(tree, queries, opts)},
+      {"task_parallel", knn::task_parallel_sstree_knn(tree, queries, tp)},
+  };
+
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const std::vector<Scalar> ref_kplus1 =
+        test::reference_knn_distances(data, queries[q], k + 1);
+    const bool tied = boundary_tied(ref_kplus1, k);
+    for (const auto& [name, result] : candidates) {
+      const std::string label = dataset + "/" + name + " query " + std::to_string(q);
+      if (tied) {
+        // Tie at the boundary: the retained set is ambiguous; distances must
+        // still match the reference multiset.
+        std::vector<Scalar> expected(ref_kplus1.begin(),
+                                     ref_kplus1.begin() + static_cast<std::ptrdiff_t>(
+                                                              reference.queries[q].neighbors.size()));
+        test::expect_knn_matches(result.queries[q].neighbors, expected, label.c_str());
+      } else {
+        expect_same_ids(result.queries[q].neighbors, reference.queries[q].neighbors, label);
+      }
+    }
+  }
+}
+
+class DifferentialSweep : public testing::TestWithParam<Config> {};
+
+TEST_P(DifferentialSweep, UniformMatchesBruteForce) {
+  const Config& cfg = GetParam();
+  const PointSet data = data::make_uniform(cfg.dims, 2000, 1000.0, /*seed=*/20160805);
+  const PointSet queries = test::random_queries(cfg.dims, 12, /*seed=*/41);
+  run_differential(data, queries, cfg.k, cfg.degree, "uniform");
+}
+
+TEST_P(DifferentialSweep, NoaaSynthMatchesBruteForce) {
+  const Config& cfg = GetParam();
+  data::NoaaSpec spec;
+  spec.stations = 60;
+  spec.readings_per_station = 30;  // 1800 points, 4-D, heavy duplicate structure
+  spec.seed = 1973;
+  const PointSet data = data::make_noaa_like(spec);
+  const PointSet queries = data::sample_queries(data, 12, /*jitter=*/0.5, /*seed=*/7);
+  run_differential(data, queries, cfg.k, cfg.degree, "noaa");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DifferentialSweep,
+    testing::Values(Config{1, 2, 16}, Config{1, 4, 128}, Config{8, 2, 128},
+                    Config{8, 4, 16}, Config{8, 16, 128}, Config{32, 2, 16},
+                    Config{32, 4, 128}, Config{32, 16, 16}, Config{1, 16, 128}),
+    config_name);
+
+// The id-sequence contract depends on the heap's deterministic tie-breaking;
+// pin it down directly so a regression fails here and not 9 sweep cases deep.
+TEST(DeterministicTieBreak, HeapKeepsSmallestIdsOnTies) {
+  KnnHeap heap(3);
+  EXPECT_TRUE(heap.offer(1.0F, 30));
+  EXPECT_TRUE(heap.offer(1.0F, 20));
+  EXPECT_TRUE(heap.offer(1.0F, 40));
+  EXPECT_TRUE(heap.offer(1.0F, 10));   // evicts id 40 (largest tied id)
+  EXPECT_FALSE(heap.offer(1.0F, 50));  // worse than everything retained
+  const auto sorted = heap.sorted();
+  ASSERT_EQ(sorted.size(), 3U);
+  EXPECT_EQ(sorted[0].id, 10U);
+  EXPECT_EQ(sorted[1].id, 20U);
+  EXPECT_EQ(sorted[2].id, 30U);
+}
+
+TEST(DeterministicTieBreak, ArrivalOrderIrrelevant) {
+  const std::vector<std::pair<Scalar, PointId>> entries = {
+      {2.0F, 7}, {1.0F, 9}, {2.0F, 3}, {1.5F, 8}, {2.0F, 1}, {3.0F, 0}};
+  std::vector<std::vector<KnnHeap::Entry>> outcomes;
+  for (int rot = 0; rot < 6; ++rot) {
+    KnnHeap heap(4);
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const auto& [d, id] = entries[(i + static_cast<std::size_t>(rot)) % entries.size()];
+      heap.offer(d, id);
+    }
+    outcomes.push_back(heap.sorted());
+  }
+  for (std::size_t rot = 1; rot < outcomes.size(); ++rot) {
+    ASSERT_EQ(outcomes[rot].size(), outcomes[0].size());
+    for (std::size_t i = 0; i < outcomes[0].size(); ++i) {
+      EXPECT_EQ(outcomes[rot][i].id, outcomes[0][i].id) << "rotation " << rot;
+      EXPECT_EQ(outcomes[rot][i].dist, outcomes[0][i].dist) << "rotation " << rot;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psb

@@ -1,0 +1,264 @@
+// Tests of the observability subsystem: registry semantics, trace session
+// lifecycle, exporter determinism (the byte-identical contract the regression
+// gate relies on), and the tentpole invariant that every kNN algorithm emits
+// a per-query trace when a session is active — and emits nothing when not.
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "knn/best_first.hpp"
+#include "knn/branch_and_bound.hpp"
+#include "knn/brute_force.hpp"
+#include "knn/psb.hpp"
+#include "knn/stackless_baselines.hpp"
+#include "knn/task_parallel_sstree.hpp"
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "sstree/builders.hpp"
+#include "test_util.hpp"
+
+namespace psb {
+namespace {
+
+using obs::TraceCounter;
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(Registry, CountersAccumulateAndSnapshotSorted) {
+  obs::Registry reg;
+  reg.add("zeta.count", 3);
+  reg.add("alpha.count", 1);
+  reg.counter("zeta.count").fetch_add(2);
+  reg.add_timer_seconds("build", 0.5);
+
+  const obs::Registry::Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2U);
+  EXPECT_EQ(snap.counters[0].first, "alpha.count");  // sorted by name
+  EXPECT_EQ(snap.counters[0].second, 1U);
+  EXPECT_EQ(snap.counters[1].first, "zeta.count");
+  EXPECT_EQ(snap.counters[1].second, 5U);
+  ASSERT_EQ(snap.timers_seconds.size(), 1U);
+  EXPECT_DOUBLE_EQ(snap.timers_seconds[0].second, 0.5);
+
+  reg.reset();  // zeroes values, keeps registrations
+  const obs::Registry::Snapshot after = reg.snapshot();
+  ASSERT_EQ(after.counters.size(), 2U);
+  EXPECT_EQ(after.counters[0].second, 0U);
+  EXPECT_EQ(after.counters[1].second, 0U);
+  ASSERT_EQ(after.timers_seconds.size(), 1U);
+  EXPECT_DOUBLE_EQ(after.timers_seconds[0].second, 0.0);
+}
+
+TEST(Registry, CounterAddressesAreStableAcrossGrowth) {
+  obs::Registry reg;
+  std::atomic<std::uint64_t>& first = reg.counter("first");
+  for (int i = 0; i < 200; ++i) reg.counter("c" + std::to_string(i));
+  first.fetch_add(7);
+  EXPECT_EQ(reg.counter("first").load(), 7U);
+}
+
+TEST(Registry, ConcurrentAddsAreLossless) {
+  obs::Registry reg;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 4; ++t) {
+    pool.emplace_back([&reg] {
+      for (int i = 0; i < 1000; ++i) reg.add("hits", 1);
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(reg.counter("hits").load(), 4000U);
+}
+
+// ---------------------------------------------------------------------------
+// Trace sessions
+// ---------------------------------------------------------------------------
+
+TEST(TraceSession, DisabledByDefaultAndEnabledInScope) {
+  EXPECT_FALSE(obs::enabled());
+  obs::emit("nobody", obs::QueryTrace{});  // must be a harmless no-op
+  {
+    obs::TraceSession session;
+    EXPECT_TRUE(obs::enabled());
+    obs::QueryTrace t;
+    t.query_index = 3;
+    t[TraceCounter::kNodesVisited] = 11;
+    obs::emit("alg", t);
+    const obs::TraceReport report = session.report();
+    ASSERT_EQ(report.algorithms.size(), 1U);
+    EXPECT_EQ(report.algorithms[0].algorithm, "alg");
+    ASSERT_EQ(report.algorithms[0].queries.size(), 1U);
+    EXPECT_EQ(report.algorithms[0].queries[0][TraceCounter::kNodesVisited], 11U);
+  }
+  EXPECT_FALSE(obs::enabled());
+}
+
+TEST(TraceSession, NestedSessionThrows) {
+  obs::TraceSession outer;
+  EXPECT_THROW(obs::TraceSession inner, std::logic_error);
+}
+
+TEST(TraceCollector, QueriesSortedByIndexAndAlgorithmsInFirstEmissionOrder) {
+  obs::TraceCollector collector;
+  obs::QueryTrace t;
+  t.query_index = 2;
+  collector.record("b", t);
+  t.query_index = 0;
+  collector.record("a", t);
+  t.query_index = 1;
+  collector.record("b", t);
+  const obs::TraceReport report = collector.report();
+  ASSERT_EQ(report.algorithms.size(), 2U);
+  EXPECT_EQ(report.algorithms[0].algorithm, "b");  // first emission wins
+  EXPECT_EQ(report.algorithms[1].algorithm, "a");
+  ASSERT_EQ(report.algorithms[0].queries.size(), 2U);
+  EXPECT_EQ(report.algorithms[0].queries[0].query_index, 1U);
+  EXPECT_EQ(report.algorithms[0].queries[1].query_index, 2U);
+  EXPECT_NE(report.find("a"), nullptr);
+  EXPECT_EQ(report.find("zzz"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// JSON plumbing
+// ---------------------------------------------------------------------------
+
+TEST(Json, WriterProducesStableDocument) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("name", "x\"y");
+  w.field("count", std::uint64_t{42});
+  w.field("ratio", 0.5);
+  w.begin_array("items");
+  w.value(std::uint64_t{1});
+  w.value(std::uint64_t{2});
+  w.end_array();
+  w.end_object();
+  const std::string doc = w.str();
+  EXPECT_NE(doc.find("\"name\": \"x\\\"y\""), std::string::npos);
+  EXPECT_NE(doc.find("\"count\": 42"), std::string::npos);
+  const obs::FlatJson parsed = obs::parse_flat_json(R"({"a": 1.5, "b": "s", "c": true})");
+  EXPECT_DOUBLE_EQ(parsed.numbers.at("a"), 1.5);
+  EXPECT_DOUBLE_EQ(parsed.numbers.at("c"), 1.0);
+  EXPECT_EQ(parsed.strings.at("b"), "s");
+}
+
+TEST(Json, FlatParserRejectsNesting) {
+  EXPECT_THROW(obs::parse_flat_json(R"({"a": {"b": 1}})"), std::runtime_error);
+  EXPECT_THROW(obs::parse_flat_json(R"({"a": [1, 2]})"), std::runtime_error);
+  EXPECT_THROW(obs::parse_flat_json("[1]"), std::runtime_error);
+  EXPECT_THROW(obs::parse_flat_json(R"({"a": 1,})"), std::runtime_error);
+}
+
+TEST(Json, FormatDoubleRoundTrips) {
+  for (const double v : {0.0, 1.0, -1.5, 0.1, 1e-9, 12345.6789, 2.2250738585072014e-308}) {
+    const std::string s = obs::format_double(v);
+    EXPECT_EQ(std::stod(s), v) << s;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Every algorithm emits; exports are byte-identical across same-seed runs
+// ---------------------------------------------------------------------------
+
+struct AllAlgorithmsRun {
+  std::string trace_json;
+  std::string trace_csv;
+};
+
+AllAlgorithmsRun run_all_algorithms() {
+  const PointSet data = test::small_clustered(4, 600, /*seed=*/99);
+  const PointSet queries = test::random_queries(4, 5, /*seed=*/3);
+  const sstree::SSTree tree = sstree::build_kmeans(data, 16).tree;
+  knn::GpuKnnOptions opts;
+  opts.k = 4;
+  knn::TaskParallelSsOptions tp;
+  tp.k = 4;
+
+  obs::TraceSession session;
+  (void)knn::psb_batch(tree, queries, opts);
+  (void)knn::bnb_batch(tree, queries, opts);
+  (void)knn::best_first_gpu_batch(tree, queries, opts);
+  (void)knn::best_first_batch(tree, queries, opts.k);
+  (void)knn::restart_batch(tree, queries, opts);
+  (void)knn::skip_pointer_batch(tree, queries, opts);
+  (void)knn::brute_force_batch(data, queries, opts);
+  (void)knn::task_parallel_sstree_knn(tree, queries, tp);
+
+  const obs::TraceReport report = session.report();
+  AllAlgorithmsRun out;
+  out.trace_json = obs::trace_to_json(report);
+  out.trace_csv = obs::trace_to_csv(report);
+
+  // Every algorithm registered itself, once per query.
+  const std::vector<std::string> expected = {
+      "psb",      "branch_and_bound", "best_first",  "best_first_host",
+      "stackless_restart", "stackless_skip", "brute_force", "task_parallel_sstree"};
+  EXPECT_EQ(report.algorithms.size(), expected.size());
+  for (const std::string& name : expected) {
+    const obs::AlgorithmTrace* trace = report.find(name);
+    if (trace == nullptr) {
+      ADD_FAILURE() << "no trace emitted for " << name;
+      continue;
+    }
+    EXPECT_EQ(trace->queries.size(), queries.size()) << name;
+    for (std::size_t q = 0; q < trace->queries.size(); ++q) {
+      EXPECT_EQ(trace->queries[q].query_index, q) << name;
+      EXPECT_GT(trace->queries[q][TraceCounter::kPointsExamined], 0U) << name;
+    }
+    // Device counters flow through for the simulated-GPU algorithms (the
+    // host-side best-first has none).
+    if (name != "best_first_host") {
+      EXPECT_GT(trace->totals()[TraceCounter::kWarpInstructions], 0U) << name;
+    }
+  }
+  // Traversal-shape counters land where the algorithm semantics say they do.
+  EXPECT_GT(report.find("psb")->totals()[TraceCounter::kBacktracks], 0U);
+  EXPECT_GT(report.find("psb")->totals()[TraceCounter::kRestarts], 0U);
+  EXPECT_GT(report.find("stackless_restart")->totals()[TraceCounter::kRestarts], 0U);
+  EXPECT_GT(report.find("best_first")->totals()[TraceCounter::kHeapPushes], 0U);
+  EXPECT_EQ(report.find("brute_force")->totals()[TraceCounter::kBacktracks], 0U);
+  return out;
+}
+
+TEST(TraceExport, ByteIdenticalAcrossSameSeedRuns) {
+  const AllAlgorithmsRun first = run_all_algorithms();
+  const AllAlgorithmsRun second = run_all_algorithms();
+  EXPECT_EQ(first.trace_json, second.trace_json);
+  EXPECT_EQ(first.trace_csv, second.trace_csv);
+  EXPECT_NE(first.trace_json.find("\"schema\": \"psb.trace.v1\""), std::string::npos);
+  // The export parses back as JSON-with-nesting is rejected by the flat
+  // parser — sanity-check shape via the CSV header instead.
+  EXPECT_EQ(first.trace_csv.rfind("algorithm,query_index,nodes_visited", 0), 0U);
+}
+
+TEST(TraceExport, AlgorithmsEmitNothingWhenDisabled) {
+  ASSERT_FALSE(obs::enabled());
+  const PointSet data = test::small_clustered(4, 300, /*seed=*/5);
+  const PointSet queries = test::random_queries(4, 3, /*seed=*/6);
+  const sstree::SSTree tree = sstree::build_kmeans(data, 16).tree;
+  knn::GpuKnnOptions opts;
+  opts.k = 2;
+  (void)knn::psb_batch(tree, queries, opts);  // must not touch any collector
+  obs::TraceSession session;
+  EXPECT_TRUE(session.report().empty());
+}
+
+TEST(RegistryExport, SnapshotJsonOmitsTimersByDefault) {
+  obs::Registry reg;
+  reg.add("a.count", 2);
+  reg.add_timer_seconds("wall", 1.25);
+  const std::string without = obs::registry_to_json(reg.snapshot());
+  EXPECT_NE(without.find("\"a.count\": 2"), std::string::npos);
+  EXPECT_EQ(without.find("wall"), std::string::npos);
+  const std::string with = obs::registry_to_json(reg.snapshot(), /*include_timers=*/true);
+  EXPECT_NE(with.find("wall"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psb

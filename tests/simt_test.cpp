@@ -36,6 +36,36 @@ TEST(Metrics, MergeSumsAndMaxes) {
   EXPECT_EQ(a.shared_bytes, 64u);  // high-water, not sum
 }
 
+TEST(Block, DivergentStepsCountPartialWarpInstructions) {
+  DeviceSpec spec;  // warp_size 32
+  Metrics m;
+  Block block(spec, 64, &m);
+  block.par_for(64, 3, [](std::size_t) {});  // full warps: no divergence
+  EXPECT_EQ(m.divergent_steps, 0u);
+  block.par_for(40, 3, [](std::size_t) {});  // ragged tail warp (8 of 32)
+  EXPECT_EQ(m.divergent_steps, 3u);
+  block.par_for(7, 2, [](std::size_t) {});  // single partial warp
+  EXPECT_EQ(m.divergent_steps, 5u);
+}
+
+TEST(Block, SerializeDoesNotCountAsDivergence) {
+  DeviceSpec spec;
+  Metrics m;
+  Block block(spec, 32, &m);
+  block.serialize(5);
+  EXPECT_GT(m.serial_ops, 0u);
+  EXPECT_EQ(m.divergent_steps, 0u);  // serialization is accounted separately
+}
+
+TEST(Metrics, MergeSumsDivergentSteps) {
+  Metrics a;
+  a.divergent_steps = 3;
+  Metrics b;
+  b.divergent_steps = 4;
+  a.merge(b);
+  EXPECT_EQ(a.divergent_steps, 7u);
+}
+
 TEST(Block, RoundsThreadsUpToWarp) {
   DeviceSpec spec;
   Metrics m;

@@ -63,8 +63,13 @@ TEST(SRTree, BatchReportsTimeAndBytes) {
   const PointSet queries = test::random_queries(4, 25, 76);
   const CpuBatchResult r = knn_batch(tree, queries, 8);
   EXPECT_EQ(r.queries.size(), 25u);
-  EXPECT_GT(r.wall_ms, 0.0);
+  // wall_ms is measured host time: on a coarse clock a fast batch can
+  // legitimately measure 0.0, so only the deterministic counters are
+  // required to be positive; the wall clock just has to be consistent.
+  EXPECT_GE(r.wall_ms, 0.0);
   EXPECT_NEAR(r.avg_query_ms * 25, r.wall_ms, 1e-9);
+  EXPECT_GT(r.stats.nodes_visited, 0u);
+  EXPECT_GT(r.accessed_bytes, 0u);
   EXPECT_EQ(r.accessed_bytes, r.stats.nodes_visited * tree.page_bytes());
 }
 

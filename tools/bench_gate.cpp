@@ -1,0 +1,81 @@
+// bench_gate: compare a freshly produced BENCH_*.json against a checked-in
+// baseline and exit nonzero when any metric regressed past tolerance.
+//
+//   bench_gate --baseline bench/baselines/BENCH_gate_small.json \
+//              --candidate build/BENCH_gate_small.json \
+//              [--tolerance 0.05] [--metric-tolerance name=0.10]...
+//
+// Exit codes: 0 = gate passed, 1 = regression detected, 2 = usage/IO error.
+#include <cstring>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+#include "bench_util/gate.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --baseline FILE --candidate FILE [--tolerance REL]"
+               " [--metric-tolerance NAME=REL]... [--quiet]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string candidate_path;
+  psb::bench_util::GateThresholds thresholds;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--baseline") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      baseline_path = v;
+    } else if (arg == "--candidate") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      candidate_path = v;
+    } else if (arg == "--tolerance") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      thresholds.default_rel_tolerance = std::stod(v);
+    } else if (arg == "--metric-tolerance") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      const std::string_view spec = v;
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string_view::npos) return usage(argv[0]);
+      thresholds.per_metric[std::string(spec.substr(0, eq))] =
+          std::stod(std::string(spec.substr(eq + 1)));
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return usage(argv[0]);
+    }
+  }
+  if (baseline_path.empty() || candidate_path.empty()) return usage(argv[0]);
+
+  try {
+    const psb::obs::FlatJson baseline = psb::obs::read_flat_json(baseline_path);
+    const psb::obs::FlatJson candidate = psb::obs::read_flat_json(candidate_path);
+    const psb::bench_util::GateResult result =
+        psb::bench_util::run_gate(baseline, candidate, thresholds);
+    if (!quiet || !result.passed) {
+      std::cout << "baseline:  " << baseline_path << "\n"
+                << "candidate: " << candidate_path << "\n"
+                << psb::bench_util::format_gate_report(result);
+    }
+    return result.passed ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_gate: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -10,7 +10,9 @@
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "psb.hpp"
 
@@ -31,7 +33,10 @@ commands:
   info      --data FILE --index FILE
   query     --data FILE --index FILE [--k N] [--num-queries N]
             [--algo psb|bnb|brute|bestfirst] [--seed N]
+            [--trace-out FILE.json] [--trace-csv FILE.csv]
   radius    --data FILE --index FILE --radius X [--num-queries N] [--seed N]
+  bench     --out FILE.json [--dims N] [--count N] [--clusters N]
+            [--num-queries N] [--k N] [--degree N] [--seed N] [--algos a,b,...]
 )";
   std::exit(2);
 }
@@ -158,6 +163,26 @@ int cmd_query(const Args& args) {
   const PointSet queries = data::sample_queries(points, nq, 0.0, args.num("seed", 7));
   const std::string algo = args.str("algo", "psb");
 
+  // Collect per-query traces when an export was requested; the session also
+  // demonstrates the obs path the benches and tests share.
+  const std::string trace_out = args.str("trace-out", "-");
+  const std::string trace_csv = args.str("trace-csv", "-");
+  const bool want_trace = trace_out != "-" || trace_csv != "-";
+  std::optional<obs::TraceSession> session;
+  if (want_trace) session.emplace();
+  const auto export_trace = [&] {
+    if (!want_trace) return;
+    const obs::TraceReport report = session->report();
+    if (trace_out != "-") {
+      obs::write_text_file(trace_out, obs::trace_to_json(report));
+      std::cout << "trace json written: " << trace_out << "\n";
+    }
+    if (trace_csv != "-") {
+      obs::write_text_file(trace_csv, obs::trace_to_csv(report));
+      std::cout << "trace csv written: " << trace_csv << "\n";
+    }
+  };
+
   knn::GpuKnnOptions opts;
   opts.k = k;
   knn::BatchResult r;
@@ -173,6 +198,7 @@ int cmd_query(const Args& args) {
       std::cout << "query " << i << ": nearest id " << qs[i].neighbors.front().id
                 << " at distance " << qs[i].neighbors.front().dist << "\n";
     }
+    export_trace();
     return 0;
   } else {
     usage("unknown --algo " + algo);
@@ -188,6 +214,85 @@ int cmd_query(const Args& args) {
   std::cout << "\n" << algo << ": " << r.timing.avg_query_ms << " ms/query, "
             << r.accessed_mb() / static_cast<double>(queries.size()) << " MB/query, warp eff "
             << r.metrics.warp_efficiency() * 100 << "%\n";
+  export_trace();
+  return 0;
+}
+
+// Deterministic micro-benchmark for the regression gate: a seeded clustered
+// workload, a kmeans tree, and one engine run per requested algorithm. Every
+// exported number is derived from simulator counters (no wall clock), so the
+// same binary and seed always write byte-identical JSON — which is what lets
+// bench_gate run with zero tolerance in CI.
+int cmd_bench(const Args& args) {
+  const std::string out = args.str("out");
+
+  data::ClusteredSpec spec;
+  spec.dims = args.num("dims", 8);
+  spec.num_clusters = args.num("clusters", 50);
+  spec.points_per_cluster =
+      args.num("count", 20000) / std::max<std::size_t>(1, spec.num_clusters);
+  spec.stddev = args.real("stddev", 160.0);
+  spec.seed = args.num("seed", 2016);
+  const PointSet points = data::make_clustered(spec);
+  const PointSet queries = data::sample_queries(points, args.num("num-queries", 64), 0.0,
+                                                spec.seed + 1);
+  const std::size_t degree = args.num("degree", 64);
+  sstree::KMeansBuildOptions build_opts;
+  const sstree::BuildOutput built = sstree::build_kmeans(points, degree, build_opts);
+
+  std::vector<std::string> algos;
+  {
+    std::string list = args.str("algos", "psb,branch_and_bound,stackless_restart,stackless_skip");
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+      std::size_t next = list.find(',', pos);
+      if (next == std::string::npos) next = list.size();
+      if (next > pos) algos.push_back(list.substr(pos, next - pos));
+      pos = next + 1;
+    }
+  }
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "psb.bench.v1");
+  w.field("config.dims", static_cast<std::uint64_t>(spec.dims));
+  w.field("config.points", static_cast<std::uint64_t>(points.size()));
+  w.field("config.num_queries", static_cast<std::uint64_t>(queries.size()));
+  w.field("config.k", static_cast<std::uint64_t>(args.num("k", 16)));
+  w.field("config.degree", static_cast<std::uint64_t>(degree));
+  w.field("config.seed", static_cast<std::uint64_t>(spec.seed));
+
+  knn::GpuKnnOptions gpu;
+  gpu.k = args.num("k", 16);
+  for (const std::string& name : algos) {
+    engine::BatchEngineOptions eng_opts;
+    eng_opts.algorithm = engine::parse_algorithm(name);
+    eng_opts.gpu = gpu;
+    const engine::BatchEngine eng(built.tree, eng_opts);
+    const engine::BatchEngine::TracedRun run = eng.run_traced(queries);
+    const obs::AlgorithmTrace* trace = run.trace.find(name);
+    PSB_ASSERT(trace != nullptr, "engine produced no trace for " + name);
+    const obs::QueryTrace totals = trace->totals();
+
+    using obs::TraceCounter;
+    const auto col = [&](TraceCounter c) { return totals[c]; };
+    w.field(name + ".nodes_visited", col(TraceCounter::kNodesVisited));
+    w.field(name + ".points_examined", col(TraceCounter::kPointsExamined));
+    w.field(name + ".backtracks", col(TraceCounter::kBacktracks));
+    w.field(name + ".restarts", col(TraceCounter::kRestarts));
+    w.field(name + ".heap_inserts", col(TraceCounter::kHeapInserts));
+    w.field(name + ".accessed_bytes", col(TraceCounter::kBytesCoalesced) +
+                                          col(TraceCounter::kBytesRandom) +
+                                          col(TraceCounter::kBytesCached));
+    w.field(name + ".node_fetches", col(TraceCounter::kNodeFetches));
+    w.field(name + ".warp_instructions", col(TraceCounter::kWarpInstructions));
+    w.field(name + ".divergent_steps", col(TraceCounter::kDivergentSteps));
+    w.field(name + ".avg_query_ms", run.result.timing.avg_query_ms);
+    w.field(name + ".warp_efficiency", run.result.metrics.warp_efficiency());
+  }
+  w.end_object();
+  obs::write_text_file(out, w.str());
+  std::cout << "bench json written: " << out << "\n";
   return 0;
 }
 
@@ -219,6 +324,7 @@ int main(int argc, char** argv) {
     if (cmd == "info") return cmd_info(args);
     if (cmd == "query") return cmd_query(args);
     if (cmd == "radius") return cmd_radius(args);
+    if (cmd == "bench") return cmd_bench(args);
     usage("unknown command " + cmd);
   } catch (const std::exception& e) {
     std::cerr << "psbtool: " << e.what() << "\n";
