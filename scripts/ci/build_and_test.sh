@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# CI job: configure + build + tier1 ctest. Runs identically on a laptop and in
+# the workflow — the workflow's build-test matrix steps are exactly this
+# script with CC/CXX exported per matrix leg.
+#
+#   CC=gcc CXX=g++ scripts/ci/build_and_test.sh
+#   CC=clang CXX=clang++ BUILD_DIR=build-clang scripts/ci/build_and_test.sh
+#
+# Environment:
+#   CC / CXX     compiler pair (default: system cc/c++)
+#   BUILD_DIR    binary dir (default: build-ci-${CC##*/})
+#   JOBS         parallelism (default: nproc)
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+CC="${CC:-cc}"
+CXX="${CXX:-c++}"
+BUILD_DIR="${BUILD_DIR:-build-ci-${CC##*/}}"
+JOBS="${JOBS:-$(nproc)}"
+
+LAUNCHER_ARGS=()
+if command -v ccache >/dev/null 2>&1; then
+  LAUNCHER_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache -DCMAKE_C_COMPILER_LAUNCHER=ccache)
+  ccache --zero-stats >/dev/null 2>&1 || true
+fi
+
+# An existing cache (restored by actions/cache or left from a previous local
+# run) makes this an incremental configure; CMake ignores -D changes that
+# match the cached values.
+cmake -B "$BUILD_DIR" -G Ninja \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DCMAKE_C_COMPILER="$CC" -DCMAKE_CXX_COMPILER="$CXX" \
+  "${LAUNCHER_ARGS[@]}"
+
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+if command -v ccache >/dev/null 2>&1; then
+  ccache --show-stats | sed 's/^/ccache: /' || true
+fi
+
+echo "== tier1 tests ($CXX) =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L tier1 -j "$JOBS"

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# CI job: formatting and hygiene checks. clang-format runs in --dry-run
+# -Werror mode against .clang-format when the binary exists (the workflow
+# installs it; bare containers may not have it, so it degrades to a notice
+# instead of a false failure). The mechanical checks below need only python3
+# and catch the problems that survive clang-format: trailing whitespace,
+# tabs in sources, and missing final newlines.
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+mapfile -t SOURCES < <(git ls-files '*.cpp' '*.hpp')
+
+if command -v clang-format >/dev/null 2>&1; then
+  echo "== clang-format ($(clang-format --version | head -1)) =="
+  clang-format --dry-run -Werror "${SOURCES[@]}"
+else
+  echo "clang-format not installed — skipping style diff (mechanical checks still run)"
+fi
+
+echo "== mechanical hygiene =="
+python3 - "${SOURCES[@]}" <<'EOF'
+import sys
+
+bad = 0
+for path in sys.argv[1:]:
+    with open(path, "rb") as f:
+        data = f.read()
+    if not data:
+        continue
+    if not data.endswith(b"\n"):
+        print(f"{path}: missing final newline")
+        bad += 1
+    for lineno, line in enumerate(data.split(b"\n"), start=1):
+        if line.rstrip(b"\r") != line.rstrip():
+            print(f"{path}:{lineno}: trailing whitespace")
+            bad += 1
+        if b"\t" in line:
+            print(f"{path}:{lineno}: tab character")
+            bad += 1
+sys.exit(1 if bad else 0)
+EOF
+echo "hygiene ok (${#SOURCES[@]} files)"

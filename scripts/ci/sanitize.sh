@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI job: build one sanitizer preset and run the `sanitize`-labelled smoke
+# subset under it. Mirrors the workflow's sanitize matrix; run locally as:
+#
+#   scripts/ci/sanitize.sh asan
+#   scripts/ci/sanitize.sh ubsan
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+PRESET="${1:-asan}"
+case "$PRESET" in
+  asan|ubsan) ;;
+  *)
+    echo "usage: $0 asan|ubsan" >&2
+    exit 2
+    ;;
+esac
+
+cmake --preset "$PRESET"
+cmake --build --preset "$PRESET" -j "${JOBS:-$(nproc)}"
+ctest --preset "${PRESET}-smoke"

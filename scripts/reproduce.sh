@@ -8,11 +8,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MODE="full"
-SCALE_FLAG=""
+SCALE_ARGS=()
 OUT_DIR="out/reduced"
 case "${1:-}" in
   --paper)
-    SCALE_FLAG="--paper-scale"
+    SCALE_ARGS+=("--paper-scale")
     OUT_DIR="out/paper"
     ;;
   --gate)
@@ -48,7 +48,7 @@ BENCHES=(
 )
 for b in "${BENCHES[@]}"; do
   echo "--- $b ---"
-  ./build/bench/"$b" $SCALE_FLAG --csv-dir "$OUT_DIR" | tee "$OUT_DIR/$b.txt"
+  ./build/bench/"$b" "${SCALE_ARGS[@]}" --csv-dir "$OUT_DIR" | tee "$OUT_DIR/$b.txt"
 done
 
 echo "== microbenchmarks =="

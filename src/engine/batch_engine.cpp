@@ -1,10 +1,13 @@
 #include "engine/batch_engine.hpp"
 
 #include <algorithm>
+#include <numeric>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
+#include "hilbert/hilbert.hpp"
 #include "knn/best_first.hpp"
 #include "knn/branch_and_bound.hpp"
 #include "knn/brute_force.hpp"
@@ -12,7 +15,9 @@
 #include "knn/psb.hpp"
 #include "knn/stackless_baselines.hpp"
 #include "knn/task_parallel_sstree.hpp"
+#include "layout/fetch.hpp"
 #include "obs/registry.hpp"
+#include "simt/sort.hpp"
 
 namespace psb::engine {
 namespace {
@@ -57,6 +62,9 @@ Algorithm parse_algorithm(std::string_view name) {
 BatchEngine::BatchEngine(const sstree::SSTree& tree, BatchEngineOptions opts)
     : tree_(tree), opts_(std::move(opts)) {
   PSB_REQUIRE(opts_.gpu.k > 0, "k must be > 0");
+  if (opts_.use_snapshot) {
+    snapshot_ = std::make_unique<const layout::TraversalSnapshot>(tree_);
+  }
 }
 
 knn::BatchResult BatchEngine::run(const PointSet& queries) const {
@@ -66,62 +74,116 @@ knn::BatchResult BatchEngine::run(const PointSet& queries) const {
   reg.add("engine.batches", 1);
   reg.add("engine.queries", queries.size());
 
+  const std::size_t n = queries.size();
+
+  // Execution order: identity, or the batch's Hilbert order. Spatially-close
+  // queries traverse overlapping subtrees, so consecutive cohort members
+  // re-touch each other's resident segments — §IV-A's locality argument
+  // applied to the query stream instead of the data points.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  bool reordered = false;
+  if (opts_.reorder_queries && n > 1 && tree_.dims() <= 64) {
+    const hilbert::Encoder enc(tree_.dims(), 16);
+    const std::vector<std::uint64_t> keys = enc.encode_all(queries);
+    const std::vector<PointId> perm = simt::radix_sort_order(keys, enc.words_per_key());
+    for (std::size_t i = 0; i < n; ++i) order[i] = perm[i];
+    reordered = !std::is_sorted(order.begin(), order.end());
+  }
+
+  // The engine-owned snapshot wins; otherwise honor one the caller threaded
+  // through the per-query options.
+  const layout::TraversalSnapshot* snap =
+      snapshot_ != nullptr ? snapshot_.get() : opts_.gpu.snapshot;
+
   // The task-parallel kernel has no per-query entry point (its throughput
   // mode packs queries into warps); delegate to its batch driver, which is
-  // serial, deterministic, and already emits traces with batch indices.
+  // serial, deterministic, and emits traces under the original indices.
   if (opts_.algorithm == Algorithm::kTaskParallel) {
     knn::TaskParallelSsOptions tp;
     tp.k = opts_.gpu.k;
     tp.device = opts_.gpu.device;
-    return knn::task_parallel_sstree_knn(tree_, queries, tp);
+    tp.snapshot = snap;
+    if (!reordered) return knn::task_parallel_sstree_knn(tree_, queries, tp);
+    PointSet sorted(queries.dims());
+    sorted.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) sorted.append(queries[order[i]]);
+    tp.query_labels = &order;
+    knn::BatchResult res = knn::task_parallel_sstree_knn(tree_, sorted, tp);
+    std::vector<knn::QueryResult> unsorted(n);
+    for (std::size_t i = 0; i < n; ++i) unsorted[order[i]] = std::move(res.queries[i]);
+    res.queries = std::move(unsorted);
+    return res;
   }
 
-  const std::size_t n = queries.size();
   std::vector<knn::QueryResult> results(n);
   std::vector<simt::Metrics> metrics(n);
 
-  // Workers fill disjoint slots; nothing is merged or emitted until the
-  // single-threaded pass below, so totals, traces and results are identical
-  // for every thread count.
-  auto work = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t q = begin; q < end; ++q) {
-      switch (opts_.algorithm) {
-        case Algorithm::kPsb:
-          results[q] = knn::psb_query(tree_, queries[q], opts_.gpu, &metrics[q]);
-          break;
-        case Algorithm::kBestFirst:
-          results[q] = knn::best_first_gpu_query(tree_, queries[q], opts_.gpu, &metrics[q]);
-          break;
-        case Algorithm::kBranchAndBound:
-          results[q] = knn::bnb_query(tree_, queries[q], opts_.gpu, &metrics[q]);
-          break;
-        case Algorithm::kStacklessRestart:
-          results[q] = knn::restart_query(tree_, queries[q], opts_.gpu, &metrics[q]);
-          break;
-        case Algorithm::kStacklessSkip:
-          results[q] = knn::skip_pointer_query(tree_, queries[q], opts_.gpu, &metrics[q]);
-          break;
-        case Algorithm::kBruteForce:
-          results[q] = knn::brute_force_query(tree_.data(), queries[q], opts_.gpu, &metrics[q]);
-          break;
-        case Algorithm::kTaskParallel:
-          break;  // handled above
+  // Scheduling unit: a cohort of warp_queries consecutive entries of `order`
+  // sharing one resident-segment window (only meaningful in snapshot mode).
+  // Cohort members run sequentially — the shared window makes them order-
+  // dependent — while cohorts are independent, so workers split on cohort
+  // boundaries and results stay identical for every thread count.
+  const std::size_t cohort =
+      snap != nullptr ? std::max<std::size_t>(opts_.warp_queries, 1) : 1;
+  const std::size_t units = (n + cohort - 1) / std::max<std::size_t>(cohort, 1);
+
+  // Workers fill disjoint slots (indexed by original query id); nothing is
+  // merged or emitted until the single-threaded pass below, so totals, traces
+  // and results are identical for every thread count.
+  auto work = [&](std::size_t unit_begin, std::size_t unit_end) {
+    for (std::size_t u = unit_begin; u < unit_end; ++u) {
+      knn::GpuKnnOptions gpu = opts_.gpu;
+      std::optional<layout::FetchSession> session;
+      if (snap != nullptr) {
+        gpu.snapshot = snap;
+        if (cohort > 1 && gpu.fetch_session == nullptr) {
+          session.emplace(*snap);
+          gpu.fetch_session = &*session;
+        }
+      }
+      const std::size_t begin = u * cohort;
+      const std::size_t end = std::min(n, begin + cohort);
+      for (std::size_t s = begin; s < end; ++s) {
+        const std::size_t q = order[s];
+        switch (opts_.algorithm) {
+          case Algorithm::kPsb:
+            results[q] = knn::psb_query(tree_, queries[q], gpu, &metrics[q]);
+            break;
+          case Algorithm::kBestFirst:
+            results[q] = knn::best_first_gpu_query(tree_, queries[q], gpu, &metrics[q]);
+            break;
+          case Algorithm::kBranchAndBound:
+            results[q] = knn::bnb_query(tree_, queries[q], gpu, &metrics[q]);
+            break;
+          case Algorithm::kStacklessRestart:
+            results[q] = knn::restart_query(tree_, queries[q], gpu, &metrics[q]);
+            break;
+          case Algorithm::kStacklessSkip:
+            results[q] = knn::skip_pointer_query(tree_, queries[q], gpu, &metrics[q]);
+            break;
+          case Algorithm::kBruteForce:
+            results[q] = knn::brute_force_query(tree_.data(), queries[q], gpu, &metrics[q]);
+            break;
+          case Algorithm::kTaskParallel:
+            break;  // handled above
+        }
       }
     }
   };
 
   std::size_t workers = opts_.num_threads;
   if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
-  workers = std::min(workers, std::max<std::size_t>(n, 1));
-  if (workers <= 1 || n <= 1) {
-    work(0, n);
+  workers = std::min(workers, std::max<std::size_t>(units, 1));
+  if (workers <= 1 || units <= 1) {
+    work(0, units);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(workers);
-    const std::size_t per = (n + workers - 1) / workers;
+    const std::size_t per = (units + workers - 1) / workers;
     for (std::size_t w = 0; w < workers; ++w) {
       const std::size_t begin = w * per;
-      const std::size_t end = std::min(n, begin + per);
+      const std::size_t end = std::min(units, begin + per);
       if (begin >= end) break;
       pool.emplace_back(work, begin, end);
     }

@@ -12,9 +12,11 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string_view>
 
 #include "knn/result.hpp"
+#include "layout/snapshot.hpp"
 #include "obs/trace.hpp"
 #include "sstree/tree.hpp"
 
@@ -43,6 +45,18 @@ struct BatchEngineOptions {
   /// Host worker threads; 0 = hardware concurrency. Results do not depend
   /// on this value.
   std::size_t num_threads = 1;
+  /// Build a frozen traversal snapshot of the tree at engine construction and
+  /// route every node fetch through its level-clustered arena (segment-
+  /// granular byte accounting instead of raw node bytes).
+  bool use_snapshot = false;
+  /// Hilbert-sort each batch before execution so spatially-close queries run
+  /// back to back. Results and traces are re-indexed to the caller's order —
+  /// with warp_queries <= 1 both are bit-identical to the unsorted run.
+  bool reorder_queries = false;
+  /// Queries per warp cohort in snapshot mode: cohort members execute
+  /// sequentially against one shared resident-segment window (modeling warp
+  /// broadcast / L1 reuse). <= 1 gives every query a private window.
+  std::size_t warp_queries = 32;
 };
 
 class BatchEngine {
@@ -52,6 +66,9 @@ class BatchEngine {
   BatchEngine(const sstree::SSTree& tree, BatchEngineOptions opts);
 
   const BatchEngineOptions& options() const noexcept { return opts_; }
+
+  /// The engine-owned snapshot (null unless options().use_snapshot).
+  const layout::TraversalSnapshot* snapshot() const noexcept { return snapshot_.get(); }
 
   /// Answer a batch. Emits per-query traces to the active obs session (if
   /// any) under the algorithm's name.
@@ -68,6 +85,7 @@ class BatchEngine {
  private:
   const sstree::SSTree& tree_;
   BatchEngineOptions opts_;
+  std::unique_ptr<const layout::TraversalSnapshot> snapshot_;
 };
 
 }  // namespace psb::engine

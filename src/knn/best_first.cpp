@@ -102,6 +102,7 @@ void best_first_gpu_run(simt::Block& block, const sstree::SSTree& tree,
                         QueryResult& out) {
   const std::size_t k_eff = std::min(opts.k, tree.data().size());
   SharedKnnList list(block, k_eff, opts.spill_heap_to_global);
+  detail::SnapshotFetch snap(tree, opts);
 
   struct Entry {
     Scalar mindist;
@@ -124,7 +125,7 @@ void best_first_gpu_run(simt::Block& block, const sstree::SSTree& tree,
     if (!(e.mindist < list.pruning_distance())) break;
 
     const sstree::Node& n = tree.node(e.node);
-    detail::fetch_node(block, tree, n, simt::Access::kRandom);
+    detail::fetch_node(block, tree, n, simt::Access::kRandom, &snap);
     ++out.stats.nodes_visited;
     if (n.is_leaf()) {
       ++out.stats.leaves_visited;

@@ -19,11 +19,12 @@ struct BnbContext {
   SharedKnnList& list;
   TraversalStats& st;
   bool minmax_tighten;
+  detail::SnapshotFetch* snap;
 };
 
 void bnb_visit(BnbContext& ctx, NodeId id) {
   const sstree::Node& n = ctx.tree.node(id);
-  fetch_node(ctx.block, ctx.tree, n, simt::Access::kRandom);
+  fetch_node(ctx.block, ctx.tree, n, simt::Access::kRandom, ctx.snap);
   ++ctx.st.nodes_visited;
 
   if (n.is_leaf()) {
@@ -54,7 +55,7 @@ void bnb_visit(BnbContext& ctx, NodeId id) {
     // candidate branch — there is no stack remembering them. The re-fetch
     // hits L2 (the node was just read) but still pays its latency and issue
     // cost; this is the drawback the paper identifies for parent links.
-    fetch_node(ctx.block, ctx.tree, n, simt::Access::kCached);
+    fetch_node(ctx.block, ctx.tree, n, simt::Access::kCached, ctx.snap);
     ++ctx.st.nodes_visited;
     ++ctx.st.backtracks;
     child_bounds(ctx.block, ctx.tree, n, ctx.q, /*need_max=*/false);
@@ -66,7 +67,8 @@ void bnb_run(simt::Block& block, const sstree::SSTree& tree, std::span<const Sca
              const GpuKnnOptions& opts, QueryResult& out) {
   const std::size_t k_eff = std::min(opts.k, tree.data().size());
   SharedKnnList list(block, k_eff, opts.spill_heap_to_global);
-  BnbContext ctx{block, tree, q, list, out.stats, opts.bnb_minmax_tighten};
+  detail::SnapshotFetch snap(tree, opts);
+  BnbContext ctx{block, tree, q, list, out.stats, opts.bnb_minmax_tighten, &snap};
   ++out.stats.restarts;  // the single root descent
   bnb_visit(ctx, tree.root());
   out.neighbors = list.sorted();

@@ -7,8 +7,30 @@ namespace {
 
 constexpr int kDefaultThreads = 256;
 
+/// Snapshot-backed scan: the same exhaustive pass, but streaming the arena's
+/// leaf region in leaf-chain order through the fetch session. Every point is
+/// still offered, so the deterministic (distance, id) heap order makes the
+/// answer identical to the id-order scan.
+void brute_snapshot_run(simt::Block& block, const PointSet& data, std::span<const Scalar> q,
+                        const GpuKnnOptions& opts, QueryResult& out) {
+  const sstree::SSTree& tree = opts.snapshot->tree();
+  PSB_REQUIRE(&tree.data() == &data, "snapshot was built over a different dataset");
+  const std::size_t k_eff = std::min(opts.k, data.size());
+  SharedKnnList list(block, k_eff, opts.spill_heap_to_global);
+  detail::SnapshotFetch snap(tree, opts);
+  for (const NodeId leaf_id : tree.leaves()) {
+    const sstree::Node& leaf = tree.node(leaf_id);
+    snap.fetch(block, leaf);
+    const std::vector<Scalar> dists = detail::leaf_distances(block, tree, leaf, q);
+    out.stats.points_examined += dists.size();
+    out.stats.heap_inserts += list.offer_batch(dists, leaf.points);
+  }
+  out.neighbors = list.sorted();
+}
+
 void brute_run(simt::Block& block, const PointSet& data, std::span<const Scalar> q,
                const GpuKnnOptions& opts, QueryResult& out) {
+  if (opts.snapshot != nullptr) return brute_snapshot_run(block, data, q, opts, out);
   const std::size_t k_eff = std::min(opts.k, data.size());
   SharedKnnList list(block, k_eff, opts.spill_heap_to_global);
   const std::size_t d = data.dims();

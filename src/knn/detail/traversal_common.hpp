@@ -7,19 +7,53 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "knn/result.hpp"
 #include "knn/shared_heap.hpp"
+#include "layout/fetch.hpp"
 #include "simt/block.hpp"
 #include "sstree/tree.hpp"
 
 namespace psb::knn::detail {
 
-/// Charge one global-memory fetch of node `n` with the given access pattern.
+/// Per-query view of the snapshot fetch path: resolves to the engine-shared
+/// warp-cohort session when one was handed down, opens a query-private
+/// resident window otherwise, and is inert (false) in pointer mode. Opening
+/// the view starts the query's dependent-address chain.
+class SnapshotFetch {
+ public:
+  SnapshotFetch(const sstree::SSTree& tree, const GpuKnnOptions& opts) {
+    if (opts.snapshot == nullptr) return;
+    PSB_REQUIRE(&opts.snapshot->tree() == &tree, "snapshot was built over a different tree");
+    session_ = opts.fetch_session;
+    if (session_ == nullptr) {
+      own_.emplace(*opts.snapshot);
+      session_ = &*own_;
+    }
+    session_->begin_query();
+  }
+
+  explicit operator bool() const noexcept { return session_ != nullptr; }
+
+  void fetch(simt::Block& block, const sstree::Node& n) { session_->fetch(block, n.id); }
+
+ private:
+  std::optional<layout::FetchSession> own_;
+  layout::FetchSession* session_ = nullptr;
+};
+
+/// Charge one global-memory fetch of node `n`: via the snapshot arena when
+/// the query runs snapshot-backed, else as a pointer-walking load of
+/// node_byte_size bytes with the algorithm-chosen access pattern.
 inline void fetch_node(simt::Block& block, const sstree::SSTree& tree, const sstree::Node& n,
-                       simt::Access pattern) {
+                       simt::Access pattern, SnapshotFetch* snap = nullptr) {
+  if (snap != nullptr && *snap) {
+    snap->fetch(block, n);
+    return;
+  }
   block.load_global(tree.node_byte_size(n), pattern);
 }
 

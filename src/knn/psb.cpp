@@ -24,6 +24,7 @@ class PsbRun {
         opts_(opts),
         st_(out.stats),
         list_(block, std::min(opts.k, tree.data().size()), opts.spill_heap_to_global),
+        snap_(tree, opts),
         touched_(tree.num_nodes(), 0) {
     run();
     out.neighbors = list_.sorted();
@@ -31,6 +32,14 @@ class PsbRun {
 
  private:
   void fetch(const sstree::Node& n) {
+    if (snap_) {
+      // Snapshot path: the arena classifies the access by address (the
+      // packed leaf chain streams, window hits are free) — same traversal,
+      // different memory accounting.
+      snap_.fetch(block_, n);
+      ++st_.nodes_visited;
+      return;
+    }
     simt::Access pattern;
     if (n.is_leaf() && static_cast<std::int64_t>(n.leaf_id) == last_fetched_leaf_ + 1) {
       pattern = simt::Access::kCoalesced;  // continuing the left-to-right stream
@@ -153,6 +162,7 @@ class PsbRun {
   const GpuKnnOptions& opts_;
   TraversalStats& st_;
   SharedKnnList list_;
+  detail::SnapshotFetch snap_;
   std::vector<char> touched_;
   std::int64_t last_fetched_leaf_ = -2;
 };

@@ -9,6 +9,11 @@
 #include "simt/cost_model.hpp"
 #include "simt/metrics.hpp"
 
+namespace psb::layout {
+class TraversalSnapshot;
+class FetchSession;
+}  // namespace psb::layout
+
 namespace psb::knn {
 
 /// Per-query traversal statistics (structure-level, device-independent).
@@ -97,6 +102,15 @@ struct GpuKnnOptions {
   /// MINMAXDIST pruning for 1-NN only, and the k-generalized bound is part
   /// of the paper's contribution, not the classic baseline.
   bool bnb_minmax_tighten = false;
+  /// Snapshot-backed fetch path (layout/): when set, node fetches are served
+  /// from the frozen arena at 128-byte segment granularity instead of the
+  /// pointer-walking node_byte_size accounting. Traversal decisions and
+  /// results are unchanged — only the memory accounting moves. Must snapshot
+  /// the same tree the query runs against.
+  const layout::TraversalSnapshot* snapshot = nullptr;
+  /// Engine-owned resident window shared across a warp cohort of queries;
+  /// null = each query opens its own window. Ignored without `snapshot`.
+  layout::FetchSession* fetch_session = nullptr;
   simt::DeviceSpec device{};
 };
 

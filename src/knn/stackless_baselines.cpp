@@ -27,10 +27,11 @@ void restart_run(simt::Block& block, const sstree::SSTree& tree, std::span<const
   // nodes hit L2, same credit the PSB traversal gets for its backtracks.
   const std::int64_t last_leaf = tree.last_leaf_id();
   std::int64_t visited = -1;
+  detail::SnapshotFetch snap(tree, opts);
   std::vector<char> touched(tree.num_nodes(), 0);
   auto fetch = [&](const sstree::Node& n) {
     fetch_node(block, tree, n,
-               touched[n.id] ? simt::Access::kCached : simt::Access::kRandom);
+               touched[n.id] ? simt::Access::kCached : simt::Access::kRandom, &snap);
     touched[n.id] = 1;
     ++st.nodes_visited;
   };
@@ -86,6 +87,7 @@ void skip_pointer_run(simt::Block& block, const sstree::SSTree& tree,
   const std::size_t k_eff = std::min(opts.k, tree.data().size());
   SharedKnnList list(block, k_eff, opts.spill_heap_to_global);
   TraversalStats& st = out.stats;
+  detail::SnapshotFetch snap(tree, opts);
 
   std::int64_t last_fetched_leaf = -2;
   NodeId cur = tree.root();
@@ -97,7 +99,7 @@ void skip_pointer_run(simt::Block& block, const sstree::SSTree& tree,
     const bool sequential =
         n.is_leaf() && static_cast<std::int64_t>(n.leaf_id) == last_fetched_leaf + 1;
     fetch_node(block, tree, n,
-               sequential ? simt::Access::kCoalesced : simt::Access::kRandom);
+               sequential ? simt::Access::kCoalesced : simt::Access::kRandom, &snap);
     ++st.nodes_visited;
     if (n.is_leaf()) last_fetched_leaf = n.leaf_id;
 

@@ -4,8 +4,10 @@
 #include <bit>
 #include <cmath>
 #include <numeric>
+#include <optional>
 
 #include "common/error.hpp"
+#include "layout/fetch.hpp"
 #include "simt/task_parallel.hpp"
 
 namespace psb::knn {
@@ -16,9 +18,21 @@ namespace {
 /// count*(3d+2) lock-step instructions — the divergence-amplified work the
 /// data-parallel layout spreads over a block in a handful of instructions.
 void lane_visit(const sstree::SSTree& tree, NodeId id, std::span<const Scalar> q,
-                KnnHeap& heap, simt::LaneWork& lane, TraversalStats& st) {
+                KnnHeap& heap, simt::LaneWork& lane, TraversalStats& st,
+                layout::FetchSession* fs) {
   const sstree::Node& n = tree.node(id);
-  lane.bytes_random += tree.node_byte_size(n);
+  if (fs != nullptr) {
+    // Arena accounting: the lane's resident window absorbs repeat touches and
+    // shared segments; sequential segments stream instead of scattering.
+    const layout::FetchCharge charge = fs->classify(id);
+    if (charge.pattern == simt::Access::kCoalesced) {
+      lane.bytes_coalesced += charge.bytes;
+    } else {
+      lane.bytes_random += charge.bytes;
+    }
+  } else {
+    lane.bytes_random += tree.node_byte_size(n);
+  }
   lane.node_fetches += 1;
   ++st.nodes_visited;
   const std::size_t d = tree.dims();
@@ -61,7 +75,7 @@ void lane_visit(const sstree::SSTree& tree, NodeId id, std::span<const Scalar> q
   lane.steps += c * static_cast<std::uint64_t>(std::bit_width(c));
   for (const auto& [mind, child] : branches) {
     if (heap.full() && mind > heap.bound()) break;
-    lane_visit(tree, child, q, heap, lane, st);
+    lane_visit(tree, child, q, heap, lane, st, fs);
     ++st.backtracks;  // return to this node after the child's subtree
   }
 }
@@ -74,6 +88,13 @@ BatchResult task_parallel_sstree_knn(const sstree::SSTree& tree, const PointSet&
   PSB_REQUIRE(queries.dims() == tree.dims(), "query dimensionality mismatch");
   PSB_REQUIRE(tree.bounds_mode() == sstree::BoundsMode::kSphere,
               "task-parallel SS-tree traversal supports sphere bounds");
+  if (opts.snapshot != nullptr) {
+    PSB_REQUIRE(&opts.snapshot->tree() == &tree, "snapshot was built over a different tree");
+  }
+  if (opts.query_labels != nullptr) {
+    PSB_REQUIRE(opts.query_labels->size() == queries.size(),
+                "query_labels must have one entry per query");
+  }
 
   BatchResult out;
   out.queries.resize(queries.size());
@@ -81,7 +102,12 @@ BatchResult task_parallel_sstree_knn(const sstree::SSTree& tree, const PointSet&
   for (std::size_t i = 0; i < queries.size(); ++i) {
     KnnHeap heap(std::min(opts.k, tree.data().size()));
     ++out.queries[i].stats.restarts;
-    lane_visit(tree, tree.root(), queries[i], heap, lanes[i], out.queries[i].stats);
+    // Each lane opens its own resident window: lanes are independent threads,
+    // so no cross-query segment sharing in the task-parallel strawman.
+    std::optional<layout::FetchSession> session;
+    if (opts.snapshot != nullptr) session.emplace(*opts.snapshot);
+    lane_visit(tree, tree.root(), queries[i], heap, lanes[i], out.queries[i].stats,
+               session ? &*session : nullptr);
     out.queries[i].neighbors = heap.sorted();
     out.stats.merge(out.queries[i].stats);
     if (obs::enabled()) {
@@ -90,7 +116,8 @@ BatchResult task_parallel_sstree_knn(const sstree::SSTree& tree, const PointSet&
       // totals, not a single query's own work.
       simt::Metrics m;
       accumulate_task_parallel(opts.device, {&lanes[i], 1}, &m);
-      obs::emit("task_parallel_sstree", make_query_trace(i, out.queries[i].stats, m));
+      const std::size_t qi = opts.query_labels != nullptr ? (*opts.query_labels)[i] : i;
+      obs::emit("task_parallel_sstree", make_query_trace(qi, out.queries[i].stats, m));
     }
   }
 

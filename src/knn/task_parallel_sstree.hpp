@@ -16,6 +16,12 @@ struct TaskParallelSsOptions {
   std::size_t k = 32;
   simt::TaskParallelMode mode = simt::TaskParallelMode::kResponseTime;
   simt::DeviceSpec device{};
+  /// When set, lanes charge node fetches through the frozen arena (segment
+  /// granularity, per-lane resident window) instead of raw node bytes.
+  const layout::TraversalSnapshot* snapshot = nullptr;
+  /// Optional original query indices for trace emission when the caller hands
+  /// in a reordered batch; must have one entry per query when set.
+  const std::vector<std::size_t>* query_labels = nullptr;
 };
 
 /// Exact batch kNN, one lane per query, lock-step warp accounting.

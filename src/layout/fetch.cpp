@@ -1,0 +1,49 @@
+#include "layout/fetch.hpp"
+
+#include "common/error.hpp"
+
+namespace psb::layout {
+
+FetchSession::FetchSession(const TraversalSnapshot& snapshot)
+    : snap_(&snapshot), resident_(snapshot.num_segments(), 0) {}
+
+void FetchSession::begin_query() { last_segment_ = -2; }
+
+FetchCharge FetchSession::classify(NodeId id) {
+  const SegmentRange range = snap_->segments(id);
+  std::uint64_t new_segments = 0;
+  std::int64_t first_new = -1;
+  for (std::uint64_t s = range.first; s <= range.last; ++s) {
+    if (resident_[s] == 0) {
+      resident_[s] = 1;
+      ++new_segments;
+      if (first_new < 0) first_new = static_cast<std::int64_t>(s);
+    }
+  }
+  resident_count_ += new_segments;
+
+  FetchCharge charge;
+  if (new_segments == 0) {
+    // Fully inside the resident window: an on-chip hit, no new traffic.
+    ++window_hits_;
+    charge.bytes = 0;
+    charge.pattern = simt::Access::kCached;
+  } else {
+    segments_fetched_ += new_segments;
+    charge.bytes = new_segments * snap_->segment_bytes();
+    // Continuing the previous fetch's address stream (the packed leaf chain,
+    // or siblings sharing a fetch window) is prefetchable streaming traffic;
+    // any other first touch is a dependent scattered read.
+    charge.pattern = first_new == last_segment_ + 1 ? simt::Access::kCoalesced
+                                                    : simt::Access::kRandom;
+  }
+  last_segment_ = static_cast<std::int64_t>(range.last);
+  return charge;
+}
+
+void FetchSession::fetch(simt::Block& block, NodeId id) {
+  const FetchCharge charge = classify(id);
+  block.load_global(charge.bytes, charge.pattern);
+}
+
+}  // namespace psb::layout

@@ -1,0 +1,79 @@
+// FetchSession: segment-granular global-memory accounting over a
+// TraversalSnapshot arena.
+//
+// The pointer-walking traversals charge every node fetch as node_byte_size
+// bytes with an algorithm-chosen pattern, and re-fetches of recently touched
+// nodes as full-size L2 reads. With the frozen arena the simulation can do
+// what the hardware does: serve fetches in 128-byte segments and keep the
+// query's (or warp cohort's) resident window on chip.
+//
+//   * A fetch charges only the segments of the node's span that are not yet
+//     resident — segments shared with an already-fetched neighbor (packed
+//     siblings at the top of the tree, the straddling boundary segment of
+//     the previous leaf) are not paid twice.
+//   * The pattern is classified by address, not by the caller: a fetch whose
+//     first new segment continues the previous fetch's last segment is part
+//     of a streaming sweep (kCoalesced, PSB's leaf scan); any other first
+//     touch is a dependent scattered read (kRandom).
+//   * A fetch whose segments are all resident is an on-chip window hit: the
+//     compact arena keeps a query's working set (top-of-tree prefix, the
+//     scan frontier) cacheable, so the re-fetch costs a load instruction
+//     (node_fetches / fetches_cached still count) but no new global traffic.
+//
+// One FetchSession models one resident window. The batch engine shares a
+// session across the queries of a simulated warp cohort — queries sorted to
+// be spatially adjacent then ride each other's windows, which is exactly the
+// coherence the query-reordering scheduler is after. begin_query() starts a
+// new dependent chain (the next fetch can never be "streaming" across a
+// query boundary) without discarding residency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/snapshot.hpp"
+#include "simt/block.hpp"
+
+namespace psb::layout {
+
+/// What one node fetch costs: bytes of new traffic and its access pattern
+/// (bytes == 0 means an on-chip window hit, charged as a zero-byte kCached
+/// load so fetch counters stay comparable with the pointer path).
+struct FetchCharge {
+  std::uint64_t bytes = 0;
+  simt::Access pattern = simt::Access::kCached;
+};
+
+class FetchSession {
+ public:
+  explicit FetchSession(const TraversalSnapshot& snapshot);
+
+  const TraversalSnapshot& snapshot() const noexcept { return *snap_; }
+
+  /// Start a new query on this session: breaks the streaming-address chain
+  /// but keeps the resident window (warp-cohort sharing).
+  void begin_query();
+
+  /// Account the fetch of node `id` and return its cost (also recorded in
+  /// the session totals). Marks the node's segments resident.
+  FetchCharge classify(NodeId id);
+
+  /// classify() + charge the cost to `block` as a global load.
+  void fetch(simt::Block& block, NodeId id);
+
+  // --- session totals (used by tests and engine diagnostics) ---
+  std::uint64_t resident_segments() const noexcept { return resident_count_; }
+  std::uint64_t window_hits() const noexcept { return window_hits_; }
+  std::uint64_t segments_fetched() const noexcept { return segments_fetched_; }
+
+ private:
+  const TraversalSnapshot* snap_;
+  std::vector<std::uint8_t> resident_;  ///< one flag per arena segment
+  std::uint64_t resident_count_ = 0;
+  std::uint64_t window_hits_ = 0;
+  std::uint64_t segments_fetched_ = 0;
+  /// Last segment of the previous fetch; -2 = no stream to continue.
+  std::int64_t last_segment_ = -2;
+};
+
+}  // namespace psb::layout

@@ -33,10 +33,13 @@ commands:
   info      --data FILE --index FILE
   query     --data FILE --index FILE [--k N] [--num-queries N]
             [--algo psb|bnb|brute|bestfirst] [--seed N]
+            [--snapshot 0|1] [--reorder 0|1] [--warp-queries N]
             [--trace-out FILE.json] [--trace-csv FILE.csv]
   radius    --data FILE --index FILE --radius X [--num-queries N] [--seed N]
-  bench     --out FILE.json [--dims N] [--count N] [--clusters N]
-            [--num-queries N] [--k N] [--degree N] [--seed N] [--algos a,b,...]
+  bench     --out FILE.json [--type clustered|noaa] [--dims N] [--count N]
+            [--clusters N] [--stations N] [--readings N] [--num-queries N]
+            [--k N] [--degree N] [--seed N] [--algos a,b,...]
+            [--variants base,snapshot,snapshot_reorder] [--warp-queries N]
 )";
   std::exit(2);
 }
@@ -185,8 +188,26 @@ int cmd_query(const Args& args) {
 
   knn::GpuKnnOptions opts;
   opts.k = k;
+  const bool use_snapshot = args.num("snapshot", 0) != 0;
+  const bool reorder = args.num("reorder", 0) != 0;
   knn::BatchResult r;
-  if (algo == "psb") {
+  if (use_snapshot || reorder) {
+    engine::BatchEngineOptions eo;
+    eo.gpu = opts;
+    eo.use_snapshot = use_snapshot;
+    eo.reorder_queries = reorder;
+    eo.warp_queries = args.num("warp-queries", 32);
+    if (algo == "psb") {
+      eo.algorithm = engine::Algorithm::kPsb;
+    } else if (algo == "bnb") {
+      eo.algorithm = engine::Algorithm::kBranchAndBound;
+    } else if (algo == "brute") {
+      eo.algorithm = engine::Algorithm::kBruteForce;
+    } else {
+      usage("--snapshot/--reorder support --algo psb|bnb|brute");
+    }
+    r = engine::BatchEngine(tree, eo).run(queries);
+  } else if (algo == "psb") {
     r = knn::psb_batch(tree, queries, opts);
   } else if (algo == "bnb") {
     r = knn::bnb_batch(tree, queries, opts);
@@ -223,72 +244,117 @@ int cmd_query(const Args& args) {
 // exported number is derived from simulator counters (no wall clock), so the
 // same binary and seed always write byte-identical JSON — which is what lets
 // bench_gate run with zero tolerance in CI.
+std::vector<std::string> split_list(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    std::size_t next = list.find(',', pos);
+    if (next == std::string::npos) next = list.size();
+    if (next > pos) out.push_back(list.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  return out;
+}
+
 int cmd_bench(const Args& args) {
   const std::string out = args.str("out");
+  const std::string type = args.str("type", "clustered");
 
-  data::ClusteredSpec spec;
-  spec.dims = args.num("dims", 8);
-  spec.num_clusters = args.num("clusters", 50);
-  spec.points_per_cluster =
-      args.num("count", 20000) / std::max<std::size_t>(1, spec.num_clusters);
-  spec.stddev = args.real("stddev", 160.0);
-  spec.seed = args.num("seed", 2016);
-  const PointSet points = data::make_clustered(spec);
+  std::uint64_t seed = 0;
+  PointSet points(1);
+  if (type == "clustered") {
+    data::ClusteredSpec spec;
+    spec.dims = args.num("dims", 8);
+    spec.num_clusters = args.num("clusters", 50);
+    spec.points_per_cluster =
+        args.num("count", 20000) / std::max<std::size_t>(1, spec.num_clusters);
+    spec.stddev = args.real("stddev", 160.0);
+    spec.seed = args.num("seed", 2016);
+    seed = spec.seed;
+    points = data::make_clustered(spec);
+  } else if (type == "noaa") {
+    data::NoaaSpec spec;
+    spec.stations = args.num("stations", 150);
+    spec.readings_per_station = args.num("readings", 40);
+    spec.seed = args.num("seed", 1973);
+    seed = spec.seed;
+    points = data::make_noaa_like(spec);
+  } else {
+    usage("unknown --type " + type);
+  }
   const PointSet queries = data::sample_queries(points, args.num("num-queries", 64), 0.0,
-                                                spec.seed + 1);
+                                                seed + 1);
   const std::size_t degree = args.num("degree", 64);
   sstree::KMeansBuildOptions build_opts;
   const sstree::BuildOutput built = sstree::build_kmeans(points, degree, build_opts);
 
-  std::vector<std::string> algos;
-  {
-    std::string list = args.str("algos", "psb,branch_and_bound,stackless_restart,stackless_skip");
-    std::size_t pos = 0;
-    while (pos <= list.size()) {
-      std::size_t next = list.find(',', pos);
-      if (next == std::string::npos) next = list.size();
-      if (next > pos) algos.push_back(list.substr(pos, next - pos));
-      pos = next + 1;
-    }
-  }
+  const std::vector<std::string> algos = split_list(
+      args.str("algos", "psb,branch_and_bound,stackless_restart,stackless_skip"));
+  const std::vector<std::string> variants = split_list(args.str("variants", "base"));
 
   obs::JsonWriter w;
   w.begin_object();
   w.field("schema", "psb.bench.v1");
-  w.field("config.dims", static_cast<std::uint64_t>(spec.dims));
+  w.field("config.type", type);
+  w.field("config.dims", static_cast<std::uint64_t>(points.dims()));
   w.field("config.points", static_cast<std::uint64_t>(points.size()));
   w.field("config.num_queries", static_cast<std::uint64_t>(queries.size()));
   w.field("config.k", static_cast<std::uint64_t>(args.num("k", 16)));
   w.field("config.degree", static_cast<std::uint64_t>(degree));
-  w.field("config.seed", static_cast<std::uint64_t>(spec.seed));
+  w.field("config.seed", seed);
 
   knn::GpuKnnOptions gpu;
   gpu.k = args.num("k", 16);
   for (const std::string& name : algos) {
-    engine::BatchEngineOptions eng_opts;
-    eng_opts.algorithm = engine::parse_algorithm(name);
-    eng_opts.gpu = gpu;
-    const engine::BatchEngine eng(built.tree, eng_opts);
-    const engine::BatchEngine::TracedRun run = eng.run_traced(queries);
-    const obs::AlgorithmTrace* trace = run.trace.find(name);
-    PSB_ASSERT(trace != nullptr, "engine produced no trace for " + name);
-    const obs::QueryTrace totals = trace->totals();
+    // base accessed_bytes of this algorithm, for the snapshot ratio fields.
+    double base_bytes = -1.0;
+    for (const std::string& variant : variants) {
+      engine::BatchEngineOptions eng_opts;
+      eng_opts.algorithm = engine::parse_algorithm(name);
+      eng_opts.gpu = gpu;
+      eng_opts.warp_queries = args.num("warp-queries", 32);
+      std::string prefix = name;
+      if (variant == "snapshot") {
+        eng_opts.use_snapshot = true;
+        prefix += "_snapshot";
+      } else if (variant == "snapshot_reorder") {
+        eng_opts.use_snapshot = true;
+        eng_opts.reorder_queries = true;
+        prefix += "_snapshot_reorder";
+      } else if (variant != "base") {
+        usage("unknown --variants entry " + variant);
+      }
+      const engine::BatchEngine eng(built.tree, eng_opts);
+      const engine::BatchEngine::TracedRun run = eng.run_traced(queries);
+      const obs::AlgorithmTrace* trace = run.trace.find(name);
+      PSB_ASSERT(trace != nullptr, "engine produced no trace for " + name);
+      const obs::QueryTrace totals = trace->totals();
 
-    using obs::TraceCounter;
-    const auto col = [&](TraceCounter c) { return totals[c]; };
-    w.field(name + ".nodes_visited", col(TraceCounter::kNodesVisited));
-    w.field(name + ".points_examined", col(TraceCounter::kPointsExamined));
-    w.field(name + ".backtracks", col(TraceCounter::kBacktracks));
-    w.field(name + ".restarts", col(TraceCounter::kRestarts));
-    w.field(name + ".heap_inserts", col(TraceCounter::kHeapInserts));
-    w.field(name + ".accessed_bytes", col(TraceCounter::kBytesCoalesced) +
-                                          col(TraceCounter::kBytesRandom) +
-                                          col(TraceCounter::kBytesCached));
-    w.field(name + ".node_fetches", col(TraceCounter::kNodeFetches));
-    w.field(name + ".warp_instructions", col(TraceCounter::kWarpInstructions));
-    w.field(name + ".divergent_steps", col(TraceCounter::kDivergentSteps));
-    w.field(name + ".avg_query_ms", run.result.timing.avg_query_ms);
-    w.field(name + ".warp_efficiency", run.result.metrics.warp_efficiency());
+      using obs::TraceCounter;
+      const auto col = [&](TraceCounter c) { return totals[c]; };
+      const std::uint64_t accessed = col(TraceCounter::kBytesCoalesced) +
+                                     col(TraceCounter::kBytesRandom) +
+                                     col(TraceCounter::kBytesCached);
+      w.field(prefix + ".nodes_visited", col(TraceCounter::kNodesVisited));
+      w.field(prefix + ".points_examined", col(TraceCounter::kPointsExamined));
+      w.field(prefix + ".backtracks", col(TraceCounter::kBacktracks));
+      w.field(prefix + ".restarts", col(TraceCounter::kRestarts));
+      w.field(prefix + ".heap_inserts", col(TraceCounter::kHeapInserts));
+      w.field(prefix + ".accessed_bytes", accessed);
+      w.field(prefix + ".node_fetches", col(TraceCounter::kNodeFetches));
+      w.field(prefix + ".warp_instructions", col(TraceCounter::kWarpInstructions));
+      w.field(prefix + ".divergent_steps", col(TraceCounter::kDivergentSteps));
+      w.field(prefix + ".avg_query_ms", run.result.timing.avg_query_ms);
+      w.field(prefix + ".warp_efficiency", run.result.metrics.warp_efficiency());
+      if (variant == "base") {
+        base_bytes = static_cast<double>(accessed);
+      } else if (base_bytes > 0.0) {
+        // < 1.0 means the arena variant moved fewer global-memory bytes than
+        // the pointer walk; gated lower-is-better like every byte metric.
+        w.field(prefix + ".accessed_bytes_ratio",
+                static_cast<double>(accessed) / base_bytes);
+      }
+    }
   }
   w.end_object();
   obs::write_text_file(out, w.str());
