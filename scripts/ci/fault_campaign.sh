@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# CI job: run the seeded fault-injection campaign under a sanitizer build and
+# keep the JSON report as an artifact. The campaign (psbtool faultcamp) sweeps
+# >= 500 single-fault experiments across every registered fault site and exits
+# nonzero if any fault crashes the serving path, trips a sanitizer, or yields
+# a wrong answer without a degraded Status. Run locally exactly as CI does:
+#
+#   scripts/ci/fault_campaign.sh            # asan (default)
+#   scripts/ci/fault_campaign.sh ubsan
+#   ITERATIONS=2000 scripts/ci/fault_campaign.sh
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+PRESET="${1:-asan}"
+case "$PRESET" in
+  asan|ubsan) ;;
+  *)
+    echo "usage: $0 [asan|ubsan]" >&2
+    exit 2
+    ;;
+esac
+
+ITERATIONS="${ITERATIONS:-600}"
+ARTIFACTS="${ARTIFACTS:-ci-artifacts}"
+mkdir -p "$ARTIFACTS"
+
+cmake --preset "$PRESET"
+cmake --build --preset "$PRESET" -j "${JOBS:-$(nproc)}" --target psbtool
+
+"build-${PRESET}/tools/psbtool" faultcamp \
+  --iterations "$ITERATIONS" \
+  --workdir "build-${PRESET}" \
+  --out "$ARTIFACTS/FAULTCAMP_${PRESET}.json"
+
+echo "fault campaign (${PRESET}, ${ITERATIONS} iterations) passed"

@@ -4,25 +4,23 @@
 #include <iostream>
 #include <string_view>
 
+#include "common/error.hpp"
+
 namespace psb::bench_util {
 namespace {
 
-[[noreturn]] void usage_and_exit(std::string_view prog, std::string_view bad) {
-  std::cerr << "unknown or malformed argument: " << bad << "\n"
-            << "usage: " << prog
-            << " [--paper-scale] [--clusters N] [--points-per-cluster N] [--queries N]"
-               " [--k N] [--degree N] [--stddev X] [--seed N] [--csv-dir PATH]\n";
-  std::exit(2);
-}
+constexpr std::string_view kUsage =
+    " [--paper-scale] [--clusters N] [--points-per-cluster N] [--queries N]"
+    " [--k N] [--degree N] [--stddev X] [--seed N] [--csv-dir PATH]";
 
 }  // namespace
 
-BenchConfig BenchConfig::from_args(int argc, char** argv) {
+BenchConfig BenchConfig::parse(int argc, char** argv) {
   BenchConfig cfg;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     auto next_value = [&]() -> std::string_view {
-      if (i + 1 >= argc) usage_and_exit(argv[0], arg);
+      PSB_REQUIRE(i + 1 < argc, "missing value for " + std::string(arg));
       return argv[++i];
     };
     if (arg == "--paper-scale") {
@@ -44,7 +42,7 @@ BenchConfig BenchConfig::from_args(int argc, char** argv) {
     } else if (arg == "--csv-dir") {
       cfg.csv_dir = std::string(next_value());
     } else {
-      usage_and_exit(argv[0], arg);
+      throw InvalidArgument("unknown argument: " + std::string(arg));
     }
   }
   if (cfg.paper_scale) {
@@ -52,6 +50,16 @@ BenchConfig BenchConfig::from_args(int argc, char** argv) {
     cfg.num_queries = 240;
   }
   return cfg;
+}
+
+BenchConfig BenchConfig::from_args(int argc, char** argv) {
+  try {
+    return parse(argc, argv);
+  } catch (const InvalidArgument& e) {
+    std::cerr << "error: " << e.what() << "\n"
+              << "usage: " << (argc > 0 ? argv[0] : "bench") << kUsage << "\n";
+    std::exit(2);
+  }
 }
 
 }  // namespace psb::bench_util

@@ -26,8 +26,14 @@ struct BenchConfig {
   std::size_t total_points() const noexcept { return clusters * points_per_cluster; }
 
   /// Parse --paper-scale, --points-per-cluster N, --clusters N, --queries N,
-  /// --k N, --degree N, --seed N, --csv-dir PATH. Unknown flags abort with a
-  /// usage message. --paper-scale switches to the paper's 1 M / 240 setup.
+  /// --k N, --degree N, --seed N, --csv-dir PATH. Unknown or malformed flags
+  /// throw psb::InvalidArgument. --paper-scale switches to the paper's
+  /// 1 M / 240 setup.
+  static BenchConfig parse(int argc, char** argv);
+
+  /// CLI wrapper over parse() for the bench mains: on InvalidArgument prints
+  /// the error plus a usage line to stderr and exits 2 (the same usage exit
+  /// code psbtool documents).
   static BenchConfig from_args(int argc, char** argv);
 };
 

@@ -1,0 +1,30 @@
+#include "common/checksum.hpp"
+
+#include <array>
+
+namespace psb {
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB88320U;  // reflected IEEE 802.3
+
+std::array<std::uint32_t, 256> make_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) c = (c & 1U) != 0 ? (c >> 1) ^ kPoly : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t bytes, std::uint32_t seed) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFU;
+  for (std::size_t i = 0; i < bytes; ++i) c = table[(c ^ p[i]) & 0xFFU] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFU;
+}
+
+}  // namespace psb

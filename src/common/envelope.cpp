@@ -1,0 +1,102 @@
+#include "common/envelope.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/checksum.hpp"
+#include "fault/fault.hpp"
+#include "fault/sites.hpp"
+
+namespace psb {
+namespace {
+
+struct Header {
+  std::uint32_t magic = kEnvelopeMagic;
+  std::uint32_t version = kEnvelopeVersion;
+  std::uint32_t payload_kind = 0;
+  std::uint32_t payload_crc = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint32_t reserved = 0;
+  std::uint32_t header_crc = 0;
+};
+static_assert(sizeof(Header) == 32, "envelope header layout is part of the format");
+
+constexpr std::size_t kHeaderCrcOffset = sizeof(Header) - sizeof(std::uint32_t);
+
+}  // namespace
+
+std::string wrap_envelope(std::uint32_t payload_kind, std::string_view payload) {
+  Header h;
+  h.payload_kind = payload_kind;
+  h.payload_crc = crc32(payload);
+  h.payload_bytes = payload.size();
+  h.header_crc = crc32(&h, kHeaderCrcOffset);
+  std::string out;
+  out.reserve(sizeof(Header) + payload.size());
+  out.append(reinterpret_cast<const char*>(&h), sizeof(Header));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+void write_envelope(const std::string& path, std::uint32_t payload_kind,
+                    std::string_view payload) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) throw IoError("cannot open for writing: " + path);
+  const std::string framed = wrap_envelope(payload_kind, payload);
+  out.write(framed.data(), static_cast<std::streamsize>(framed.size()));
+  if (!out.good()) throw IoError("short write: " + path);
+}
+
+std::string_view unwrap_envelope(std::string_view file_bytes, std::uint32_t payload_kind,
+                                 const std::string& label) {
+  if (file_bytes.size() < sizeof(Header)) {
+    throw CorruptIndex(label + ": file shorter than the envelope header");
+  }
+  Header h;
+  std::memcpy(&h, file_bytes.data(), sizeof(Header));
+  if (h.magic != kEnvelopeMagic) throw CorruptIndex(label + ": bad envelope magic");
+  if (h.header_crc != crc32(file_bytes.data(), kHeaderCrcOffset)) {
+    throw CorruptIndex(label + ": envelope header checksum mismatch");
+  }
+  if (h.version != kEnvelopeVersion) {
+    throw CorruptIndex(label + ": unsupported envelope version " + std::to_string(h.version));
+  }
+  if (h.payload_kind != payload_kind) {
+    throw CorruptIndex(label + ": payload kind mismatch (wrong artifact type)");
+  }
+  if (h.payload_bytes != file_bytes.size() - sizeof(Header)) {
+    throw CorruptIndex(label + ": payload length mismatch (truncated or padded file)");
+  }
+  const std::string_view payload = file_bytes.substr(sizeof(Header));
+  if (h.payload_crc != crc32(payload)) {
+    throw CorruptIndex(label + ": payload checksum mismatch");
+  }
+  return payload;
+}
+
+std::string read_file_image(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) throw IoError("cannot open: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) throw IoError("read failed: " + path);
+  std::string bytes = ss.str();
+
+  // Fault sites: corrupt the loaded image *before* verification, so a
+  // campaign iteration exercises the same detection a bad disk would.
+  if (fault::enabled() && !bytes.empty()) {
+    if (const fault::Shot shot = fault::evaluate(fault::kSiteEnvelopeTruncate)) {
+      bytes.resize(bytes.size() - 1 - shot.payload % bytes.size());
+    }
+    if (const fault::Shot shot = fault::evaluate(fault::kSiteEnvelopeByteflip)) {
+      fault::flip_bit(bytes.data(), bytes.size(), shot.payload);
+    }
+  }
+  return bytes;
+}
+
+std::string read_envelope(const std::string& path, std::uint32_t payload_kind) {
+  return std::string(unwrap_envelope(read_file_image(path), payload_kind, path));
+}
+
+}  // namespace psb

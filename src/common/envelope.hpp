@@ -1,0 +1,142 @@
+// Versioned, checksummed serialization envelope for every persisted artifact
+// (datasets, indexes). The envelope makes load a total function: any
+// truncation or byte corruption — anywhere in the header or payload — is
+// rejected with a typed psb::CorruptIndex instead of reaching the parser as
+// undefined behavior.
+//
+// On-disk layout (little-endian, fixed 32-byte header):
+//   u32 magic        "PSBE"
+//   u32 version      envelope format version (1)
+//   u32 payload_kind caller-defined content tag ("PSB1" dataset, "PSBT" index)
+//   u32 payload_crc  CRC32 over the payload bytes
+//   u64 payload_bytes
+//   u32 reserved     0
+//   u32 header_crc   CRC32 over the 28 preceding header bytes
+//
+// Readers verify header_crc, then the exact payload length, then payload_crc,
+// before a single payload byte is parsed. ByteReader/ByteWriter provide the
+// bounds-checked cursor payload parsers use so a corrupt count can never
+// drive an out-of-range read or a pathological allocation.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace psb {
+
+inline constexpr std::uint32_t kEnvelopeMagic = 0x45425350;  // "PSBE"
+inline constexpr std::uint32_t kEnvelopeVersion = 1;
+
+/// Wrap `payload` in an envelope and write it to `path`. Throws IoError when
+/// the file cannot be written.
+void write_envelope(const std::string& path, std::uint32_t payload_kind,
+                    std::string_view payload);
+
+/// Serialize the envelope framing around `payload` into a memory buffer
+/// (what write_envelope puts on disk).
+std::string wrap_envelope(std::uint32_t payload_kind, std::string_view payload);
+
+/// Verify the envelope in `file_bytes` and return a view of the payload.
+/// Throws CorruptIndex on any integrity failure; `label` names the artifact
+/// in error messages. The view aliases `file_bytes`.
+std::string_view unwrap_envelope(std::string_view file_bytes, std::uint32_t payload_kind,
+                                 const std::string& label);
+
+/// Read `path` fully, apply any armed io.envelope.* fault, verify, and return
+/// the payload bytes. Throws IoError when the file cannot be opened/read and
+/// CorruptIndex when verification fails.
+std::string read_envelope(const std::string& path, std::uint32_t payload_kind);
+
+/// Read `path` fully into memory and apply any armed io.envelope.* fault to
+/// the image (no verification — pair with unwrap_envelope). Throws IoError
+/// when the file cannot be opened/read. The single ingest point every loader
+/// shares, so the fault campaign reaches each of them.
+std::string read_file_image(const std::string& path);
+
+/// Append-only builder for envelope payloads.
+class ByteWriter {
+ public:
+  template <typename T>
+  void put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out_.append(reinterpret_cast<const char*>(&v), sizeof(T));
+  }
+  template <typename T>
+  void put_vec(const std::vector<T>& v) {
+    put_span(std::span<const T>(v));
+  }
+  template <typename T>
+  void put_span(std::span<const T> v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put(static_cast<std::uint64_t>(v.size()));
+    if (!v.empty()) {  // empty span: data() may be null, append requires non-null
+      out_.append(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(T));
+    }
+  }
+  const std::string& bytes() const noexcept { return out_; }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked cursor over an envelope payload. Every overrun — including
+/// a corrupt element count that would imply more bytes than remain — throws
+/// CorruptIndex, never reads out of range, and never allocates more than the
+/// payload could actually hold.
+class ByteReader {
+ public:
+  ByteReader(std::string_view bytes, std::string label)
+      : bytes_(bytes), label_(std::move(label)) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    require(sizeof(T), "value");
+    T v{};
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  template <typename T>
+  std::vector<T> get_vec() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto n = get<std::uint64_t>();
+    if (n > remaining() / sizeof(T)) {
+      throw CorruptIndex(label_ + ": element count exceeds remaining payload");
+    }
+    std::vector<T> v(static_cast<std::size_t>(n));
+    if (!v.empty()) {  // empty vec: data() may be null, which memcpy forbids
+      std::memcpy(v.data(), bytes_.data() + pos_, v.size() * sizeof(T));
+      pos_ += v.size() * sizeof(T);
+    }
+    return v;
+  }
+
+  std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
+
+  /// Trailing bytes after the parser consumed the structure are corruption.
+  void require_done() const {
+    if (remaining() != 0) throw CorruptIndex(label_ + ": trailing bytes after payload");
+  }
+
+ private:
+  void require(std::size_t n, const char* what) const {
+    if (n > remaining()) {
+      throw CorruptIndex(label_ + ": truncated payload (wanted " + what + ")");
+    }
+  }
+
+  std::string_view bytes_;
+  std::string label_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace psb

@@ -20,6 +20,45 @@ class InternalError : public std::logic_error {
   using std::logic_error::logic_error;
 };
 
+/// Exception thrown when an environmental I/O operation fails (file cannot be
+/// opened, short write, permission error). Retrying or fixing the environment
+/// may succeed; the input itself is not known to be bad.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Exception thrown when a persisted or parsed artifact fails validation
+/// (bad magic, checksum mismatch, truncation, malformed text). The input is
+/// bad; retrying with the same bytes cannot succeed.
+class CorruptInput : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A corrupt persisted dataset or index file: the envelope or payload failed
+/// its integrity checks on load. Never produced by a well-formed file.
+class CorruptIndex : public CorruptInput {
+ public:
+  using CorruptInput::CorruptInput;
+};
+
+/// In-flight data corruption detected during query execution (a fetched node
+/// failed its integrity check). The serving layer treats this as a per-query
+/// fault and degrades rather than crashing.
+class DataFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A worker executing a slice of a batch failed; the batch engine catches
+/// this, reruns the affected queries on the merge thread, and degrades their
+/// Status instead of losing the batch.
+class WorkerFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 namespace detail {
 [[noreturn]] inline void throw_invalid_argument(const char* expr, const char* file, int line,
                                                 const std::string& msg) {

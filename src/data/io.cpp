@@ -4,51 +4,57 @@
 #include <fstream>
 #include <vector>
 
+#include "common/envelope.hpp"
 #include "common/error.hpp"
 
 namespace psb::data {
 namespace {
 
-constexpr std::uint32_t kMagic = 0x50534231;  // "PSB1"
+constexpr std::uint32_t kDatasetKind = 0x50534231;  // "PSB1" (envelope payload tag)
 
 }  // namespace
 
+namespace {
+
+std::string dataset_payload(const PointSet& points) {
+  ByteWriter w;
+  w.put(static_cast<std::uint32_t>(points.dims()));
+  w.put(static_cast<std::uint64_t>(points.size()));
+  w.put_span(points.raw());
+  return w.bytes();
+}
+
+}  // namespace
+
+std::string serialize_binary(const PointSet& points) {
+  return wrap_envelope(kDatasetKind, dataset_payload(points));
+}
+
 void write_binary(const PointSet& points, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  PSB_REQUIRE(out.good(), "cannot open output file: " + path);
-  const std::uint32_t magic = kMagic;
-  const auto dims = static_cast<std::uint32_t>(points.dims());
-  const auto count = static_cast<std::uint64_t>(points.size());
-  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
-  out.write(reinterpret_cast<const char*>(&dims), sizeof(dims));
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  const auto raw = points.raw();
-  out.write(reinterpret_cast<const char*>(raw.data()),
-            static_cast<std::streamsize>(raw.size() * sizeof(Scalar)));
-  PSB_REQUIRE(out.good(), "write failed: " + path);
+  write_envelope(path, kDatasetKind, dataset_payload(points));
+}
+
+PointSet parse_binary(std::string_view file_bytes, const std::string& label) {
+  const std::string_view payload = unwrap_envelope(file_bytes, kDatasetKind, label);
+  ByteReader r(payload, label);
+  const auto dims = r.get<std::uint32_t>();
+  const auto count = r.get<std::uint64_t>();
+  if (dims == 0) throw CorruptIndex(label + ": corrupt dataset header (dims == 0)");
+  std::vector<Scalar> raw = r.get_vec<Scalar>();
+  r.require_done();
+  if (raw.size() != static_cast<std::size_t>(count) * dims) {
+    throw CorruptIndex(label + ": coordinate count disagrees with the header");
+  }
+  return PointSet(dims, std::move(raw));
 }
 
 PointSet read_binary(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  PSB_REQUIRE(in.good(), "cannot open input file: " + path);
-  std::uint32_t magic = 0;
-  std::uint32_t dims = 0;
-  std::uint64_t count = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  in.read(reinterpret_cast<char*>(&dims), sizeof(dims));
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  PSB_REQUIRE(in.good() && magic == kMagic, "not a PSB dataset file: " + path);
-  PSB_REQUIRE(dims > 0, "corrupt dataset header (dims == 0)");
-  std::vector<Scalar> raw(static_cast<std::size_t>(count) * dims);
-  in.read(reinterpret_cast<char*>(raw.data()),
-          static_cast<std::streamsize>(raw.size() * sizeof(Scalar)));
-  PSB_REQUIRE(in.good(), "truncated dataset file: " + path);
-  return PointSet(dims, std::move(raw));
+  return parse_binary(read_file_image(path), path);
 }
 
 void write_csv(const PointSet& points, const std::string& path, std::size_t max_rows) {
   std::ofstream out(path);
-  PSB_REQUIRE(out.good(), "cannot open output file: " + path);
+  if (!out.good()) throw IoError("cannot open for writing: " + path);
   const std::size_t rows = max_rows == 0 ? points.size() : std::min(max_rows, points.size());
   for (std::size_t i = 0; i < rows; ++i) {
     const auto p = points[i];
@@ -58,7 +64,7 @@ void write_csv(const PointSet& points, const std::string& path, std::size_t max_
     }
     out << '\n';
   }
-  PSB_REQUIRE(out.good(), "write failed: " + path);
+  if (!out.good()) throw IoError("short write: " + path);
 }
 
 }  // namespace psb::data

@@ -1,18 +1,33 @@
 // Dataset persistence: a small binary format for reproducible experiments and
 // CSV export for plotting (Fig. 4-style scatter data).
+//
+// Files are wrapped in the common checksummed envelope (common/envelope.hpp):
+// load verifies the framing and payload CRC before parsing, so a truncated or
+// bit-flipped file is rejected with psb::CorruptIndex instead of reaching the
+// parser. Missing/unreadable files raise psb::IoError.
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "common/points.hpp"
 
 namespace psb::data {
 
-/// Write a point set: header (magic, dims, count) + raw float32 rows.
+/// Write a point set: envelope(header (dims, count) + raw float32 rows).
 void write_binary(const PointSet& points, const std::string& path);
 
-/// Read a point set written by write_binary. Throws on format mismatch.
+/// Read a point set written by write_binary. Throws psb::IoError when the
+/// file cannot be opened and psb::CorruptIndex on any integrity failure.
 PointSet read_binary(const std::string& path);
+
+/// Parse a point set from an in-memory file image (what read_binary reads).
+/// `label` names the artifact in error messages. Exposed for the corruption
+/// fuzz tests, which mutate buffers without touching the filesystem.
+PointSet parse_binary(std::string_view file_bytes, const std::string& label);
+
+/// Serialize a point set to the in-memory file image write_binary stores.
+std::string serialize_binary(const PointSet& points);
 
 /// Write points as CSV (one row per point, no header); `max_rows` caps the
 /// output for plotting (0 = all).

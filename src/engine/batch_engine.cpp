@@ -1,12 +1,15 @@
 #include "engine/batch_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 #include <optional>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
+#include "fault/fault.hpp"
+#include "fault/sites.hpp"
 #include "hilbert/hilbert.hpp"
 #include "knn/best_first.hpp"
 #include "knn/branch_and_bound.hpp"
@@ -35,6 +38,18 @@ int block_threads_for(Algorithm a, const sstree::SSTree& tree, const knn::GpuKnn
   }
 }
 
+/// Per-query degradation events, accumulated lock-free in disjoint slots and
+/// folded into the obs registry on the merge thread. Zero when nothing
+/// degraded, so a fault-free run leaves the registry untouched.
+enum QueryEvent : std::uint8_t {
+  kEvDataFault = 1 << 0,       ///< a fetch raised DataFault
+  kEvRetried = 1 << 1,         ///< recovered by the restart-from-root retry
+  kEvBruteForced = 1 << 2,     ///< recovered by the exact brute-force scan
+  kEvBudgetExhausted = 1 << 3, ///< the traversal stopped on its node budget
+  kEvDeadlineCut = 1 << 4,     ///< started past the batch deadline
+  kEvBudgetFault = 1 << 5,     ///< engine.query_budget fault armed this query
+};
+
 }  // namespace
 
 std::string_view algorithm_name(Algorithm a) noexcept {
@@ -62,8 +77,9 @@ Algorithm parse_algorithm(std::string_view name) {
 BatchEngine::BatchEngine(const sstree::SSTree& tree, BatchEngineOptions opts)
     : tree_(tree), opts_(std::move(opts)) {
   PSB_REQUIRE(opts_.gpu.k > 0, "k must be > 0");
+  PSB_REQUIRE(opts_.deadline_ms >= 0, "deadline_ms must be >= 0");
   if (opts_.use_snapshot) {
-    snapshot_ = std::make_unique<const layout::TraversalSnapshot>(tree_);
+    snapshot_ = std::make_unique<layout::TraversalSnapshot>(tree_);
   }
 }
 
@@ -96,6 +112,21 @@ knn::BatchResult BatchEngine::run(const PointSet& queries) const {
   const layout::TraversalSnapshot* snap =
       snapshot_ != nullptr ? snapshot_.get() : opts_.gpu.snapshot;
 
+  // Arena integrity gate. The layout.snapshot.segment fault corrupts the
+  // engine-owned arena in place (a caller-provided const snapshot cannot be
+  // mutated, so the site only fires on owned ones); verify() then catches it
+  // — or any real corruption — and the whole batch degrades to the
+  // pointer-walking fetch path, which shares no state with the arena.
+  if (snapshot_ != nullptr && fault::enabled()) {
+    if (const fault::Shot shot = fault::evaluate(fault::kSiteSnapshotSegment)) {
+      snapshot_->corrupt(shot.payload);
+    }
+  }
+  if (snap != nullptr && !snap->verify()) {
+    snap = nullptr;
+    reg.add("engine.fault.snapshot_fallback_batches", 1);
+  }
+
   // The task-parallel kernel has no per-query entry point (its throughput
   // mode packs queries into warps); delegate to its batch driver, which is
   // serial, deterministic, and emits traces under the original indices.
@@ -118,6 +149,96 @@ knn::BatchResult BatchEngine::run(const PointSet& queries) const {
 
   std::vector<knn::QueryResult> results(n);
   std::vector<simt::Metrics> metrics(n);
+  std::vector<std::uint8_t> events(n, 0);
+
+  const auto batch_start = std::chrono::steady_clock::now();
+  const auto past_deadline = [&]() {
+    if (opts_.deadline_ms <= 0) return false;
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - batch_start;
+    return elapsed.count() > opts_.deadline_ms;
+  };
+
+  // One query through the chosen algorithm (the only thing the policy below
+  // varies is `gpu`).
+  const auto run_algorithm = [&](std::size_t q, const knn::GpuKnnOptions& gpu) {
+    switch (opts_.algorithm) {
+      case Algorithm::kPsb:
+        return knn::psb_query(tree_, queries[q], gpu, &metrics[q]);
+      case Algorithm::kBestFirst:
+        return knn::best_first_gpu_query(tree_, queries[q], gpu, &metrics[q]);
+      case Algorithm::kBranchAndBound:
+        return knn::bnb_query(tree_, queries[q], gpu, &metrics[q]);
+      case Algorithm::kStacklessRestart:
+        return knn::restart_query(tree_, queries[q], gpu, &metrics[q]);
+      case Algorithm::kStacklessSkip:
+        return knn::skip_pointer_query(tree_, queries[q], gpu, &metrics[q]);
+      case Algorithm::kBruteForce:
+      case Algorithm::kTaskParallel:  // kTaskParallel is handled above
+        return knn::brute_force_query(tree_.data(), queries[q], gpu, &metrics[q]);
+    }
+    throw InternalError("unreachable algorithm dispatch");
+  };
+
+  // The exact last-resort answer: a pointer-path brute-force scan, immune to
+  // node-integrity faults (it never reads tree bounds) and unbudgeted.
+  const auto brute_force_fallback = [&](std::size_t q, knn::GpuKnnOptions gpu) {
+    gpu.snapshot = nullptr;
+    gpu.fetch_session = nullptr;
+    gpu.query_budget_nodes = 0;
+    knn::QueryResult r = knn::brute_force_query(tree_.data(), queries[q], gpu, &metrics[q]);
+    r.status = knn::QueryStatus::kDegradedFallback;
+    events[q] |= kEvBruteForced;
+    return r;
+  };
+
+  // Degradation policy around one query. Never lets a detected fault escape:
+  // DataFault -> one restart-from-root retry on the pointer path (injected
+  // faults are one-shot, so the retry sees clean data) -> brute force.
+  // Budget exhaustion -> brute force when allowed, else a flagged partial.
+  // Deadline-cut queries keep their partial list (scanning everything would
+  // blow the deadline that cut them).
+  const auto run_query = [&](std::size_t q, const knn::GpuKnnOptions& cohort_gpu) {
+    knn::GpuKnnOptions gpu = cohort_gpu;
+    bool deadline_cut = false;
+    if (fault::enabled()) {
+      if (const fault::Shot shot = fault::evaluate(fault::kSiteQueryBudget)) {
+        gpu.query_budget_nodes = 1 + shot.payload % 4;
+        events[q] |= kEvBudgetFault;
+      }
+    }
+    if (past_deadline()) {
+      gpu.query_budget_nodes = 1;
+      deadline_cut = true;
+      events[q] |= kEvDeadlineCut;
+    }
+    try {
+      results[q] = run_algorithm(q, gpu);
+    } catch (const DataFault&) {
+      events[q] |= kEvDataFault;
+      knn::GpuKnnOptions retry = gpu;
+      retry.snapshot = nullptr;
+      retry.fetch_session = nullptr;
+      try {
+        results[q] = knn::restart_query(tree_, queries[q], retry, &metrics[q]);
+        results[q].status = knn::QueryStatus::kDegradedFallback;
+        events[q] |= kEvRetried;
+      } catch (const DataFault&) {
+        results[q] = brute_force_fallback(q, gpu);
+      }
+    }
+    if (results[q].budget_exhausted) {
+      events[q] |= kEvBudgetExhausted;
+      if (!deadline_cut && opts_.allow_brute_force_fallback) {
+        const knn::TraversalStats partial = results[q].stats;
+        results[q] = brute_force_fallback(q, gpu);
+        results[q].stats.merge(partial);  // keep the abandoned traversal's work visible
+        results[q].budget_exhausted = true;
+      } else {
+        results[q].status = knn::QueryStatus::kDeadlinePartial;
+      }
+    }
+  };
 
   // Scheduling unit: a cohort of warp_queries consecutive entries of `order`
   // sharing one resident-segment window (only meaningful in snapshot mode).
@@ -128,47 +249,42 @@ knn::BatchResult BatchEngine::run(const PointSet& queries) const {
       snap != nullptr ? std::max<std::size_t>(opts_.warp_queries, 1) : 1;
   const std::size_t units = (n + cohort - 1) / std::max<std::size_t>(cohort, 1);
 
+  const auto process_unit = [&](std::size_t u) {
+    knn::GpuKnnOptions gpu = opts_.gpu;
+    gpu.snapshot = snap;  // null here overrides a caller-set snapshot that failed verify()
+    gpu.fetch_session = nullptr;
+    std::optional<layout::FetchSession> session;
+    if (snap != nullptr) {
+      if (cohort > 1 && opts_.gpu.fetch_session == nullptr) {
+        session.emplace(*snap);
+        gpu.fetch_session = &*session;
+      } else {
+        gpu.fetch_session = opts_.gpu.fetch_session;
+      }
+    }
+    const std::size_t begin = u * cohort;
+    const std::size_t end = std::min(n, begin + cohort);
+    for (std::size_t s = begin; s < end; ++s) run_query(order[s], gpu);
+  };
+
   // Workers fill disjoint slots (indexed by original query id); nothing is
   // merged or emitted until the single-threaded pass below, so totals, traces
-  // and results are identical for every thread count.
+  // and results are identical for every thread count. `unit_done` tracks
+  // completed cohorts: a worker that dies mid-slice (engine.worker_slice
+  // fault, or a genuine non-policy exception) leaves its remaining units
+  // unmarked, and the merge thread reruns them after the join.
+  std::vector<std::uint8_t> unit_done(units, 0);
   auto work = [&](std::size_t unit_begin, std::size_t unit_end) {
     for (std::size_t u = unit_begin; u < unit_end; ++u) {
-      knn::GpuKnnOptions gpu = opts_.gpu;
-      std::optional<layout::FetchSession> session;
-      if (snap != nullptr) {
-        gpu.snapshot = snap;
-        if (cohort > 1 && gpu.fetch_session == nullptr) {
-          session.emplace(*snap);
-          gpu.fetch_session = &*session;
+      try {
+        if (fault::enabled() && fault::evaluate(fault::kSiteWorkerSlice)) {
+          return;  // simulated worker death: abandon the rest of the slice
         }
+        process_unit(u);
+      } catch (...) {
+        return;  // leave this unit unmarked; the merge thread reruns it
       }
-      const std::size_t begin = u * cohort;
-      const std::size_t end = std::min(n, begin + cohort);
-      for (std::size_t s = begin; s < end; ++s) {
-        const std::size_t q = order[s];
-        switch (opts_.algorithm) {
-          case Algorithm::kPsb:
-            results[q] = knn::psb_query(tree_, queries[q], gpu, &metrics[q]);
-            break;
-          case Algorithm::kBestFirst:
-            results[q] = knn::best_first_gpu_query(tree_, queries[q], gpu, &metrics[q]);
-            break;
-          case Algorithm::kBranchAndBound:
-            results[q] = knn::bnb_query(tree_, queries[q], gpu, &metrics[q]);
-            break;
-          case Algorithm::kStacklessRestart:
-            results[q] = knn::restart_query(tree_, queries[q], gpu, &metrics[q]);
-            break;
-          case Algorithm::kStacklessSkip:
-            results[q] = knn::skip_pointer_query(tree_, queries[q], gpu, &metrics[q]);
-            break;
-          case Algorithm::kBruteForce:
-            results[q] = knn::brute_force_query(tree_.data(), queries[q], gpu, &metrics[q]);
-            break;
-          case Algorithm::kTaskParallel:
-            break;  // handled above
-        }
-      }
+      unit_done[u] = 1;
     }
   };
 
@@ -190,14 +306,48 @@ knn::BatchResult BatchEngine::run(const PointSet& queries) const {
     for (std::thread& t : pool) t.join();
   }
 
+  // Worker-failure recovery: rerun abandoned cohorts here on the merge
+  // thread. Injected faults are one-shot, so the rerun completes; a genuine
+  // defect will throw again and surface to the caller with its real type.
+  std::size_t recovered_units = 0;
+  for (std::size_t u = 0; u < units; ++u) {
+    if (unit_done[u]) continue;
+    // Reset the slots the dead worker may have half-filled.
+    const std::size_t begin = u * cohort;
+    const std::size_t end = std::min(n, begin + cohort);
+    for (std::size_t s = begin; s < end; ++s) {
+      const std::size_t q = order[s];
+      results[q] = knn::QueryResult{};
+      metrics[q] = simt::Metrics{};
+      events[q] = 0;
+    }
+    process_unit(u);
+    ++recovered_units;
+  }
+  if (recovered_units > 0) reg.add("engine.fault.worker_units_recovered", recovered_units);
+
   knn::BatchResult out;
   out.queries = std::move(results);
   const bool traced = obs::enabled();
   const std::string_view name = algorithm_name(opts_.algorithm);
+  std::uint64_t ev_totals[6] = {};
   for (std::size_t q = 0; q < n; ++q) {
     out.stats.merge(out.queries[q].stats);
     out.metrics.merge(metrics[q]);
     if (traced) obs::emit(name, knn::make_query_trace(q, out.queries[q].stats, metrics[q]));
+    for (int b = 0; b < 6; ++b) {
+      if (events[q] & (1u << b)) ++ev_totals[b];
+    }
+  }
+  // Fold degradation events into the registry (only non-zero totals, so a
+  // clean batch leaves no trace of the machinery).
+  static constexpr std::string_view kEventCounter[6] = {
+      "engine.fault.data_faults",       "engine.fault.retries",
+      "engine.fault.brute_fallbacks",   "engine.fault.budget_exhausted",
+      "engine.fault.deadline_cuts",     "engine.fault.budget_injected",
+  };
+  for (int b = 0; b < 6; ++b) {
+    if (ev_totals[b] > 0) reg.add(kEventCounter[b], ev_totals[b]);
   }
   simt::KernelConfig cfg;
   cfg.blocks = static_cast<int>(std::max<std::size_t>(n, 1));

@@ -8,7 +8,19 @@
 // pure function of (tree, queries, options) — independent of num_threads and
 // bit-identical across runs. Worker threads each process a static slice of
 // the query range into preallocated slots; all merging happens afterwards in
-// query order on the calling thread.
+// query order on the calling thread. (A wall-clock deadline_ms and active
+// fault injection are the two documented exceptions.)
+//
+// Degradation policy (docs/robustness.md has the full matrix): run() always
+// returns a complete BatchResult — every detected fault is absorbed, never
+// propagated. A snapshot that fails verify() drops the batch to the
+// pointer-walking path; a query whose node fetch raises psb::DataFault is
+// retried once from the root on the pointer path and, failing that, answered
+// by exact brute force (QueryStatus::kDegradedFallback); a query that
+// exhausts its node budget is brute-forced (exact, kDegradedFallback) or —
+// past the deadline or with allow_brute_force_fallback off — returned as a
+// flagged partial list (kDeadlinePartial). A worker that dies mid-slice has
+// its unprocessed cohorts rerun on the merge thread.
 #pragma once
 
 #include <cstddef>
@@ -57,6 +69,17 @@ struct BatchEngineOptions {
   /// sequentially against one shared resident-segment window (modeling warp
   /// broadcast / L1 reuse). <= 1 gives every query a private window.
   std::size_t warp_queries = 32;
+  /// Wall-clock budget for a batch in milliseconds; 0 = none. Once exceeded,
+  /// queries not yet started run with a minimal node budget and return
+  /// best-effort partial lists flagged kDeadlinePartial. Using a clock
+  /// necessarily relaxes the bit-identical determinism contract — which
+  /// queries get cut depends on real elapsed time.
+  double deadline_ms = 0;
+  /// Recover budget-exhausted queries with an exact brute-force scan
+  /// (kDegradedFallback). Off: return the partial list as kDeadlinePartial.
+  /// Deadline-cut queries are never brute-forced — the scan would blow the
+  /// very deadline that cut them.
+  bool allow_brute_force_fallback = true;
 };
 
 class BatchEngine {
@@ -85,7 +108,11 @@ class BatchEngine {
  private:
   const sstree::SSTree& tree_;
   BatchEngineOptions opts_;
-  std::unique_ptr<const layout::TraversalSnapshot> snapshot_;
+  /// Mutable so the layout.snapshot.segment fault hook can corrupt the arena
+  /// in place (only ever touched while injection is armed); like real memory
+  /// corruption, the damage persists until the engine is rebuilt, and every
+  /// subsequent run degrades to the pointer path.
+  mutable std::unique_ptr<layout::TraversalSnapshot> snapshot_;
 };
 
 }  // namespace psb::engine

@@ -1,0 +1,128 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "fault/sites.hpp"
+
+namespace psb::fault {
+namespace {
+
+constexpr SiteInfo kSites[] = {
+    {kSiteEnvelopeTruncate, "truncate a loaded file image before envelope verification"},
+    {kSiteEnvelopeByteflip, "flip one byte of a loaded file image before envelope verification"},
+    {kSiteNodeBoundsBitflip, "flip one bit of a fetched node's bounding-sphere fields"},
+    {kSiteSnapshotSegment, "corrupt one span of the traversal-snapshot arena table"},
+    {kSiteQueryBudget, "force a pathologically small node budget on one query"},
+    {kSiteWorkerSlice, "fail one worker's slice of a batch"},
+};
+
+}  // namespace
+
+struct InjectionScope::State {
+  struct Armed {
+    Spec spec;
+    std::uint64_t evaluations = 0;
+    std::uint64_t fired = 0;
+  };
+  mutable std::mutex mu;
+  std::vector<Armed> armed;  // few entries; linear scan beats a map here
+
+  Armed* find(std::string_view site) {
+    for (Armed& a : armed) {
+      if (a.spec.site == site) return &a;
+    }
+    return nullptr;
+  }
+  const Armed* find(std::string_view site) const {
+    return const_cast<State*>(this)->find(site);
+  }
+};
+
+namespace {
+
+/// The active scope's state; nullptr when injection is disarmed. Same
+/// single-pointer pattern as obs::active_collector().
+std::atomic<InjectionScope::State*> g_active{nullptr};
+
+}  // namespace
+
+std::span<const SiteInfo> sites() { return kSites; }
+
+bool is_site(std::string_view name) noexcept {
+  return std::any_of(std::begin(kSites), std::end(kSites),
+                     [&](const SiteInfo& s) { return s.name == name; });
+}
+
+bool enabled() noexcept { return g_active.load(std::memory_order_relaxed) != nullptr; }
+
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+Shot evaluate(std::string_view site) {
+  InjectionScope::State* state = g_active.load(std::memory_order_acquire);
+  if (state == nullptr) return {};
+  std::lock_guard<std::mutex> lock(state->mu);
+  InjectionScope::State::Armed* a = state->find(site);
+  if (a == nullptr) return {};
+  const std::uint64_t index = a->evaluations++;
+  if (index < a->spec.trigger || index >= a->spec.trigger + a->spec.count) return {};
+  ++a->fired;
+  return Shot{true, mix(a->spec.seed ^ mix(index + 1))};
+}
+
+void flip_bit(void* data, std::size_t bytes, std::uint64_t payload) noexcept {
+  if (bytes == 0) return;
+  const std::uint64_t bit = payload % (static_cast<std::uint64_t>(bytes) * 8);
+  static_cast<unsigned char*>(data)[bit / 8] ^= static_cast<unsigned char>(1U << (bit % 8));
+}
+
+InjectionScope::InjectionScope(Spec spec) : InjectionScope(std::vector<Spec>{std::move(spec)}) {}
+
+InjectionScope::InjectionScope(std::vector<Spec> specs) : state_(nullptr) {
+  auto state = std::make_unique<State>();  // owned until the CAS publishes it
+  for (Spec& s : specs) {
+    PSB_REQUIRE(is_site(s.site), "unknown fault site: " + s.site);
+    PSB_REQUIRE(s.count > 0, "fault spec count must be > 0");
+    state->armed.push_back({std::move(s), 0, 0});
+  }
+  InjectionScope::State* expected = nullptr;
+  if (!g_active.compare_exchange_strong(expected, state.get(), std::memory_order_release)) {
+    PSB_ASSERT(false, "fault::InjectionScope scopes do not nest");
+  }
+  state_ = state.release();
+}
+
+InjectionScope::~InjectionScope() {
+  if (state_ == nullptr) return;
+  g_active.store(nullptr, std::memory_order_release);
+  delete state_;
+}
+
+std::uint64_t InjectionScope::fired(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  const State::Armed* a = state_->find(site);
+  return a != nullptr ? a->fired : 0;
+}
+
+std::uint64_t InjectionScope::evaluations(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  const State::Armed* a = state_->find(site);
+  return a != nullptr ? a->evaluations : 0;
+}
+
+std::uint64_t InjectionScope::total_fired() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  std::uint64_t total = 0;
+  for (const State::Armed& a : state_->armed) total += a.fired;
+  return total;
+}
+
+}  // namespace psb::fault

@@ -1,0 +1,34 @@
+// Names of every registered fault site. Call sites reference these constants
+// (never string literals) so the registry in fault.cpp and the injection
+// points cannot drift apart; docs/robustness.md documents each site's
+// detection and fallback.
+#pragma once
+
+#include <string_view>
+
+namespace psb::fault {
+
+/// Drop the tail of a loaded file image before envelope verification
+/// (simulates a truncated dataset/index file).
+inline constexpr std::string_view kSiteEnvelopeTruncate = "io.envelope.truncate";
+
+/// Flip one byte of a loaded file image before envelope verification
+/// (simulates on-disk or in-transit corruption).
+inline constexpr std::string_view kSiteEnvelopeByteflip = "io.envelope.byteflip";
+
+/// Flip one bit of a fetched node's bounding-sphere fields (simulates a
+/// device-memory bit flip caught by the per-node integrity word).
+inline constexpr std::string_view kSiteNodeBoundsBitflip = "knn.node_bounds.bitflip";
+
+/// Corrupt one span of the traversal snapshot's arena table (simulates
+/// corruption of the frozen device arena, caught by segment checksums).
+inline constexpr std::string_view kSiteSnapshotSegment = "layout.snapshot.segment";
+
+/// Force a pathologically small node budget on one query (simulates a
+/// runaway query hitting its work budget).
+inline constexpr std::string_view kSiteQueryBudget = "engine.query_budget";
+
+/// Fail one worker's slice of a batch (simulates a crashed worker thread).
+inline constexpr std::string_view kSiteWorkerSlice = "engine.worker_slice";
+
+}  // namespace psb::fault

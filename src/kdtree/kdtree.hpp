@@ -44,7 +44,8 @@ class KdTree {
   /// Exact kNN on the host (reference traversal, no instrumentation).
   std::vector<KnnHeap::Entry> query(std::span<const Scalar> q, std::size_t k) const;
 
-  /// Structural validation (bounds, ranges, split sanity); throws on failure.
+  /// Structural validation (bounds, ranges, split sanity); throws
+  /// psb::InternalError on the first violated invariant.
   void validate() const;
 
  private:

@@ -118,6 +118,10 @@ void best_first_gpu_run(simt::Block& block, const sstree::SSTree& tree,
   };
 
   while (!pq.empty()) {
+    if (detail::budget_exhausted(opts, out.stats)) {
+      out.budget_exhausted = true;
+      break;
+    }
     // Lock-protected pop: one lane holds the lock while re-heapifying.
     block.serialize(log_cost(pq.size()) + 2);
     const Entry e = pq.top();

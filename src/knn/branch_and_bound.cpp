@@ -17,12 +17,23 @@ struct BnbContext {
   const sstree::SSTree& tree;
   std::span<const Scalar> q;
   SharedKnnList& list;
+  QueryResult& out;
   TraversalStats& st;
+  const GpuKnnOptions& opts;
   bool minmax_tighten;
   detail::SnapshotFetch* snap;
 };
 
+/// Cooperative budget check at every recursion step: a true return unwinds
+/// the whole visit chain without further fetches.
+bool bnb_out_of_budget(BnbContext& ctx) {
+  if (!detail::budget_exhausted(ctx.opts, ctx.st)) return false;
+  ctx.out.budget_exhausted = true;
+  return true;
+}
+
 void bnb_visit(BnbContext& ctx, NodeId id) {
+  if (bnb_out_of_budget(ctx)) return;
   const sstree::Node& n = ctx.tree.node(id);
   fetch_node(ctx.block, ctx.tree, n, simt::Access::kRandom, ctx.snap);
   ++ctx.st.nodes_visited;
@@ -48,8 +59,10 @@ void bnb_visit(BnbContext& ctx, NodeId id) {
   ctx.block.reduce_kth_min(cb.mindist, 1);
 
   for (const std::size_t idx : order) {
+    if (bnb_out_of_budget(ctx)) return;
     if (!(cb.mindist[idx] < ctx.list.pruning_distance())) break;
     bnb_visit(ctx, n.children[idx]);
+    if (ctx.out.budget_exhausted) return;  // skip the backtrack re-fetch too
     // Parent-link backtracking (§II-A): every return to this node re-fetches
     // it and re-computes/re-orders the child bounds to find the next
     // candidate branch — there is no stack remembering them. The re-fetch
@@ -68,7 +81,7 @@ void bnb_run(simt::Block& block, const sstree::SSTree& tree, std::span<const Sca
   const std::size_t k_eff = std::min(opts.k, tree.data().size());
   SharedKnnList list(block, k_eff, opts.spill_heap_to_global);
   detail::SnapshotFetch snap(tree, opts);
-  BnbContext ctx{block, tree, q, list, out.stats, opts.bnb_minmax_tighten, &snap};
+  BnbContext ctx{block, tree, q, list, out, out.stats, opts, opts.bnb_minmax_tighten, &snap};
   ++out.stats.restarts;  // the single root descent
   bnb_visit(ctx, tree.root());
   out.neighbors = list.sorted();

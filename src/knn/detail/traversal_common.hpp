@@ -11,10 +11,12 @@
 #include <span>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "knn/result.hpp"
 #include "knn/shared_heap.hpp"
 #include "layout/fetch.hpp"
 #include "simt/block.hpp"
+#include "sstree/integrity.hpp"
 #include "sstree/tree.hpp"
 
 namespace psb::knn::detail {
@@ -50,11 +52,24 @@ class SnapshotFetch {
 /// node_byte_size bytes with the algorithm-chosen access pattern.
 inline void fetch_node(simt::Block& block, const sstree::SSTree& tree, const sstree::Node& n,
                        simt::Access pattern, SnapshotFetch* snap = nullptr) {
+  // End-to-end integrity: re-derive the node's bound-field checksum against
+  // the word finalize() sealed (throws psb::DataFault on mismatch — the
+  // engine's retry/fallback policy recovers). Guarded so the production path
+  // pays one relaxed atomic load, nothing else.
+  if (fault::enabled()) sstree::verify_node_integrity(n);
   if (snap != nullptr && *snap) {
     snap->fetch(block, n);
     return;
   }
   block.load_global(tree.node_byte_size(n), pattern);
+}
+
+/// Cooperative per-query work budget (GpuKnnOptions::query_budget_nodes).
+/// Traversal loops call this at their loop head; a true return means the
+/// query must stop early: finalize the current k-list and set
+/// QueryResult::budget_exhausted rather than throwing mid-kernel.
+inline bool budget_exhausted(const GpuKnnOptions& opts, const TraversalStats& stats) noexcept {
+  return opts.query_budget_nodes != 0 && stats.nodes_visited >= opts.query_budget_nodes;
 }
 
 /// MINDIST (and optionally MAXDIST) from the query to every child bounding

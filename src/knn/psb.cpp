@@ -22,6 +22,7 @@ class PsbRun {
         tree_(tree),
         q_(q),
         opts_(opts),
+        out_(out),
         st_(out.stats),
         list_(block, std::min(opts.k, tree.data().size()), opts.spill_heap_to_global),
         snap_(tree, opts),
@@ -31,7 +32,16 @@ class PsbRun {
   }
 
  private:
+  /// Cooperative budget stop: record the exhaustion and let every loop
+  /// unwind normally, finalizing whatever the k-list holds so far.
+  bool out_of_budget() {
+    if (!detail::budget_exhausted(opts_, st_)) return false;
+    out_.budget_exhausted = true;
+    return true;
+  }
+
   void fetch(const sstree::Node& n) {
+    if (fault::enabled()) sstree::verify_node_integrity(n);
     if (snap_) {
       // Snapshot path: the arena classifies the access by address (the
       // packed leaf chain streams, window hits are free) — same traversal,
@@ -62,6 +72,7 @@ class PsbRun {
     NodeId cur = tree_.root();
     ++st_.restarts;
     for (;;) {
+      if (out_of_budget()) return;
       const sstree::Node& n = tree_.node(cur);
       fetch(n);
       if (n.is_leaf()) {
@@ -83,6 +94,7 @@ class PsbRun {
 
   void run() {
     if (opts_.psb_initial_descent) initial_descent();
+    if (out_.budget_exhausted) return;
 
     // Watermark of the highest leaf id whose points are accounted for —
     // either truly scanned or exactly pruned (every skipped leaf left of the
@@ -96,6 +108,7 @@ class PsbRun {
     while (!done) {
       // --- descend: leftmost in-range child with unscanned leaves ---
       while (!tree_.node(cur).is_leaf()) {
+        if (out_of_budget()) return;
         const sstree::Node& n = tree_.node(cur);
         fetch(n);
         const detail::ChildBounds cb = child_bounds(block_, tree_, n, q_, /*need_max=*/true);
@@ -131,6 +144,7 @@ class PsbRun {
 
       // --- leaf scan: linear sweep over right siblings (Alg. 1 l. 32–46) ---
       for (;;) {
+        if (out_of_budget()) return;
         const sstree::Node& leaf = tree_.node(cur);
         fetch(leaf);
         ++st_.leaves_visited;
@@ -160,6 +174,7 @@ class PsbRun {
   const sstree::SSTree& tree_;
   std::span<const Scalar> q_;
   const GpuKnnOptions& opts_;
+  QueryResult& out_;
   TraversalStats& st_;
   SharedKnnList list_;
   detail::SnapshotFetch snap_;

@@ -3,6 +3,7 @@
 // force and best-first agree on any dataset (the headline test invariant).
 #pragma once
 
+#include <string_view>
 #include <vector>
 
 #include "common/geometry.hpp"
@@ -67,10 +68,32 @@ inline obs::QueryTrace make_query_trace(std::uint64_t query_index, const Travers
   return trace;
 }
 
+/// How a query's answer was produced. Anything other than kOk means the
+/// serving path degraded; only kDeadlinePartial may be inexact.
+enum class QueryStatus : std::uint8_t {
+  kOk = 0,                ///< normal traversal, exact
+  kDegradedFallback = 1,  ///< recovered via retry/brute force — still exact
+  kDeadlinePartial = 2,   ///< budget/deadline cut the traversal short; best-effort list
+};
+
+inline std::string_view query_status_name(QueryStatus s) noexcept {
+  switch (s) {
+    case QueryStatus::kOk: return "ok";
+    case QueryStatus::kDegradedFallback: return "degraded_fallback";
+    case QueryStatus::kDeadlinePartial: return "deadline_partial";
+  }
+  return "unknown";
+}
+
 /// One query's answer: the k nearest neighbors sorted ascending by distance.
 struct QueryResult {
   std::vector<KnnHeap::Entry> neighbors;
   TraversalStats stats;
+  QueryStatus status = QueryStatus::kOk;
+  /// Set by an algorithm that stopped early because the per-query node
+  /// budget ran out (the list may be missing true neighbors). The engine
+  /// turns this into a brute-force fallback or kDeadlinePartial.
+  bool budget_exhausted = false;
 };
 
 /// A batch of queries with aggregated simulator counters and derived timing.
@@ -83,6 +106,13 @@ struct BatchResult {
   double avg_query_ms() const noexcept { return timing.avg_query_ms; }
   double accessed_mb() const noexcept {
     return static_cast<double>(metrics.total_bytes()) / 1e6;
+  }
+  /// True when every query completed on the normal path.
+  bool all_ok() const noexcept {
+    for (const QueryResult& q : queries) {
+      if (q.status != QueryStatus::kOk) return false;
+    }
+    return true;
   }
 };
 
@@ -111,6 +141,11 @@ struct GpuKnnOptions {
   /// Engine-owned resident window shared across a warp cohort of queries;
   /// null = each query opens its own window. Ignored without `snapshot`.
   layout::FetchSession* fetch_session = nullptr;
+  /// Per-query work budget in node fetches; 0 = unlimited. Tree traversals
+  /// check it cooperatively at their loop heads and, on exhaustion, finalize
+  /// the current (possibly incomplete) k-NN list with budget_exhausted set
+  /// instead of throwing — no exceptions on the hot path.
+  std::uint64_t query_budget_nodes = 0;
   simt::DeviceSpec device{};
 };
 

@@ -37,10 +37,18 @@ void restart_run(simt::Block& block, const sstree::SSTree& tree, std::span<const
   };
 
   while (visited < last_leaf) {
+    if (detail::budget_exhausted(opts, st)) {
+      out.budget_exhausted = true;
+      return finalize(list, out);
+    }
     NodeId cur = tree.root();
     ++st.restarts;
     // Root-to-leaf descent toward the leftmost unscanned in-range leaf.
     while (!tree.node(cur).is_leaf()) {
+      if (detail::budget_exhausted(opts, st)) {
+        out.budget_exhausted = true;
+        return finalize(list, out);
+      }
       const sstree::Node& n = tree.node(cur);
       fetch(n);
       const detail::ChildBounds cb = child_bounds(block, tree, n, q, /*need_max=*/true);
@@ -93,6 +101,10 @@ void skip_pointer_run(simt::Block& block, const sstree::SSTree& tree,
   NodeId cur = tree.root();
   ++st.restarts;  // one preorder sweep from the root
   while (cur != kInvalidNode) {
+    if (detail::budget_exhausted(opts, st)) {
+      out.budget_exhausted = true;
+      break;
+    }
     const sstree::Node& n = tree.node(cur);
     // Consecutive leaves are address-sequential, exactly as in PSB's scan;
     // everything else in the forward sweep is a dependent jump.

@@ -73,6 +73,17 @@ class TraversalSnapshot {
   /// psb::InternalError on the first violation.
   void validate() const;
 
+  /// Integrity check: recompute the per-segment checksums over the span
+  /// table and compare them to the words sealed at construction. Returns
+  /// false when any segment diverged (a corrupted arena). Cheap relative to
+  /// a batch; the engine runs it before serving from the snapshot.
+  bool verify() const noexcept;
+
+  /// Deterministically corrupt one node span (seeded by `payload`) — the
+  /// layout.snapshot.segment fault hook. verify() is guaranteed to detect
+  /// the mutation.
+  void corrupt(std::uint64_t payload) noexcept;
+
   struct Stats {
     std::uint64_t arena_bytes = 0;
     std::uint64_t segments = 0;
@@ -83,11 +94,17 @@ class TraversalSnapshot {
   Stats stats() const;
 
  private:
+  std::vector<std::uint32_t> segment_checksums() const;
+
   const sstree::SSTree* tree_;
   std::size_t segment_bytes_;
   std::vector<NodeSpan> spans_;  ///< indexed by NodeId
   std::uint64_t arena_bytes_ = 0;
   std::uint64_t leaf_region_offset_ = 0;
+  /// Per-segment CRC32 words over the placement metadata mapped into each
+  /// 128-byte segment, sealed at construction (the simulated analogue of
+  /// checksumming the frozen arena pages).
+  std::vector<std::uint32_t> segment_crcs_;
 };
 
 }  // namespace psb::layout

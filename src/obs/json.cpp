@@ -6,7 +6,8 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
+
+#include "common/error.hpp"
 
 namespace psb::obs {
 
@@ -181,8 +182,8 @@ class FlatParser {
 
  private:
   [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("flat json parse error at offset " + std::to_string(pos_) +
-                             ": " + what);
+    throw CorruptInput("flat json parse error at offset " + std::to_string(pos_) +
+                       ": " + what);
   }
   char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
   void expect(char c) {
@@ -259,7 +260,7 @@ FlatJson parse_flat_json(std::string_view text) { return FlatParser(text).parse(
 
 FlatJson read_flat_json(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open " + path);
+  if (!in) throw IoError("cannot open " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
   return parse_flat_json(ss.str());
@@ -267,9 +268,9 @@ FlatJson read_flat_json(const std::string& path) {
 
 void write_text_file(const std::string& path, std::string_view content) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  if (!out) throw IoError("cannot open " + path + " for writing");
   out << content;
-  if (!out) throw std::runtime_error("short write to " + path);
+  if (!out) throw IoError("short write to " + path);
 }
 
 }  // namespace psb::obs

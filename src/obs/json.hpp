@@ -68,14 +68,15 @@ struct FlatJson {
   std::map<std::string, std::string> strings;
 };
 
-/// Parse `text` as a flat JSON object. Throws std::runtime_error (with a
+/// Parse `text` as a flat JSON object. Throws psb::CorruptInput (with a
 /// character offset) on malformed input or nesting.
 FlatJson parse_flat_json(std::string_view text);
 
-/// Read and parse a flat JSON file. Throws on I/O or parse errors.
+/// Read and parse a flat JSON file. Throws psb::IoError when the file cannot
+/// be opened and psb::CorruptInput on parse errors.
 FlatJson read_flat_json(const std::string& path);
 
-/// Write `content` to `path`, throwing on failure.
+/// Write `content` to `path`, throwing psb::IoError on failure.
 void write_text_file(const std::string& path, std::string_view content);
 
 }  // namespace psb::obs

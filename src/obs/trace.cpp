@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
-#include <stdexcept>
+
+#include "common/error.hpp"
 
 namespace psb::obs {
 
@@ -88,7 +89,7 @@ void emit(std::string_view algorithm, const QueryTrace& trace) {
 TraceSession::TraceSession() {
   TraceCollector* expected = nullptr;
   if (!g_active.compare_exchange_strong(expected, &collector_)) {
-    throw std::logic_error("obs::TraceSession already active");
+    throw InternalError("obs::TraceSession already active");
   }
 }
 

@@ -15,6 +15,8 @@
 #include "obs/registry.hpp"  // IWYU pragma: export
 #include "obs/trace.hpp"     // IWYU pragma: export
 
+#include "common/checksum.hpp"   // IWYU pragma: export
+#include "common/envelope.hpp"   // IWYU pragma: export
 #include "common/error.hpp"      // IWYU pragma: export
 #include "common/geometry.hpp"   // IWYU pragma: export
 #include "common/points.hpp"     // IWYU pragma: export
@@ -27,6 +29,9 @@
 #include "simt/metrics.hpp"       // IWYU pragma: export
 #include "simt/sort.hpp"          // IWYU pragma: export
 #include "simt/task_parallel.hpp" // IWYU pragma: export
+
+#include "fault/fault.hpp"  // IWYU pragma: export
+#include "fault/sites.hpp"  // IWYU pragma: export
 
 #include "hilbert/hilbert.hpp"  // IWYU pragma: export
 
@@ -41,6 +46,7 @@
 #include "data/synthetic.hpp"   // IWYU pragma: export
 
 #include "sstree/builders.hpp"   // IWYU pragma: export
+#include "sstree/integrity.hpp"  // IWYU pragma: export
 #include "sstree/serialize.hpp"  // IWYU pragma: export
 #include "sstree/tree.hpp"       // IWYU pragma: export
 #include "sstree/update.hpp"     // IWYU pragma: export

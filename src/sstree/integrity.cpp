@@ -1,0 +1,63 @@
+#include "sstree/integrity.hpp"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/checksum.hpp"
+#include "common/error.hpp"
+#include "fault/fault.hpp"
+#include "fault/sites.hpp"
+
+namespace psb::sstree {
+namespace {
+
+/// Feed the hashed fields to any byte sink in one canonical order, so the
+/// incremental fast path and the staged fault path hash identical streams.
+template <typename Sink>
+void feed_bound_fields(const Node& n, Sink&& sink) {
+  const auto feed_vec = [&](const auto& v) {
+    if (!v.empty()) sink(v.data(), v.size() * sizeof(v[0]));
+  };
+  const std::int32_t level = n.level;
+  sink(&level, sizeof(level));
+  feed_vec(n.sphere.center);
+  sink(&n.sphere.radius, sizeof(n.sphere.radius));
+  feed_vec(n.rect.lo);
+  feed_vec(n.rect.hi);
+  feed_vec(n.child_centers);
+  feed_vec(n.child_radii);
+  feed_vec(n.child_lo);
+  feed_vec(n.child_hi);
+  feed_vec(n.coords);
+}
+
+}  // namespace
+
+std::uint32_t node_integrity_word(const Node& n) noexcept {
+  Crc32 crc;
+  feed_bound_fields(n, [&](const void* p, std::size_t bytes) { crc.update(p, bytes); });
+  return crc.value();
+}
+
+void verify_node_integrity(const Node& n) {
+  std::uint32_t word;
+  if (const fault::Shot shot = fault::evaluate(fault::kSiteNodeBoundsBitflip)) {
+    // Stage the fetched image and flip one seeded bit — the corrupted read.
+    std::vector<unsigned char> image;
+    feed_bound_fields(n, [&](const void* p, std::size_t bytes) {
+      const auto* b = static_cast<const unsigned char*>(p);
+      image.insert(image.end(), b, b + bytes);
+    });
+    fault::flip_bit(image.data(), image.size(), shot.payload);
+    word = crc32(image.data(), image.size());
+  } else {
+    word = node_integrity_word(n);
+  }
+  if (word != n.integrity) {
+    throw DataFault("node " + std::to_string(n.id) +
+                    ": bound-field integrity word mismatch (corrupted fetch)");
+  }
+}
+
+}  // namespace psb::sstree

@@ -1,0 +1,30 @@
+// Per-node integrity words: a CRC32 over the geometric fields a traversal
+// actually reads from a fetched node (its own bounding sphere/rect, the SoA
+// child-bound arrays, the staged leaf coordinates). finalize() seals every
+// node; verify_node_integrity() re-derives the word at fetch time and raises
+// psb::DataFault on any mismatch — the detection a real serving system gets
+// from ECC or end-to-end checksums on device memory.
+//
+// The knn.node_bounds.bitflip fault site injects here: when armed, the
+// hash input is staged into a scratch buffer and one seeded bit is flipped
+// before hashing, modeling a corrupted global-memory read. CRC32 detects
+// every single-bit error, so an injected flip is always caught.
+#pragma once
+
+#include <cstdint>
+
+#include "sstree/node.hpp"
+
+namespace psb::sstree {
+
+/// The CRC32 integrity word over node `n`'s bound fields (what finalize()
+/// stores in Node::integrity).
+std::uint32_t node_integrity_word(const Node& n) noexcept;
+
+/// Re-derive the integrity word for a node being fetched and compare it to
+/// the sealed Node::integrity; throws psb::DataFault on mismatch. Applies the
+/// knn.node_bounds.bitflip fault site when injection is armed. Call sites
+/// should guard on fault::enabled() to keep the production path free.
+void verify_node_integrity(const Node& n);
+
+}  // namespace psb::sstree

@@ -63,6 +63,10 @@ struct Node {
   /// traversal baseline.
   NodeId skip = kInvalidNode;
 
+  /// CRC32 over the bound fields (sstree/integrity.hpp), sealed by
+  /// finalize(); fetch-time verification raises psb::DataFault on mismatch.
+  std::uint32_t integrity = 0;
+
   bool is_leaf() const noexcept { return level == 0; }
   std::size_t count() const noexcept { return is_leaf() ? points.size() : children.size(); }
 };

@@ -5,9 +5,15 @@
 // parent links, SoA arrays, staged leaf coordinates, leaf numbering, sibling
 // chain, skip pointers, rects — is recomputed by finalize() on load, so the
 // format stays small and version-stable.
+//
+// Files are wrapped in the common checksummed envelope (common/envelope.hpp)
+// and parsed through a bounds-checked cursor: any truncation, bit flip, or
+// structurally invalid content is rejected with psb::CorruptIndex before it
+// can reach traversal code. Missing/unreadable files raise psb::IoError.
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "sstree/tree.hpp"
 
@@ -20,6 +26,18 @@ void write_index(const SSTree& tree, const std::string& path);
 
 /// Load an index over `points` (must be the same dataset the index was built
 /// on — size/dims are checked, and validate() runs before returning).
+/// Throws psb::IoError when the file cannot be opened, psb::CorruptIndex on
+/// any integrity or structural failure, and psb::InvalidArgument when the
+/// index belongs to a different dataset.
 SSTree read_index(const PointSet* points, const std::string& path);
+
+/// Parse an index from an in-memory file image (what read_index reads).
+/// `label` names the artifact in error messages. Exposed for the corruption
+/// fuzz tests, which mutate buffers without touching the filesystem.
+SSTree parse_index(const PointSet* points, std::string_view file_bytes,
+                   const std::string& label);
+
+/// Serialize a tree to the in-memory file image write_index stores.
+std::string serialize_index(const SSTree& tree);
 
 }  // namespace psb::sstree

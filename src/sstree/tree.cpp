@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "sstree/integrity.hpp"
 
 namespace psb::sstree {
 
@@ -138,6 +139,10 @@ void SSTree::finalize() {
       }
     }
   }
+
+  // Seal the per-node integrity words last, over the fully derived bound
+  // fields (fetch-time verification recomputes exactly this).
+  for (Node& n : nodes_) n.integrity = node_integrity_word(n);
 }
 
 void SSTree::validate(bool require_complete) const {
@@ -150,6 +155,7 @@ void SSTree::validate(bool require_complete) const {
   for (const Node& n : nodes_) {
     PSB_ASSERT(n.count() > 0, "empty node");
     PSB_ASSERT(n.count() <= degree_, "node exceeds degree");
+    PSB_ASSERT(n.integrity == node_integrity_word(n), "integrity word out of date");
     if (n.id != root_) {
       PSB_ASSERT(n.parent != kInvalidNode, "non-root node without parent");
       const Node& p = node(n.parent);

@@ -201,8 +201,8 @@ TEST(Io, RejectsCorruptFiles) {
     std::ofstream out(path, std::ios::binary);
     out << "not a psb file at all";
   }
-  EXPECT_THROW(read_binary(path), InvalidArgument);
-  EXPECT_THROW(read_binary("/nonexistent/path/file.bin"), InvalidArgument);
+  EXPECT_THROW(read_binary(path), CorruptIndex);
+  EXPECT_THROW(read_binary("/nonexistent/path/file.bin"), IoError);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,125 @@
+// Corruption fuzz for the serialization envelope: every truncation and every
+// byte flip of a valid artifact must be rejected with psb::CorruptIndex —
+// never parsed, never crashed on. Runs entirely in memory via the
+// parse_*/serialize_* pair so the sweep stays fast enough for the asan/ubsan
+// presets (the "sanitize" label).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/envelope.hpp"
+#include "common/error.hpp"
+#include "data/io.hpp"
+#include "data/synthetic.hpp"
+#include "sstree/builders.hpp"
+#include "sstree/serialize.hpp"
+
+namespace psb {
+namespace {
+
+struct Artifacts {
+  PointSet points;
+  std::string data_image;
+  std::string index_image;
+
+  Artifacts() : points(data::make_clustered(spec())) {
+    data_image = data::serialize_binary(points);
+    const sstree::BuildOutput built = sstree::build_kmeans(points, 16);
+    index_image = sstree::serialize_index(built.tree);
+  }
+
+  static data::ClusteredSpec spec() {
+    data::ClusteredSpec s;
+    s.dims = 6;
+    s.num_clusters = 8;
+    s.points_per_cluster = 60;
+    s.seed = 99;
+    return s;
+  }
+};
+
+const Artifacts& artifacts() {
+  static const Artifacts a;
+  return a;
+}
+
+// Apply `parse` to every truncation of `image` at 64-byte boundaries (plus
+// the empty and size-1 prefixes) and expect CorruptIndex each time.
+template <typename Parse>
+void sweep_truncations(const std::string& image, Parse&& parse) {
+  ASSERT_GT(image.size(), 64u);
+  std::size_t tested = 0;
+  for (std::size_t cut = 0; cut < image.size(); cut = cut < 64 ? 64 : cut + 64) {
+    EXPECT_THROW(parse(image.substr(0, cut)), CorruptIndex)
+        << "truncation to " << cut << " bytes was accepted";
+    ++tested;
+    if (cut == 0) {
+      EXPECT_THROW(parse(image.substr(0, 1)), CorruptIndex);
+    }
+  }
+  EXPECT_GE(tested, image.size() / 64);
+}
+
+// Flip one byte (all 8 bits at once, via XOR 0xFF) in every 256-byte window
+// and expect CorruptIndex: the payload CRC must catch a mutation anywhere.
+template <typename Parse>
+void sweep_byte_flips(const std::string& image, Parse&& parse) {
+  for (std::size_t window = 0; window < image.size(); window += 256) {
+    // Deterministic in-window position spread across the window.
+    const std::size_t pos = window + (window / 256 * 37) % std::min<std::size_t>(256, image.size() - window);
+    std::string mutated = image;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0xFF);
+    EXPECT_THROW(parse(mutated), CorruptIndex)
+        << "byte flip at " << pos << " was accepted";
+  }
+}
+
+TEST(EnvelopeFuzz, CleanImagesRoundTrip) {
+  const Artifacts& a = artifacts();
+  const PointSet reloaded = data::parse_binary(a.data_image, "fuzz");
+  EXPECT_EQ(reloaded.size(), a.points.size());
+  EXPECT_EQ(reloaded.dims(), a.points.dims());
+  const sstree::SSTree tree = sstree::parse_index(&a.points, a.index_image, "fuzz");
+  EXPECT_GT(tree.num_nodes(), 0u);
+}
+
+TEST(EnvelopeFuzz, DataTruncationsAllRejected) {
+  const Artifacts& a = artifacts();
+  sweep_truncations(a.data_image,
+                    [](std::string_view img) { return data::parse_binary(img, "fuzz"); });
+}
+
+TEST(EnvelopeFuzz, DataByteFlipsAllRejected) {
+  const Artifacts& a = artifacts();
+  sweep_byte_flips(a.data_image,
+                   [](std::string_view img) { return data::parse_binary(img, "fuzz"); });
+}
+
+TEST(EnvelopeFuzz, IndexTruncationsAllRejected) {
+  const Artifacts& a = artifacts();
+  sweep_truncations(a.index_image, [&](std::string_view img) {
+    return sstree::parse_index(&a.points, img, "fuzz");
+  });
+}
+
+TEST(EnvelopeFuzz, IndexByteFlipsAllRejected) {
+  const Artifacts& a = artifacts();
+  sweep_byte_flips(a.index_image, [&](std::string_view img) {
+    return sstree::parse_index(&a.points, img, "fuzz");
+  });
+}
+
+// The envelope primitives themselves: a wrong payload kind and a version
+// bump are typed rejections, not parse attempts.
+TEST(EnvelopeFuzz, WrongKindAndVersionRejected) {
+  const std::string framed = wrap_envelope(/*payload_kind=*/7, "payload-bytes");
+  EXPECT_NO_THROW(unwrap_envelope(framed, 7, "fuzz"));
+  EXPECT_THROW(unwrap_envelope(framed, 8, "fuzz"), CorruptIndex);
+
+  std::string version_bumped = framed;
+  version_bumped[4] = static_cast<char>(version_bumped[4] + 1);  // version field
+  EXPECT_THROW(unwrap_envelope(version_bumped, 7, "fuzz"), CorruptIndex);
+}
+
+}  // namespace
+}  // namespace psb

@@ -1,0 +1,132 @@
+// Framework semantics of src/fault/: registry, determinism, one-shot
+// triggering, scope lifetime and misuse errors. The integration of the sites
+// into the serving path is covered by the faultcamp tool and the engine
+// tests; this file pins the contract those rely on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "fault/fault.hpp"
+#include "fault/sites.hpp"
+
+namespace psb::fault {
+namespace {
+
+TEST(FaultRegistry, AllSitesRegisteredAndNamed) {
+  const auto all = sites();
+  ASSERT_GE(all.size(), 6u);
+  for (const SiteInfo& s : all) {
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_FALSE(s.description.empty());
+    EXPECT_TRUE(is_site(s.name)) << s.name;
+  }
+  EXPECT_TRUE(is_site(kSiteEnvelopeTruncate));
+  EXPECT_TRUE(is_site(kSiteEnvelopeByteflip));
+  EXPECT_TRUE(is_site(kSiteNodeBoundsBitflip));
+  EXPECT_TRUE(is_site(kSiteSnapshotSegment));
+  EXPECT_TRUE(is_site(kSiteQueryBudget));
+  EXPECT_TRUE(is_site(kSiteWorkerSlice));
+  EXPECT_FALSE(is_site("no.such.site"));
+}
+
+TEST(FaultScope, DisabledByDefault) {
+  EXPECT_FALSE(enabled());
+  const Shot s = evaluate(kSiteQueryBudget);
+  EXPECT_FALSE(s.fire);
+}
+
+TEST(FaultScope, EnabledOnlyWithinScope) {
+  {
+    InjectionScope scope(Spec{std::string(kSiteQueryBudget), 1, 0, 1});
+    EXPECT_TRUE(enabled());
+  }
+  EXPECT_FALSE(enabled());
+}
+
+TEST(FaultScope, FiresOnTriggerForCountEvaluations) {
+  Spec spec{std::string(kSiteQueryBudget), 42, /*trigger=*/2, /*count=*/2};
+  InjectionScope scope(spec);
+  EXPECT_FALSE(evaluate(kSiteQueryBudget).fire);  // evaluation 0
+  EXPECT_FALSE(evaluate(kSiteQueryBudget).fire);  // evaluation 1
+  EXPECT_TRUE(evaluate(kSiteQueryBudget).fire);   // evaluation 2: trigger
+  EXPECT_TRUE(evaluate(kSiteQueryBudget).fire);   // evaluation 3: count=2
+  EXPECT_FALSE(evaluate(kSiteQueryBudget).fire);  // one-shot window over
+  EXPECT_EQ(scope.fired(kSiteQueryBudget), 2u);
+  EXPECT_EQ(scope.evaluations(kSiteQueryBudget), 5u);
+  EXPECT_EQ(scope.total_fired(), 2u);
+}
+
+TEST(FaultScope, OtherSitesUnaffected) {
+  InjectionScope scope(Spec{std::string(kSiteQueryBudget), 42, 0, 1});
+  EXPECT_FALSE(evaluate(kSiteWorkerSlice).fire);
+  EXPECT_TRUE(evaluate(kSiteQueryBudget).fire);
+  EXPECT_EQ(scope.fired(kSiteWorkerSlice), 0u);
+}
+
+TEST(FaultScope, PayloadIsDeterministicInSeed) {
+  std::vector<std::uint64_t> first, second;
+  for (int round = 0; round < 2; ++round) {
+    InjectionScope scope(Spec{std::string(kSiteQueryBudget), 1234, 0, 3});
+    for (int i = 0; i < 3; ++i) {
+      const Shot s = evaluate(kSiteQueryBudget);
+      ASSERT_TRUE(s.fire);
+      (round == 0 ? first : second).push_back(s.payload);
+    }
+  }
+  EXPECT_EQ(first, second);
+
+  // A different seed yields different payload bits.
+  InjectionScope scope(Spec{std::string(kSiteQueryBudget), 1235, 0, 1});
+  EXPECT_NE(evaluate(kSiteQueryBudget).payload, first[0]);
+}
+
+TEST(FaultScope, MultipleSpecsArmIndependently) {
+  std::vector<Spec> specs;
+  specs.push_back(Spec{std::string(kSiteQueryBudget), 7, 0, 1});
+  specs.push_back(Spec{std::string(kSiteWorkerSlice), 8, 1, 1});
+  InjectionScope scope(specs);
+  EXPECT_TRUE(evaluate(kSiteQueryBudget).fire);
+  EXPECT_FALSE(evaluate(kSiteWorkerSlice).fire);  // trigger 1: not yet
+  EXPECT_TRUE(evaluate(kSiteWorkerSlice).fire);
+  EXPECT_EQ(scope.total_fired(), 2u);
+}
+
+TEST(FaultScope, NestingThrows) {
+  InjectionScope outer(Spec{std::string(kSiteQueryBudget), 1, 0, 1});
+  EXPECT_THROW(InjectionScope inner(Spec{std::string(kSiteWorkerSlice), 1, 0, 1}),
+               InternalError);
+  // The failed construction must not tear down the outer scope.
+  EXPECT_TRUE(enabled());
+}
+
+TEST(FaultScope, UnknownSiteThrows) {
+  EXPECT_THROW(InjectionScope scope(Spec{"no.such.site", 1, 0, 1}), InvalidArgument);
+  EXPECT_FALSE(enabled());
+}
+
+TEST(FaultPrimitives, FlipBitChangesExactlyOneBit) {
+  for (std::uint64_t payload : {0ull, 1ull, 77ull, 0xdeadbeefull}) {
+    std::uint8_t buf[16] = {0};
+    flip_bit(buf, sizeof(buf), payload);
+    int ones = 0;
+    for (std::uint8_t b : buf) {
+      while (b != 0) {
+        ones += b & 1;
+        b >>= 1;
+      }
+    }
+    EXPECT_EQ(ones, 1) << "payload " << payload;
+  }
+  // Empty range: defined no-op.
+  flip_bit(nullptr, 0, 123);
+}
+
+TEST(FaultPrimitives, MixIsDeterministicAndSpreads) {
+  EXPECT_EQ(mix(1), mix(1));
+  EXPECT_NE(mix(1), mix(2));
+  EXPECT_NE(mix(0), 0u);
+}
+
+}  // namespace
+}  // namespace psb::fault

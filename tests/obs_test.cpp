@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
 #include "data/synthetic.hpp"
 #include "knn/best_first.hpp"
 #include "knn/branch_and_bound.hpp"
@@ -101,7 +102,7 @@ TEST(TraceSession, DisabledByDefaultAndEnabledInScope) {
 
 TEST(TraceSession, NestedSessionThrows) {
   obs::TraceSession outer;
-  EXPECT_THROW(obs::TraceSession inner, std::logic_error);
+  EXPECT_THROW(obs::TraceSession inner, InternalError);
 }
 
 TEST(TraceCollector, QueriesSortedByIndexAndAlgorithmsInFirstEmissionOrder) {
@@ -149,10 +150,10 @@ TEST(Json, WriterProducesStableDocument) {
 }
 
 TEST(Json, FlatParserRejectsNesting) {
-  EXPECT_THROW(obs::parse_flat_json(R"({"a": {"b": 1}})"), std::runtime_error);
-  EXPECT_THROW(obs::parse_flat_json(R"({"a": [1, 2]})"), std::runtime_error);
-  EXPECT_THROW(obs::parse_flat_json("[1]"), std::runtime_error);
-  EXPECT_THROW(obs::parse_flat_json(R"({"a": 1,})"), std::runtime_error);
+  EXPECT_THROW(obs::parse_flat_json(R"({"a": {"b": 1}})"), CorruptInput);
+  EXPECT_THROW(obs::parse_flat_json(R"({"a": [1, 2]})"), CorruptInput);
+  EXPECT_THROW(obs::parse_flat_json("[1]"), CorruptInput);
+  EXPECT_THROW(obs::parse_flat_json(R"({"a": 1,})"), CorruptInput);
 }
 
 TEST(Json, FormatDoubleRoundTrips) {

@@ -82,8 +82,8 @@ TEST(Serialize, RejectsCorruptFiles) {
     std::ofstream out(path, std::ios::binary);
     out << "garbage bytes, definitely not an index";
   }
-  EXPECT_THROW(read_index(&points, path), InvalidArgument);
-  EXPECT_THROW(read_index(&points, "/no/such/file.psbt"), InvalidArgument);
+  EXPECT_THROW(read_index(&points, path), CorruptIndex);
+  EXPECT_THROW(read_index(&points, "/no/such/file.psbt"), IoError);
   std::remove(path.c_str());
 }
 
@@ -103,7 +103,7 @@ TEST(Serialize, TruncatedFileRejected) {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   }
-  EXPECT_ANY_THROW(read_index(&points, path));
+  EXPECT_THROW(read_index(&points, path), CorruptIndex);
   std::remove(path.c_str());
 }
 

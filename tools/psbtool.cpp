@@ -7,6 +7,7 @@
 //   psbtool info     --data data.psb --index index.psbt
 //   psbtool query    --data data.psb --index index.psbt --k 8 --num-queries 16
 //   psbtool radius   --data data.psb --index index.psbt --radius 50 --num-queries 4
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -40,6 +41,9 @@ commands:
             [--clusters N] [--stations N] [--readings N] [--num-queries N]
             [--k N] [--degree N] [--seed N] [--algos a,b,...]
             [--variants base,snapshot,snapshot_reorder] [--warp-queries N]
+  faultcamp [--iterations N] [--seed N] [--out FILE.json] [--workdir DIR]
+
+exit codes: 0 ok, 2 usage error, 3 corrupt or unreadable input, 4 internal error
 )";
   std::exit(2);
 }
@@ -362,6 +366,204 @@ int cmd_bench(const Args& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// faultcamp — the seeded fault-injection campaign (ISSUE 4's acceptance
+// sweep, also run as the tier-2 ctest target and the CI fault-campaign job).
+//
+// One deterministic workload, then `--iterations` single-fault experiments
+// round-robined over every registered site. Each iteration must end in one
+// of two observable outcomes — the fault is *detected* (typed error from a
+// loader, or a non-kOk QueryStatus from the engine) or *masked* (results
+// bit-identical to the brute-force ground truth) — and never a crash, hang,
+// or silently wrong answer. Any other outcome throws InternalError (exit 4).
+// ---------------------------------------------------------------------------
+
+/// Exact-match check against the ground truth. kDeadlinePartial lists are
+/// exempt (they are flagged as best-effort); everything else must agree.
+void check_exact_or_flagged(const knn::BatchResult& got, const knn::BatchResult& truth,
+                            const std::string& context) {
+  PSB_ASSERT(got.queries.size() == truth.queries.size(), context + ": result count diverged");
+  for (std::size_t q = 0; q < got.queries.size(); ++q) {
+    const knn::QueryResult& g = got.queries[q];
+    if (g.status == knn::QueryStatus::kDeadlinePartial) continue;
+    const auto& want = truth.queries[q].neighbors;
+    if (g.neighbors.size() != want.size()) {
+      throw InternalError(context + ": query " + std::to_string(q) + " wrong neighbor count");
+    }
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      if (g.neighbors[i].id != want[i].id || g.neighbors[i].dist != want[i].dist) {
+        throw InternalError(context + ": query " + std::to_string(q) +
+                            " returned a wrong neighbor without a degraded flag");
+      }
+    }
+  }
+}
+
+int cmd_faultcamp(const Args& args) {
+  const std::size_t iterations = args.num("iterations", 600);
+  const std::uint64_t base_seed = args.num("seed", 2016);
+  const std::string out = args.str("out", "-");
+  const std::string workdir = args.str("workdir", ".");
+
+  // Deterministic workload, built once: a clustered dataset, a kmeans tree,
+  // and the brute-force ground truth every iteration is judged against.
+  data::ClusteredSpec spec;
+  spec.dims = 8;
+  spec.num_clusters = 20;
+  spec.points_per_cluster = 100;
+  spec.stddev = 160.0;
+  spec.seed = base_seed;
+  const PointSet points = data::make_clustered(spec);
+  const PointSet queries = data::sample_queries(points, 12, 0.0, base_seed + 1);
+  sstree::KMeansBuildOptions build_opts;
+  const sstree::BuildOutput built = sstree::build_kmeans(points, 32, build_opts);
+
+  knn::GpuKnnOptions gpu;
+  gpu.k = 8;
+  const knn::BatchResult truth = knn::brute_force_batch(points, queries, gpu);
+
+  // On-disk artifacts for the io.envelope.* sites.
+  const std::string data_path = workdir + "/faultcamp_data.psb";
+  const std::string index_path = workdir + "/faultcamp_index.psbt";
+  data::write_binary(points, data_path);
+  sstree::write_index(built.tree, index_path);
+
+  const engine::Algorithm algos[] = {
+      engine::Algorithm::kPsb, engine::Algorithm::kBestFirst,
+      engine::Algorithm::kBranchAndBound, engine::Algorithm::kStacklessRestart,
+      engine::Algorithm::kStacklessSkip};
+
+  const std::span<const fault::SiteInfo> sites = fault::sites();
+  struct SiteTally {
+    std::uint64_t iterations = 0;
+    std::uint64_t fired = 0;
+    std::uint64_t detected = 0;  ///< typed error or non-kOk status
+    std::uint64_t masked = 0;    ///< fired but results stayed exact and kOk
+  };
+  std::vector<SiteTally> tally(sites.size());
+
+  for (std::size_t iter = 0; iter < iterations; ++iter) {
+    const std::size_t site_idx = iter % sites.size();
+    const std::string_view site = sites[site_idx].name;
+    const bool io_site = site == fault::kSiteEnvelopeTruncate ||
+                         site == fault::kSiteEnvelopeByteflip;
+
+    fault::Spec fspec;
+    fspec.site = std::string(site);
+    fspec.seed = fault::mix(base_seed ^ (iter * 2654435761u));
+    // Triggers are spread over each site's evaluation cadence: io sites see
+    // one evaluation per file read (2 reads below), the node-bitflip site
+    // fires somewhere inside the batch's fetch stream, the budget site picks
+    // a query, the worker site a cohort, the snapshot site its single
+    // per-batch evaluation.
+    if (site == fault::kSiteEnvelopeTruncate || site == fault::kSiteEnvelopeByteflip) {
+      fspec.trigger = iter % 2;
+    } else if (site == fault::kSiteNodeBoundsBitflip) {
+      fspec.trigger = fspec.seed % 100;
+    } else if (site == fault::kSiteQueryBudget) {
+      fspec.trigger = iter % queries.size();
+    } else if (site == fault::kSiteWorkerSlice) {
+      fspec.trigger = iter % 3;
+    } else {
+      fspec.trigger = 0;
+    }
+
+    SiteTally& t = tally[site_idx];
+    ++t.iterations;
+    const std::string context =
+        "faultcamp iter " + std::to_string(iter) + " site " + std::string(site);
+
+    fault::InjectionScope scope(fspec);
+    if (io_site) {
+      // Loader hardening: a corrupted file image must yield a typed
+      // CorruptIndex, never a crash or a silently parsed dataset/index.
+      bool caught = false;
+      try {
+        const PointSet loaded = data::read_binary(data_path);
+        const sstree::SSTree reloaded = sstree::read_index(&loaded, index_path);
+        PSB_ASSERT(reloaded.num_nodes() == built.tree.num_nodes(),
+                   context + ": clean reload diverged");
+      } catch (const CorruptInput&) {
+        caught = true;
+      }
+      if (scope.fired(site) > 0) {
+        ++t.fired;
+        if (!caught) {
+          throw InternalError(context + ": corruption fired but the loader accepted the file");
+        }
+        ++t.detected;
+      } else if (caught) {
+        throw InternalError(context + ": loader rejected an uncorrupted file");
+      }
+      continue;
+    }
+
+    // Engine hardening: run a batch with the fault armed. run() must return
+    // a complete result; every unflagged query must match the ground truth.
+    engine::BatchEngineOptions eo;
+    eo.algorithm = algos[iter % (sizeof(algos) / sizeof(algos[0]))];
+    eo.gpu = gpu;
+    eo.use_snapshot = true;
+    eo.warp_queries = 4;
+    eo.num_threads = 2;
+    const engine::BatchEngine eng(built.tree, eo);
+    const knn::BatchResult got = eng.run(queries);
+    check_exact_or_flagged(got, truth, context);
+    if (scope.fired(site) > 0) {
+      ++t.fired;
+      if (!got.all_ok()) {
+        ++t.detected;
+      } else {
+        // Exact and unflagged: the fault was absorbed invisibly (e.g. the
+        // snapshot fell back to the pointer path before any query started).
+        ++t.masked;
+      }
+      // A corrupted node fetch is always caught by the integrity word, so a
+      // fired bitflip must surface as a degraded (but exact) status.
+      if (site == fault::kSiteNodeBoundsBitflip && got.all_ok()) {
+        throw InternalError(context + ": bit flip fired without a degraded status");
+      }
+    }
+  }
+
+  std::remove(data_path.c_str());
+  std::remove(index_path.c_str());
+
+  std::uint64_t total_fired = 0;
+  std::uint64_t total_detected = 0;
+  std::uint64_t total_masked = 0;
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "psb.faultcamp.v1");
+  w.field("iterations", static_cast<std::uint64_t>(iterations));
+  w.field("seed", base_seed);
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const std::string prefix = std::string(sites[i].name);
+    w.field(prefix + ".iterations", tally[i].iterations);
+    w.field(prefix + ".fired", tally[i].fired);
+    w.field(prefix + ".detected", tally[i].detected);
+    w.field(prefix + ".masked", tally[i].masked);
+    total_fired += tally[i].fired;
+    total_detected += tally[i].detected;
+    total_masked += tally[i].masked;
+  }
+  w.field("total.fired", total_fired);
+  w.field("total.detected", total_detected);
+  w.field("total.masked", total_masked);
+  w.end_object();
+  if (out != "-") {
+    obs::write_text_file(out, w.str());
+    std::cout << "faultcamp report written: " << out << "\n";
+  }
+  std::cout << "faultcamp: " << iterations << " iterations, " << total_fired << " faults fired, "
+            << total_detected << " detected, " << total_masked
+            << " masked by exact fallback, 0 crashes\n";
+  PSB_ASSERT(total_fired + total_detected + total_masked > 0, "campaign armed no faults");
+  PSB_ASSERT(total_detected + total_masked == total_fired,
+             "some fired fault was neither detected nor masked");
+  return 0;
+}
+
 int cmd_radius(const Args& args) {
   const PointSet points = data::read_binary(args.str("data"));
   const sstree::SSTree tree = sstree::read_index(&points, args.str("index"));
@@ -391,9 +593,21 @@ int main(int argc, char** argv) {
     if (cmd == "query") return cmd_query(args);
     if (cmd == "radius") return cmd_radius(args);
     if (cmd == "bench") return cmd_bench(args);
+    if (cmd == "faultcamp") return cmd_faultcamp(args);
     usage("unknown command " + cmd);
+  } catch (const CorruptInput& e) {
+    // CorruptIndex and every other bad-bytes failure: the input file, not the
+    // invocation or the tool, is at fault.
+    std::cerr << "psbtool: error=corrupt-input msg=\"" << e.what() << "\"\n";
+    return 3;
+  } catch (const IoError& e) {
+    std::cerr << "psbtool: error=io msg=\"" << e.what() << "\"\n";
+    return 3;
+  } catch (const InvalidArgument& e) {
+    std::cerr << "psbtool: error=usage msg=\"" << e.what() << "\"\n";
+    return 2;
   } catch (const std::exception& e) {
-    std::cerr << "psbtool: " << e.what() << "\n";
-    return 1;
+    std::cerr << "psbtool: error=internal msg=\"" << e.what() << "\"\n";
+    return 4;
   }
 }
