@@ -18,6 +18,7 @@ constexpr SiteInfo kSites[] = {
     {kSiteSnapshotSegment, "corrupt one span of the traversal-snapshot arena table"},
     {kSiteQueryBudget, "force a pathologically small node budget on one query"},
     {kSiteWorkerSlice, "fail one worker's slice of a batch"},
+    {kSiteShardSlice, "kill one (query, shard) pass of the sharded engine"},
 };
 
 }  // namespace

@@ -31,4 +31,9 @@ inline constexpr std::string_view kSiteQueryBudget = "engine.query_budget";
 /// Fail one worker's slice of a batch (simulates a crashed worker thread).
 inline constexpr std::string_view kSiteWorkerSlice = "engine.worker_slice";
 
+/// Kill one (query, shard) pass of the sharded scatter-gather engine
+/// (simulates a shard replica dying mid-query; recovered by a rerun and,
+/// failing that, an exact per-shard brute-force fallback).
+inline constexpr std::string_view kSiteShardSlice = "engine.shard.slice";
+
 }  // namespace psb::fault

@@ -102,6 +102,7 @@ void best_first_gpu_run(simt::Block& block, const sstree::SSTree& tree,
                         QueryResult& out) {
   const std::size_t k_eff = std::min(opts.k, tree.data().size());
   SharedKnnList list(block, k_eff, opts.spill_heap_to_global);
+  detail::seed_shared_bound(list, opts);
   detail::SnapshotFetch snap(tree, opts);
 
   struct Entry {

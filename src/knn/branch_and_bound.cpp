@@ -80,6 +80,7 @@ void bnb_run(simt::Block& block, const sstree::SSTree& tree, std::span<const Sca
              const GpuKnnOptions& opts, QueryResult& out) {
   const std::size_t k_eff = std::min(opts.k, tree.data().size());
   SharedKnnList list(block, k_eff, opts.spill_heap_to_global);
+  detail::seed_shared_bound(list, opts);
   detail::SnapshotFetch snap(tree, opts);
   BnbContext ctx{block, tree, q, list, out, out.stats, opts, opts.bnb_minmax_tighten, &snap};
   ++out.stats.restarts;  // the single root descent

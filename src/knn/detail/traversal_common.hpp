@@ -153,6 +153,15 @@ inline std::vector<Scalar> leaf_distances(simt::Block& block, const sstree::SSTr
   return dists;
 }
 
+/// Seed the k-list's external pruning bound with a scatter-gather caller's
+/// shared bound (GpuKnnOptions::initial_prune_bound). SharedKnnList::tighten
+/// inflates by one ULP, so subtrees whose MINDIST exactly ties the shared
+/// bound survive the strict pruning tests — the tie-safety the cross-shard
+/// merge contract depends on. A no-op for the single-tree default.
+inline void seed_shared_bound(SharedKnnList& list, const GpuKnnOptions& opts) noexcept {
+  if (opts.initial_prune_bound < kInfinity) list.tighten(opts.initial_prune_bound);
+}
+
 /// MINMAXDIST tightening (Alg. 1 lines 13–15): the k-th smallest child
 /// MAXDIST bounds the k-NN distance *provided* the node has at least k
 /// children (each non-empty child guarantees one point within its MAXDIST).

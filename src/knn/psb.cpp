@@ -27,6 +27,7 @@ class PsbRun {
         list_(block, std::min(opts.k, tree.data().size()), opts.spill_heap_to_global),
         snap_(tree, opts),
         touched_(tree.num_nodes(), 0) {
+    detail::seed_shared_bound(list_, opts);
     run();
     out.neighbors = list_.sorted();
   }

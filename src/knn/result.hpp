@@ -141,6 +141,14 @@ struct GpuKnnOptions {
   /// Engine-owned resident window shared across a warp cohort of queries;
   /// null = each query opens its own window. Ignored without `snapshot`.
   layout::FetchSession* fetch_session = nullptr;
+  /// Cross-index pruning bound for scatter-gather callers (src/shard/): an
+  /// upper bound on the query's *global* k-th-NN distance established by
+  /// already-searched shards. Traversals seed their external pruning
+  /// distance with it (one-ULP inflated, so tied subtrees are never cut) and
+  /// skip subtrees that cannot beat it; candidate admission into the k-list
+  /// is unaffected, so a cross-shard merge of the per-shard lists stays
+  /// exact. kInfinity = no shared bound (the single-tree default).
+  Scalar initial_prune_bound = kInfinity;
   /// Per-query work budget in node fetches; 0 = unlimited. Tree traversals
   /// check it cooperatively at their loop heads and, on exhaustion, finalize
   /// the current (possibly incomplete) k-NN list with budget_exhausted set

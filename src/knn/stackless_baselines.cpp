@@ -20,6 +20,7 @@ void restart_run(simt::Block& block, const sstree::SSTree& tree, std::span<const
                  const GpuKnnOptions& opts, QueryResult& out) {
   const std::size_t k_eff = std::min(opts.k, tree.data().size());
   SharedKnnList list(block, k_eff, opts.spill_heap_to_global);
+  detail::seed_shared_bound(list, opts);
   TraversalStats& st = out.stats;
 
   // Same exact-skipping watermark as PSB; the difference is purely the path
@@ -94,6 +95,7 @@ void skip_pointer_run(simt::Block& block, const sstree::SSTree& tree,
                       QueryResult& out) {
   const std::size_t k_eff = std::min(opts.k, tree.data().size());
   SharedKnnList list(block, k_eff, opts.spill_heap_to_global);
+  detail::seed_shared_bound(list, opts);
   TraversalStats& st = out.stats;
   detail::SnapshotFetch snap(tree, opts);
 

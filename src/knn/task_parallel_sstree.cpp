@@ -74,13 +74,40 @@ void lane_visit(const sstree::SSTree& tree, NodeId id, std::span<const Scalar> q
   std::sort(branches.begin(), branches.end());
   lane.steps += c * static_cast<std::uint64_t>(std::bit_width(c));
   for (const auto& [mind, child] : branches) {
-    if (heap.full() && mind > heap.bound()) break;
+    // pruning_distance() folds in a scatter-gather caller's shared bound;
+    // with no external bound it equals the old full-heap kth-distance test.
+    if (mind > heap.pruning_distance()) break;
     lane_visit(tree, child, q, heap, lane, st, fs);
     ++st.backtracks;  // return to this node after the child's subtree
   }
 }
 
 }  // namespace
+
+QueryResult task_parallel_sstree_query(const sstree::SSTree& tree, std::span<const Scalar> query,
+                                       const TaskParallelSsOptions& opts,
+                                       simt::Metrics* metrics) {
+  PSB_REQUIRE(opts.k > 0, "k must be > 0");
+  PSB_REQUIRE(query.size() == tree.dims(), "query dimensionality mismatch");
+  PSB_REQUIRE(tree.bounds_mode() == sstree::BoundsMode::kSphere,
+              "task-parallel SS-tree traversal supports sphere bounds");
+  if (opts.snapshot != nullptr) {
+    PSB_REQUIRE(&opts.snapshot->tree() == &tree, "snapshot was built over a different tree");
+  }
+  QueryResult out;
+  KnnHeap heap(std::min(opts.k, tree.data().size()));
+  if (opts.initial_prune_bound < kInfinity) {
+    heap.tighten(std::nextafter(opts.initial_prune_bound, kInfinity));
+  }
+  ++out.stats.restarts;
+  simt::LaneWork lane;
+  std::optional<layout::FetchSession> session;
+  if (opts.snapshot != nullptr) session.emplace(*opts.snapshot);
+  lane_visit(tree, tree.root(), query, heap, lane, out.stats, session ? &*session : nullptr);
+  out.neighbors = heap.sorted();
+  if (metrics != nullptr) accumulate_task_parallel(opts.device, {&lane, 1}, metrics);
+  return out;
+}
 
 BatchResult task_parallel_sstree_knn(const sstree::SSTree& tree, const PointSet& queries,
                                      const TaskParallelSsOptions& opts) {
@@ -101,6 +128,11 @@ BatchResult task_parallel_sstree_knn(const sstree::SSTree& tree, const PointSet&
   std::vector<simt::LaneWork> lanes(queries.size());
   for (std::size_t i = 0; i < queries.size(); ++i) {
     KnnHeap heap(std::min(opts.k, tree.data().size()));
+    if (opts.initial_prune_bound < kInfinity) {
+      // One-ULP inflation keeps the strict pruning test from cutting a
+      // subtree that exactly ties the shared bound (duplicate-heavy data).
+      heap.tighten(std::nextafter(opts.initial_prune_bound, kInfinity));
+    }
     ++out.queries[i].stats.restarts;
     // Each lane opens its own resident window: lanes are independent threads,
     // so no cross-query segment sharing in the task-parallel strawman.

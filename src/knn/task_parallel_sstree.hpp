@@ -22,10 +22,21 @@ struct TaskParallelSsOptions {
   /// Optional original query indices for trace emission when the caller hands
   /// in a reordered batch; must have one entry per query when set.
   const std::vector<std::size_t>* query_labels = nullptr;
+  /// Shared cross-shard pruning bound (see GpuKnnOptions::initial_prune_bound);
+  /// kInfinity = none. Applies to every query of the batch.
+  Scalar initial_prune_bound = kInfinity;
 };
 
 /// Exact batch kNN, one lane per query, lock-step warp accounting.
 BatchResult task_parallel_sstree_knn(const sstree::SSTree& tree, const PointSet& queries,
                                      const TaskParallelSsOptions& opts = {});
+
+/// Exact kNN for a single query on one lane (response-time accounting).
+/// Unlike the batch driver this emits no obs trace — scatter-gather callers
+/// (src/shard/) run one lane per (query, shard) pass and emit the merged
+/// per-query trace themselves.
+QueryResult task_parallel_sstree_query(const sstree::SSTree& tree, std::span<const Scalar> query,
+                                       const TaskParallelSsOptions& opts = {},
+                                       simt::Metrics* metrics = nullptr);
 
 }  // namespace psb::knn

@@ -61,6 +61,10 @@
 
 #include "engine/batch_engine.hpp"  // IWYU pragma: export
 
+#include "shard/partition.hpp"       // IWYU pragma: export
+#include "shard/result_cache.hpp"    // IWYU pragma: export
+#include "shard/sharded_engine.hpp"  // IWYU pragma: export
+
 #include "kdtree/kdtree.hpp"             // IWYU pragma: export
 #include "kdtree/task_parallel_knn.hpp"  // IWYU pragma: export
 

@@ -14,12 +14,15 @@
 
 #include "data/noaa_synth.hpp"
 #include "data/synthetic.hpp"
+#include "engine/batch_engine.hpp"
 #include "knn/best_first.hpp"
 #include "knn/branch_and_bound.hpp"
 #include "knn/brute_force.hpp"
 #include "knn/psb.hpp"
 #include "knn/stackless_baselines.hpp"
 #include "knn/task_parallel_sstree.hpp"
+#include "obs/registry.hpp"
+#include "shard/sharded_engine.hpp"
 #include "sstree/builders.hpp"
 #include "test_util.hpp"
 
@@ -56,6 +59,23 @@ void expect_same_ids(const std::vector<KnnHeap::Entry>& got,
   }
 }
 
+/// Tie-aware per-query check shared by the direct and sharded sweeps: exact
+/// id sequence when the k-th boundary is unambiguous, distance multiset
+/// otherwise.
+void expect_matches_reference(const PointSet& data, std::span<const Scalar> query,
+                              std::size_t k, const knn::QueryResult& got,
+                              const knn::QueryResult& reference, const std::string& label) {
+  const std::vector<Scalar> ref_kplus1 = test::reference_knn_distances(data, query, k + 1);
+  if (boundary_tied(ref_kplus1, k)) {
+    std::vector<Scalar> expected(
+        ref_kplus1.begin(),
+        ref_kplus1.begin() + static_cast<std::ptrdiff_t>(reference.neighbors.size()));
+    test::expect_knn_matches(got.neighbors, expected, label.c_str());
+  } else {
+    expect_same_ids(got.neighbors, reference.neighbors, label);
+  }
+}
+
 void run_differential(const PointSet& data, const PointSet& queries, std::size_t k,
                       std::size_t degree, const std::string& dataset) {
   const sstree::SSTree tree = sstree::build_kmeans(data, degree).tree;
@@ -78,21 +98,10 @@ void run_differential(const PointSet& data, const PointSet& queries, std::size_t
   };
 
   for (std::size_t q = 0; q < queries.size(); ++q) {
-    const std::vector<Scalar> ref_kplus1 =
-        test::reference_knn_distances(data, queries[q], k + 1);
-    const bool tied = boundary_tied(ref_kplus1, k);
     for (const auto& [name, result] : candidates) {
       const std::string label = dataset + "/" + name + " query " + std::to_string(q);
-      if (tied) {
-        // Tie at the boundary: the retained set is ambiguous; distances must
-        // still match the reference multiset.
-        std::vector<Scalar> expected(ref_kplus1.begin(),
-                                     ref_kplus1.begin() + static_cast<std::ptrdiff_t>(
-                                                              reference.queries[q].neighbors.size()));
-        test::expect_knn_matches(result.queries[q].neighbors, expected, label.c_str());
-      } else {
-        expect_same_ids(result.queries[q].neighbors, reference.queries[q].neighbors, label);
-      }
+      expect_matches_reference(data, queries[q], k, result.queries[q],
+                               reference.queries[q], label);
     }
   }
 }
@@ -123,6 +132,149 @@ INSTANTIATE_TEST_SUITE_P(
                     Config{8, 4, 16}, Config{8, 16, 128}, Config{32, 2, 16},
                     Config{32, 4, 128}, Config{32, 16, 16}, Config{1, 16, 128}),
     config_name);
+
+// ---------------------------------------------------------------------------
+// Sharded routing: the same differential contract holds when every algorithm
+// runs through the scatter-gather ShardedEngine, across shard counts that
+// cover the delegate path (S=1), a balanced split (S=4) and a ragged prime
+// split (S=13).
+// ---------------------------------------------------------------------------
+
+constexpr engine::Algorithm kAllAlgorithms[] = {
+    engine::Algorithm::kPsb,           engine::Algorithm::kBestFirst,
+    engine::Algorithm::kBranchAndBound, engine::Algorithm::kStacklessRestart,
+    engine::Algorithm::kStacklessSkip,  engine::Algorithm::kBruteForce,
+    engine::Algorithm::kTaskParallel,
+};
+
+class ShardedDifferential : public testing::TestWithParam<engine::Algorithm> {};
+
+std::string algo_name(const testing::TestParamInfo<engine::Algorithm>& info) {
+  return std::string(engine::algorithm_name(info.param));
+}
+
+TEST_P(ShardedDifferential, ScatterGatherMatchesBruteForceAcrossShardCounts) {
+  data::NoaaSpec spec;
+  spec.stations = 40;
+  spec.readings_per_station = 25;  // 1000 points, duplicate-heavy
+  spec.seed = 1973;
+  const PointSet data = data::make_noaa_like(spec);
+  const PointSet queries = data::sample_queries(data, 10, /*jitter=*/0.5, /*seed=*/11);
+  const std::size_t k = 8;
+
+  knn::GpuKnnOptions ref_opts;
+  ref_opts.k = k;
+  const knn::BatchResult reference = knn::brute_force_batch(data, queries, ref_opts);
+
+  for (const std::size_t shards : {1u, 4u, 13u}) {
+    shard::ShardedEngineOptions opts;
+    opts.num_shards = shards;
+    opts.degree = 16;
+    opts.engine.algorithm = GetParam();
+    opts.engine.gpu.k = k;
+    opts.engine.use_snapshot = shards == 4;  // exercise both fetch paths
+    shard::ShardedEngine eng(data, opts);
+    const knn::BatchResult res = eng.run(queries);
+    ASSERT_EQ(res.queries.size(), queries.size());
+    EXPECT_TRUE(res.all_ok());
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const std::string label = "sharded_S" + std::to_string(shards) + "/" +
+                                std::string(engine::algorithm_name(GetParam())) + " query " +
+                                std::to_string(q);
+      expect_matches_reference(data, queries[q], k, res.queries[q], reference.queries[q],
+                               label);
+    }
+  }
+}
+
+TEST_P(ShardedDifferential, SingleShardBitIdenticalToBatchEngine) {
+  // S=1 is an identity partition over the same builder, so the sharded
+  // engine must reproduce the unsharded BatchEngine *exactly*: neighbor
+  // lists, per-query stats, device metrics, per-query traces, and the
+  // engine.* registry counters the embedded BatchEngine bumps.
+  const PointSet data = data::make_uniform(4, 1200, 1000.0, /*seed=*/5150);
+  const PointSet queries = test::random_queries(4, 8, /*seed=*/51);
+
+  for (const bool use_snapshot : {false, true}) {
+    engine::BatchEngineOptions eopts;
+    eopts.algorithm = GetParam();
+    eopts.gpu.k = 10;
+    eopts.use_snapshot = use_snapshot;
+
+    const sstree::SSTree tree = sstree::build_kmeans(data, 16).tree;
+    engine::BatchEngine unsharded(tree, eopts);
+
+    shard::ShardedEngineOptions sopts;
+    sopts.num_shards = 1;
+    sopts.degree = 16;
+    sopts.engine = eopts;
+
+    const auto engine_counters = [](const obs::Registry::Snapshot& before,
+                                    const obs::Registry::Snapshot& after) {
+      std::vector<std::pair<std::string, std::uint64_t>> deltas;
+      for (const auto& [name, value] : after.counters) {
+        if (name.rfind("engine.", 0) != 0 || name.rfind("engine.shard.", 0) == 0) continue;
+        std::uint64_t prev = 0;
+        for (const auto& [n, v] : before.counters) {
+          if (n == name) prev = v;
+        }
+        if (value != prev) deltas.emplace_back(name, value - prev);
+      }
+      return deltas;
+    };
+
+    obs::Registry::Snapshot s0 = obs::Registry::global().snapshot();
+    const engine::BatchEngine::TracedRun want = unsharded.run_traced(queries);
+    obs::Registry::Snapshot s1 = obs::Registry::global().snapshot();
+    shard::ShardedEngine eng(data, sopts);
+    const shard::ShardedEngine::TracedRun got = eng.run_traced(queries);
+    obs::Registry::Snapshot s2 = obs::Registry::global().snapshot();
+    EXPECT_EQ(engine_counters(s0, s1), engine_counters(s1, s2))
+        << "registry counter deltas diverged (snapshot=" << use_snapshot << ")";
+
+    ASSERT_EQ(got.result.queries.size(), want.result.queries.size());
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const std::string label = "S1 vs BatchEngine query " + std::to_string(q) +
+                                (use_snapshot ? " (snapshot)" : "");
+      expect_same_ids(got.result.queries[q].neighbors, want.result.queries[q].neighbors,
+                      label);
+      EXPECT_EQ(got.result.queries[q].status, want.result.queries[q].status) << label;
+      const knn::TraversalStats& gs = got.result.queries[q].stats;
+      const knn::TraversalStats& ws = want.result.queries[q].stats;
+      EXPECT_EQ(gs.nodes_visited, ws.nodes_visited) << label;
+      EXPECT_EQ(gs.leaves_visited, ws.leaves_visited) << label;
+      EXPECT_EQ(gs.points_examined, ws.points_examined) << label;
+      EXPECT_EQ(gs.backtracks, ws.backtracks) << label;
+      EXPECT_EQ(gs.leaf_scans, ws.leaf_scans) << label;
+      EXPECT_EQ(gs.restarts, ws.restarts) << label;
+      EXPECT_EQ(gs.heap_inserts, ws.heap_inserts) << label;
+      EXPECT_EQ(gs.heap_pushes, ws.heap_pushes) << label;
+    }
+    EXPECT_EQ(got.result.metrics.warp_instructions, want.result.metrics.warp_instructions);
+    EXPECT_EQ(got.result.metrics.bytes_coalesced, want.result.metrics.bytes_coalesced);
+    EXPECT_EQ(got.result.metrics.bytes_random, want.result.metrics.bytes_random);
+    EXPECT_EQ(got.result.metrics.bytes_cached, want.result.metrics.bytes_cached);
+    EXPECT_EQ(got.result.metrics.node_fetches, want.result.metrics.node_fetches);
+    EXPECT_EQ(got.result.metrics.serial_ops, want.result.metrics.serial_ops);
+
+    ASSERT_EQ(got.trace.algorithms.size(), 1u);
+    ASSERT_EQ(want.trace.algorithms.size(), 1u);
+    const obs::AlgorithmTrace& gt = got.trace.algorithms[0];
+    const obs::AlgorithmTrace& wt = want.trace.algorithms[0];
+    EXPECT_EQ(gt.algorithm, wt.algorithm);
+    ASSERT_EQ(gt.queries.size(), wt.queries.size());
+    for (std::size_t q = 0; q < gt.queries.size(); ++q) {
+      EXPECT_EQ(gt.queries[q].query_index, wt.queries[q].query_index);
+      for (std::size_t c = 0; c < obs::kNumTraceCounters; ++c) {
+        EXPECT_EQ(gt.queries[q].counters[c], wt.queries[q].counters[c])
+            << "trace counter " << c << " query " << q << " snapshot=" << use_snapshot;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ShardedDifferential,
+                         testing::ValuesIn(kAllAlgorithms), algo_name);
 
 // The id-sequence contract depends on the heap's deterministic tie-breaking;
 // pin it down directly so a regression fails here and not 9 sweep cases deep.

@@ -7,15 +7,18 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/geometry.hpp"
 #include "fault/fault.hpp"
 #include "fault/sites.hpp"
+#include "shard/sharded_engine.hpp"
+#include "test_util.hpp"
 
 namespace psb::fault {
 namespace {
 
 TEST(FaultRegistry, AllSitesRegisteredAndNamed) {
   const auto all = sites();
-  ASSERT_GE(all.size(), 6u);
+  ASSERT_GE(all.size(), 7u);
   for (const SiteInfo& s : all) {
     EXPECT_FALSE(s.name.empty());
     EXPECT_FALSE(s.description.empty());
@@ -27,6 +30,7 @@ TEST(FaultRegistry, AllSitesRegisteredAndNamed) {
   EXPECT_TRUE(is_site(kSiteSnapshotSegment));
   EXPECT_TRUE(is_site(kSiteQueryBudget));
   EXPECT_TRUE(is_site(kSiteWorkerSlice));
+  EXPECT_TRUE(is_site(kSiteShardSlice));
   EXPECT_FALSE(is_site("no.such.site"));
 }
 
@@ -126,6 +130,57 @@ TEST(FaultPrimitives, MixIsDeterministicAndSpreads) {
   EXPECT_EQ(mix(1), mix(1));
   EXPECT_NE(mix(1), mix(2));
   EXPECT_NE(mix(0), 0u);
+}
+
+// engine.shard.slice end to end: a dead (query, shard) slice is rerun once
+// (masked, all kOk) and, when the rerun dies too, answered by the exact
+// brute-force shard scan flagged kDegradedFallback. Either way the neighbor
+// lists are bit-identical to the fault-free run.
+TEST(ShardSliceFault, RerunMasksThenBruteForceFlags) {
+  const PointSet data = test::small_clustered(3, 400, 2024);
+  const PointSet queries = test::random_queries(3, 6, 2025);
+  shard::ShardedEngineOptions opts;
+  opts.num_shards = 4;
+  opts.engine.gpu.k = 6;
+  opts.engine.num_threads = 1;  // deterministic slice-evaluation order
+  shard::ShardedEngine eng(data, opts);
+  const knn::BatchResult clean = eng.run(queries);
+  ASSERT_TRUE(clean.all_ok());
+
+  const auto expect_same = [&](const knn::BatchResult& got, const char* label) {
+    ASSERT_EQ(got.queries.size(), clean.queries.size()) << label;
+    for (std::size_t q = 0; q < clean.queries.size(); ++q) {
+      const auto& want = clean.queries[q].neighbors;
+      const auto& have = got.queries[q].neighbors;
+      ASSERT_EQ(have.size(), want.size()) << label << " query " << q;
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(have[i].id, want[i].id) << label << " query " << q;
+        EXPECT_EQ(have[i].dist, want[i].dist) << label << " query " << q;
+      }
+    }
+  };
+
+  {
+    // One-shot death: the rerun sees a clean slice and masks the fault.
+    InjectionScope scope(Spec{std::string(kSiteShardSlice), 99, /*trigger=*/2, /*count=*/1});
+    const knn::BatchResult got = eng.run(queries);
+    EXPECT_EQ(scope.fired(kSiteShardSlice), 1u);
+    EXPECT_TRUE(got.all_ok()) << "rerun should mask a one-shot slice death";
+    expect_same(got, "masked");
+  }
+  {
+    // Double death: the rerun dies too, forcing the flagged exact fallback.
+    InjectionScope scope(Spec{std::string(kSiteShardSlice), 99, /*trigger=*/2, /*count=*/2});
+    const knn::BatchResult got = eng.run(queries);
+    EXPECT_EQ(scope.fired(kSiteShardSlice), 2u);
+    EXPECT_FALSE(got.all_ok()) << "double slice death must surface a degraded status";
+    bool degraded = false;
+    for (const auto& q : got.queries) {
+      degraded |= q.status == knn::QueryStatus::kDegradedFallback;
+    }
+    EXPECT_TRUE(degraded);
+    expect_same(got, "brute fallback");
+  }
 }
 
 }  // namespace

@@ -35,12 +35,15 @@ commands:
   query     --data FILE --index FILE [--k N] [--num-queries N]
             [--algo psb|bnb|brute|bestfirst] [--seed N]
             [--snapshot 0|1] [--reorder 0|1] [--warp-queries N]
-            [--trace-out FILE.json] [--trace-csv FILE.csv]
+            [--shards N] [--trace-out FILE.json] [--trace-csv FILE.csv]
+            (--shards serves through the scatter-gather ShardedEngine, which
+             partitions --data itself; --index is then not required)
   radius    --data FILE --index FILE --radius X [--num-queries N] [--seed N]
   bench     --out FILE.json [--type clustered|noaa] [--dims N] [--count N]
             [--clusters N] [--stations N] [--readings N] [--num-queries N]
             [--k N] [--degree N] [--seed N] [--algos a,b,...]
-            [--variants base,snapshot,snapshot_reorder] [--warp-queries N]
+            [--variants base,snapshot,snapshot_reorder,sharded,sharded_nobound]
+            [--warp-queries N] [--shards N]
   faultcamp [--iterations N] [--seed N] [--out FILE.json] [--workdir DIR]
 
 exit codes: 0 ok, 2 usage error, 3 corrupt or unreadable input, 4 internal error
@@ -162,13 +165,50 @@ int cmd_info(const Args& args) {
   return 0;
 }
 
+/// Map psbtool's short --algo names (and, as a fallback, the full registry
+/// names bench uses) onto the engine's algorithm enum.
+engine::Algorithm algo_from_flag(const std::string& algo) {
+  if (algo == "psb") return engine::Algorithm::kPsb;
+  if (algo == "bnb") return engine::Algorithm::kBranchAndBound;
+  if (algo == "brute") return engine::Algorithm::kBruteForce;
+  if (algo == "bestfirst") return engine::Algorithm::kBestFirst;
+  return engine::parse_algorithm(algo);
+}
+
 int cmd_query(const Args& args) {
   const PointSet points = data::read_binary(args.str("data"));
-  const sstree::SSTree tree = sstree::read_index(&points, args.str("index"));
   const std::size_t k = args.num("k", 8);
   const std::size_t nq = args.num("num-queries", 8);
   const PointSet queries = data::sample_queries(points, nq, 0.0, args.num("seed", 7));
   const std::string algo = args.str("algo", "psb");
+
+  if (args.has("shards")) {
+    // Scatter-gather serving: partition the dataset and answer through the
+    // ShardedEngine (the engine builds its own per-shard trees, so no
+    // --index file is involved).
+    shard::ShardedEngineOptions sopts;
+    sopts.num_shards = args.num("shards", 4);
+    sopts.degree = args.num("degree", 64);
+    sopts.engine.algorithm = algo_from_flag(algo);
+    sopts.engine.gpu.k = k;
+    sopts.engine.use_snapshot = args.num("snapshot", 0) != 0;
+    shard::ShardedEngine eng(points, sopts);
+    const knn::BatchResult r = eng.run(queries);
+    for (std::size_t i = 0; i < r.queries.size(); ++i) {
+      std::cout << "query " << i << ":";
+      for (const auto& e : r.queries[i].neighbors) {
+        std::cout << " (" << e.id << ", " << e.dist << ")";
+      }
+      std::cout << "\n";
+    }
+    std::cout << "\n" << algo << " over " << eng.num_shards() << " shards: "
+              << r.timing.avg_query_ms << " ms/query, "
+              << r.accessed_mb() / static_cast<double>(queries.size())
+              << " MB/query, warp eff " << r.metrics.warp_efficiency() * 100 << "%\n";
+    return 0;
+  }
+
+  const sstree::SSTree tree = sstree::read_index(&points, args.str("index"));
 
   // Collect per-query traces when an export was requested; the session also
   // demonstrates the obs path the benches and tests share.
@@ -310,13 +350,16 @@ int cmd_bench(const Args& args) {
   knn::GpuKnnOptions gpu;
   gpu.k = args.num("k", 16);
   for (const std::string& name : algos) {
-    // base accessed_bytes of this algorithm, for the snapshot ratio fields.
+    // base accessed_bytes of this algorithm, for the snapshot ratio fields;
+    // nobound bytes for the bound-sharing ratio (the sharded gate metric).
     double base_bytes = -1.0;
+    double nobound_bytes = -1.0;
     for (const std::string& variant : variants) {
       engine::BatchEngineOptions eng_opts;
       eng_opts.algorithm = engine::parse_algorithm(name);
       eng_opts.gpu = gpu;
       eng_opts.warp_queries = args.num("warp-queries", 32);
+      const bool sharded = variant == "sharded" || variant == "sharded_nobound";
       std::string prefix = name;
       if (variant == "snapshot") {
         eng_opts.use_snapshot = true;
@@ -325,12 +368,34 @@ int cmd_bench(const Args& args) {
         eng_opts.use_snapshot = true;
         eng_opts.reorder_queries = true;
         prefix += "_snapshot_reorder";
+      } else if (sharded) {
+        prefix += "_" + variant;
       } else if (variant != "base") {
         usage("unknown --variants entry " + variant);
       }
-      const engine::BatchEngine eng(built.tree, eng_opts);
-      const engine::BatchEngine::TracedRun run = eng.run_traced(queries);
-      const obs::AlgorithmTrace* trace = run.trace.find(name);
+
+      knn::BatchResult result;
+      obs::TraceReport report;
+      if (sharded) {
+        // Scatter-gather serving over Hilbert-range shards; the nobound twin
+        // searches every shard with an infinite initial bound, isolating the
+        // bytes that cross-shard bound sharing saves.
+        shard::ShardedEngineOptions sopts;
+        sopts.num_shards = args.num("shards", 4);
+        sopts.degree = degree;
+        sopts.engine = eng_opts;
+        sopts.share_bounds = variant == "sharded";
+        shard::ShardedEngine eng(points, sopts);
+        shard::ShardedEngine::TracedRun run = eng.run_traced(queries);
+        result = std::move(run.result);
+        report = std::move(run.trace);
+      } else {
+        const engine::BatchEngine eng(built.tree, eng_opts);
+        engine::BatchEngine::TracedRun run = eng.run_traced(queries);
+        result = std::move(run.result);
+        report = std::move(run.trace);
+      }
+      const obs::AlgorithmTrace* trace = report.find(name);
       PSB_ASSERT(trace != nullptr, "engine produced no trace for " + name);
       const obs::QueryTrace totals = trace->totals();
 
@@ -348,10 +413,20 @@ int cmd_bench(const Args& args) {
       w.field(prefix + ".node_fetches", col(TraceCounter::kNodeFetches));
       w.field(prefix + ".warp_instructions", col(TraceCounter::kWarpInstructions));
       w.field(prefix + ".divergent_steps", col(TraceCounter::kDivergentSteps));
-      w.field(prefix + ".avg_query_ms", run.result.timing.avg_query_ms);
-      w.field(prefix + ".warp_efficiency", run.result.metrics.warp_efficiency());
+      w.field(prefix + ".avg_query_ms", result.timing.avg_query_ms);
+      w.field(prefix + ".warp_efficiency", result.metrics.warp_efficiency());
       if (variant == "base") {
         base_bytes = static_cast<double>(accessed);
+      } else if (variant == "sharded_nobound") {
+        nobound_bytes = static_cast<double>(accessed);
+      } else if (variant == "sharded") {
+        if (nobound_bytes > 0.0) {
+          // < 1.0 means bound sharing pruned shard visits the nobound run
+          // paid for; gated lower-is-better. List sharded_nobound before
+          // sharded in --variants to get this field.
+          w.field(prefix + ".accessed_bytes_vs_nobound_ratio",
+                  static_cast<double>(accessed) / nobound_bytes);
+        }
       } else if (base_bytes > 0.0) {
         // < 1.0 means the arena variant moved fewer global-memory bytes than
         // the pointer walk; gated lower-is-better like every byte metric.
@@ -400,7 +475,7 @@ void check_exact_or_flagged(const knn::BatchResult& got, const knn::BatchResult&
 }
 
 int cmd_faultcamp(const Args& args) {
-  const std::size_t iterations = args.num("iterations", 600);
+  const std::size_t iterations = args.num("iterations", 700);
   const std::uint64_t base_seed = args.num("seed", 2016);
   const std::string out = args.str("out", "-");
   const std::string workdir = args.str("workdir", ".");
@@ -432,6 +507,26 @@ int cmd_faultcamp(const Args& args) {
       engine::Algorithm::kPsb, engine::Algorithm::kBestFirst,
       engine::Algorithm::kBranchAndBound, engine::Algorithm::kStacklessRestart,
       engine::Algorithm::kStacklessSkip};
+  constexpr std::size_t kNumAlgos = sizeof(algos) / sizeof(algos[0]);
+
+  // Sharded engines for the engine.shard.slice site, one per algorithm,
+  // built lazily on the first iteration that lands on the site. Single
+  // threaded so the slice site's evaluation order (pass, then rerun check)
+  // is deterministic for the Spec's trigger/count arithmetic.
+  std::unique_ptr<shard::ShardedEngine> sharded[kNumAlgos];
+  const auto sharded_for = [&](std::size_t algo_idx) -> shard::ShardedEngine& {
+    if (sharded[algo_idx] == nullptr) {
+      shard::ShardedEngineOptions sopts;
+      sopts.num_shards = 4;
+      sopts.degree = 32;
+      sopts.engine.algorithm = algos[algo_idx];
+      sopts.engine.gpu = gpu;
+      sopts.engine.use_snapshot = true;
+      sopts.engine.num_threads = 1;
+      sharded[algo_idx] = std::make_unique<shard::ShardedEngine>(points, sopts);
+    }
+    return *sharded[algo_idx];
+  };
 
   const std::span<const fault::SiteInfo> sites = fault::sites();
   struct SiteTally {
@@ -464,6 +559,12 @@ int cmd_faultcamp(const Args& args) {
       fspec.trigger = iter % queries.size();
     } else if (site == fault::kSiteWorkerSlice) {
       fspec.trigger = iter % 3;
+    } else if (site == fault::kSiteShardSlice) {
+      // ~48 slice evaluations per batch (12 queries x 4 shards); alternate
+      // one-shot deaths (the rerun masks them) with double deaths (the rerun
+      // dies too, forcing the flagged brute-force fallback).
+      fspec.trigger = fspec.seed % 40;
+      fspec.count = 1 + (iter / sites.size()) % 2;
     } else {
       fspec.trigger = 0;
     }
@@ -500,14 +601,22 @@ int cmd_faultcamp(const Args& args) {
 
     // Engine hardening: run a batch with the fault armed. run() must return
     // a complete result; every unflagged query must match the ground truth.
-    engine::BatchEngineOptions eo;
-    eo.algorithm = algos[iter % (sizeof(algos) / sizeof(algos[0]))];
-    eo.gpu = gpu;
-    eo.use_snapshot = true;
-    eo.warp_queries = 4;
-    eo.num_threads = 2;
-    const engine::BatchEngine eng(built.tree, eo);
-    const knn::BatchResult got = eng.run(queries);
+    // The shard-slice site only exists on the scatter-gather path, so its
+    // iterations route through the ShardedEngine.
+    const std::size_t algo_idx = iter % kNumAlgos;
+    knn::BatchResult got;
+    if (site == fault::kSiteShardSlice) {
+      got = sharded_for(algo_idx).run(queries);
+    } else {
+      engine::BatchEngineOptions eo;
+      eo.algorithm = algos[algo_idx];
+      eo.gpu = gpu;
+      eo.use_snapshot = true;
+      eo.warp_queries = 4;
+      eo.num_threads = 2;
+      const engine::BatchEngine eng(built.tree, eo);
+      got = eng.run(queries);
+    }
     check_exact_or_flagged(got, truth, context);
     if (scope.fired(site) > 0) {
       ++t.fired;
