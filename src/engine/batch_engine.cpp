@@ -15,6 +15,7 @@
 #include "knn/branch_and_bound.hpp"
 #include "knn/brute_force.hpp"
 #include "knn/detail/traversal_common.hpp"
+#include "knn/implicit_stackless.hpp"
 #include "knn/psb.hpp"
 #include "knn/stackless_baselines.hpp"
 #include "knn/task_parallel_sstree.hpp"
@@ -61,6 +62,7 @@ std::string_view algorithm_name(Algorithm a) noexcept {
     case Algorithm::kStacklessSkip: return "stackless_skip";
     case Algorithm::kBruteForce: return "brute_force";
     case Algorithm::kTaskParallel: return "task_parallel_sstree";
+    case Algorithm::kImplicitStackless: return "implicit_stackless";
   }
   return "unknown";
 }
@@ -68,18 +70,38 @@ std::string_view algorithm_name(Algorithm a) noexcept {
 Algorithm parse_algorithm(std::string_view name) {
   for (Algorithm a : {Algorithm::kPsb, Algorithm::kBestFirst, Algorithm::kBranchAndBound,
                       Algorithm::kStacklessRestart, Algorithm::kStacklessSkip,
-                      Algorithm::kBruteForce, Algorithm::kTaskParallel}) {
+                      Algorithm::kBruteForce, Algorithm::kTaskParallel,
+                      Algorithm::kImplicitStackless}) {
     if (algorithm_name(a) == name) return a;
   }
   throw InvalidArgument("unknown algorithm name: " + std::string(name));
+}
+
+std::string_view node_layout_name(NodeLayout l) noexcept {
+  switch (l) {
+    case NodeLayout::kPointer: return "pointer";
+    case NodeLayout::kSnapshot: return "snapshot";
+    case NodeLayout::kImplicit: return "implicit";
+  }
+  return "unknown";
+}
+
+NodeLayout parse_node_layout(std::string_view name) {
+  for (NodeLayout l : {NodeLayout::kPointer, NodeLayout::kSnapshot, NodeLayout::kImplicit}) {
+    if (node_layout_name(l) == name) return l;
+  }
+  throw InvalidArgument("unknown layout name: " + std::string(name));
 }
 
 BatchEngine::BatchEngine(const sstree::SSTree& tree, BatchEngineOptions opts)
     : tree_(tree), opts_(std::move(opts)) {
   PSB_REQUIRE(opts_.gpu.k > 0, "k must be > 0");
   PSB_REQUIRE(opts_.deadline_ms >= 0, "deadline_ms must be >= 0");
-  if (opts_.use_snapshot) {
+  if (opts_.needs_snapshot()) {
     snapshot_ = std::make_unique<layout::TraversalSnapshot>(tree_);
+  }
+  if (opts_.needs_implicit_layout()) {
+    implicit_ = std::make_unique<layout::ImplicitLayout>(tree_);
   }
 }
 
@@ -107,30 +129,51 @@ knn::BatchResult BatchEngine::run(const PointSet& queries) const {
     reordered = !std::is_sorted(order.begin(), order.end());
   }
 
-  // The engine-owned snapshot wins; otherwise honor one the caller threaded
+  // The engine-owned arenas win; otherwise honor ones the caller threaded
   // through the per-query options.
   const layout::TraversalSnapshot* snap =
       snapshot_ != nullptr ? snapshot_.get() : opts_.gpu.snapshot;
+  const layout::ImplicitLayout* impl =
+      implicit_ != nullptr ? implicit_.get() : opts_.gpu.implicit;
 
-  // Arena integrity gate. The layout.snapshot.segment fault corrupts the
-  // engine-owned arena in place (a caller-provided const snapshot cannot be
-  // mutated, so the site only fires on owned ones); verify() then catches it
-  // — or any real corruption — and the whole batch degrades to the
-  // pointer-walking fetch path, which shares no state with the arena.
-  if (snapshot_ != nullptr && fault::enabled()) {
-    if (const fault::Shot shot = fault::evaluate(fault::kSiteSnapshotSegment)) {
-      snapshot_->corrupt(shot.payload);
+  // Arena integrity gates. The layout.snapshot.segment /
+  // layout.implicit.escape_bitflip faults corrupt the engine-owned arenas in
+  // place (a caller-provided const arena cannot be mutated, so the sites
+  // only fire on owned ones); verify() then catches it — or any real
+  // corruption — and the whole batch degrades to the pointer-walking fetch
+  // path, which shares no state with the arena. The implicit downgrade is
+  // counted (engine.layout.fallback): a requested layout is never dropped
+  // silently.
+  if (fault::enabled()) {
+    if (snapshot_ != nullptr) {
+      if (const fault::Shot shot = fault::evaluate(fault::kSiteSnapshotSegment)) {
+        snapshot_->corrupt(shot.payload);
+      }
+    }
+    if (implicit_ != nullptr) {
+      if (const fault::Shot shot = fault::evaluate(fault::kSiteImplicitEscape)) {
+        implicit_->corrupt(shot.payload);
+      }
     }
   }
   if (snap != nullptr && !snap->verify()) {
     snap = nullptr;
     reg.add("engine.fault.snapshot_fallback_batches", 1);
   }
+  if (impl != nullptr && !impl->verify()) {
+    impl = nullptr;
+    reg.add("engine.layout.fallback", 1);
+  }
 
   // The task-parallel kernel has no per-query entry point (its throughput
   // mode packs queries into warps); delegate to its batch driver, which is
   // serial, deterministic, and emits traces under the original indices.
   if (opts_.algorithm == Algorithm::kTaskParallel) {
+    if (impl != nullptr) {
+      // The task-parallel driver manages its own snapshot session and has no
+      // implicit-arena path; an explicit counted downgrade, never silent.
+      reg.add("engine.layout.fallback", 1);
+    }
     knn::TaskParallelSsOptions tp;
     tp.k = opts_.gpu.k;
     tp.device = opts_.gpu.device;
@@ -173,6 +216,13 @@ knn::BatchResult BatchEngine::run(const PointSet& queries) const {
         return knn::restart_query(tree_, queries[q], gpu, &metrics[q]);
       case Algorithm::kStacklessSkip:
         return knn::skip_pointer_query(tree_, queries[q], gpu, &metrics[q]);
+      case Algorithm::kImplicitStackless:
+        // With the layout gone (verify() failed), the skip-pointer twin runs
+        // the identical preorder sweep on the pointer path — a typed, exact
+        // fallback counted once per batch by the gate above.
+        return gpu.implicit != nullptr
+                   ? knn::implicit_stackless_query(tree_, queries[q], gpu, &metrics[q])
+                   : knn::skip_pointer_query(tree_, queries[q], gpu, &metrics[q]);
       case Algorithm::kBruteForce:
       case Algorithm::kTaskParallel:  // kTaskParallel is handled above
         return knn::brute_force_query(tree_.data(), queries[q], gpu, &metrics[q]);
@@ -184,6 +234,7 @@ knn::BatchResult BatchEngine::run(const PointSet& queries) const {
   // node-integrity faults (it never reads tree bounds) and unbudgeted.
   const auto brute_force_fallback = [&](std::size_t q, knn::GpuKnnOptions gpu) {
     gpu.snapshot = nullptr;
+    gpu.implicit = nullptr;
     gpu.fetch_session = nullptr;
     gpu.query_budget_nodes = 0;
     knn::QueryResult r = knn::brute_force_query(tree_.data(), queries[q], gpu, &metrics[q]);
@@ -218,6 +269,7 @@ knn::BatchResult BatchEngine::run(const PointSet& queries) const {
       events[q] |= kEvDataFault;
       knn::GpuKnnOptions retry = gpu;
       retry.snapshot = nullptr;
+      retry.implicit = nullptr;
       retry.fetch_session = nullptr;
       try {
         results[q] = knn::restart_query(tree_, queries[q], retry, &metrics[q]);
@@ -246,17 +298,25 @@ knn::BatchResult BatchEngine::run(const PointSet& queries) const {
   // dependent — while cohorts are independent, so workers split on cohort
   // boundaries and results stay identical for every thread count.
   const std::size_t cohort =
-      snap != nullptr ? std::max<std::size_t>(opts_.warp_queries, 1) : 1;
+      snap != nullptr || impl != nullptr ? std::max<std::size_t>(opts_.warp_queries, 1) : 1;
   const std::size_t units = (n + cohort - 1) / std::max<std::size_t>(cohort, 1);
 
   const auto process_unit = [&](std::size_t u) {
     knn::GpuKnnOptions gpu = opts_.gpu;
-    gpu.snapshot = snap;  // null here overrides a caller-set snapshot that failed verify()
+    // null here overrides a caller-set arena that failed verify()
+    gpu.snapshot = snap;
+    gpu.implicit = impl;
     gpu.fetch_session = nullptr;
     std::optional<layout::FetchSession> session;
-    if (snap != nullptr) {
+    if (snap != nullptr || impl != nullptr) {
       if (cohort > 1 && opts_.gpu.fetch_session == nullptr) {
-        session.emplace(*snap);
+        // The shared warp-cohort window lives over whichever arena fetches
+        // are served from (the implicit arena wins, matching SnapshotFetch).
+        if (impl != nullptr) {
+          session.emplace(*impl);
+        } else {
+          session.emplace(*snap);
+        }
         gpu.fetch_session = &*session;
       } else {
         gpu.fetch_session = opts_.gpu.fetch_session;

@@ -28,6 +28,7 @@
 #include <string_view>
 
 #include "knn/result.hpp"
+#include "layout/implicit.hpp"
 #include "layout/snapshot.hpp"
 #include "obs/trace.hpp"
 #include "sstree/tree.hpp"
@@ -42,6 +43,7 @@ enum class Algorithm {
   kStacklessSkip,
   kBruteForce,
   kTaskParallel,
+  kImplicitStackless,
 };
 
 /// Stable name used for traces, registry counters and CLI flags.
@@ -51,6 +53,21 @@ std::string_view algorithm_name(Algorithm a) noexcept;
 /// InvalidArgument on unknown names.
 Algorithm parse_algorithm(std::string_view name);
 
+/// Node-arena serving mode: which frozen layout (if any) node fetches are
+/// accounted through.
+enum class NodeLayout : std::uint8_t {
+  kPointer,   ///< raw pointer-walking node_byte_size accounting (no arena)
+  kSnapshot,  ///< level-clustered pointer-record arena (TraversalSnapshot)
+  kImplicit,  ///< preorder pointer-free arena with escape ropes (ImplicitLayout)
+};
+
+/// Stable name used for CLI flags (`--layout ...`).
+std::string_view node_layout_name(NodeLayout l) noexcept;
+
+/// Parse a layout name (as printed by node_layout_name); throws
+/// InvalidArgument on unknown names.
+NodeLayout parse_node_layout(std::string_view name);
+
 struct BatchEngineOptions {
   Algorithm algorithm = Algorithm::kPsb;
   knn::GpuKnnOptions gpu{};
@@ -59,8 +76,19 @@ struct BatchEngineOptions {
   std::size_t num_threads = 1;
   /// Build a frozen traversal snapshot of the tree at engine construction and
   /// route every node fetch through its level-clustered arena (segment-
-  /// granular byte accounting instead of raw node bytes).
+  /// granular byte accounting instead of raw node bytes). Legacy alias for
+  /// `layout = NodeLayout::kSnapshot`; ignored when `layout` names an arena
+  /// explicitly.
   bool use_snapshot = false;
+  /// Node-arena serving mode. kPointer defers to `use_snapshot` (the legacy
+  /// switch); kSnapshot/kImplicit build the named arena at engine
+  /// construction and route every node fetch through it. The implicit arena
+  /// is required by Algorithm::kImplicitStackless and is built for it
+  /// regardless of this field; for link-walking algorithms kImplicit is an
+  /// accounting ablation (same traversal, pointer-free record sizes). An
+  /// arena that fails verify() at serve time degrades to the pointer path
+  /// with the `engine.layout.fallback` counter — never silently.
+  NodeLayout layout = NodeLayout::kPointer;
   /// Hilbert-sort each batch before execution so spatially-close queries run
   /// back to back. Results and traces are re-indexed to the caller's order —
   /// with warp_queries <= 1 both are bit-identical to the unsorted run.
@@ -80,6 +108,19 @@ struct BatchEngineOptions {
   /// Deadline-cut queries are never brute-forced — the scan would blow the
   /// very deadline that cut them.
   bool allow_brute_force_fallback = true;
+
+  /// The arena mode after resolving the legacy use_snapshot alias.
+  NodeLayout resolved_layout() const noexcept {
+    if (layout != NodeLayout::kPointer) return layout;
+    return use_snapshot ? NodeLayout::kSnapshot : NodeLayout::kPointer;
+  }
+  bool needs_snapshot() const noexcept {
+    return resolved_layout() == NodeLayout::kSnapshot;
+  }
+  bool needs_implicit_layout() const noexcept {
+    return resolved_layout() == NodeLayout::kImplicit ||
+           algorithm == Algorithm::kImplicitStackless;
+  }
 };
 
 class BatchEngine {
@@ -90,8 +131,13 @@ class BatchEngine {
 
   const BatchEngineOptions& options() const noexcept { return opts_; }
 
-  /// The engine-owned snapshot (null unless options().use_snapshot).
+  /// The engine-owned snapshot (null unless the resolved layout is
+  /// kSnapshot).
   const layout::TraversalSnapshot* snapshot() const noexcept { return snapshot_.get(); }
+
+  /// The engine-owned implicit layout (null unless the resolved layout is
+  /// kImplicit or the algorithm is kImplicitStackless).
+  const layout::ImplicitLayout* implicit_layout() const noexcept { return implicit_.get(); }
 
   /// Answer a batch. Emits per-query traces to the active obs session (if
   /// any) under the algorithm's name.
@@ -113,6 +159,9 @@ class BatchEngine {
   /// corruption, the damage persists until the engine is rebuilt, and every
   /// subsequent run degrades to the pointer path.
   mutable std::unique_ptr<layout::TraversalSnapshot> snapshot_;
+  /// Same contract for the pointer-free arena and its
+  /// layout.implicit.escape_bitflip hook.
+  mutable std::unique_ptr<layout::ImplicitLayout> implicit_;
 };
 
 }  // namespace psb::engine

@@ -16,6 +16,7 @@ constexpr SiteInfo kSites[] = {
     {kSiteEnvelopeByteflip, "flip one byte of a loaded file image before envelope verification"},
     {kSiteNodeBoundsBitflip, "flip one bit of a fetched node's bounding-sphere fields"},
     {kSiteSnapshotSegment, "corrupt one span of the traversal-snapshot arena table"},
+    {kSiteImplicitEscape, "flip one bit of one escape index of the implicit layout"},
     {kSiteQueryBudget, "force a pathologically small node budget on one query"},
     {kSiteWorkerSlice, "fail one worker's slice of a batch"},
     {kSiteShardSlice, "kill one (query, shard) pass of the sharded engine"},

@@ -24,6 +24,11 @@ inline constexpr std::string_view kSiteNodeBoundsBitflip = "knn.node_bounds.bitf
 /// corruption of the frozen device arena, caught by segment checksums).
 inline constexpr std::string_view kSiteSnapshotSegment = "layout.snapshot.segment";
 
+/// Flip one bit of one escape index of the pointer-free implicit layout
+/// (simulates corruption of the precomputed rope table, caught by the
+/// layout's per-segment checksums before serving).
+inline constexpr std::string_view kSiteImplicitEscape = "layout.implicit.escape_bitflip";
+
 /// Force a pathologically small node budget on one query (simulates a
 /// runaway query hitting its work budget).
 inline constexpr std::string_view kSiteQueryBudget = "engine.query_budget";

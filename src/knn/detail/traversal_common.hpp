@@ -21,30 +21,52 @@
 
 namespace psb::knn::detail {
 
-/// Per-query view of the snapshot fetch path: resolves to the engine-shared
+/// Per-query view of the arena fetch path: resolves to the engine-shared
 /// warp-cohort session when one was handed down, opens a query-private
 /// resident window otherwise, and is inert (false) in pointer mode. Opening
 /// the view starts the query's dependent-address chain.
+///
+/// Two frozen arenas can back the view: the pointer-carrying
+/// TraversalSnapshot (spans keyed by NodeId) and the pointer-free
+/// ImplicitLayout (spans keyed by preorder slot; node ids are mapped through
+/// slot_of). The implicit arena wins when both are set — for link-walking
+/// algorithms it is an accounting ablation (same traversal decisions,
+/// smaller pointer-free records); only the escape-index walker is physically
+/// realizable on it.
 class SnapshotFetch {
  public:
   SnapshotFetch(const sstree::SSTree& tree, const GpuKnnOptions& opts) {
-    if (opts.snapshot == nullptr) return;
-    PSB_REQUIRE(&opts.snapshot->tree() == &tree, "snapshot was built over a different tree");
-    session_ = opts.fetch_session;
-    if (session_ == nullptr) {
-      own_.emplace(*opts.snapshot);
-      session_ = &*own_;
+    if (opts.implicit != nullptr) {
+      PSB_REQUIRE(&opts.implicit->tree() == &tree, "layout was built over a different tree");
+      implicit_ = opts.implicit;
+      session_ = opts.fetch_session;
+      if (session_ == nullptr) {
+        own_.emplace(*implicit_);
+        session_ = &*own_;
+      }
+    } else if (opts.snapshot != nullptr) {
+      PSB_REQUIRE(&opts.snapshot->tree() == &tree, "snapshot was built over a different tree");
+      session_ = opts.fetch_session;
+      if (session_ == nullptr) {
+        own_.emplace(*opts.snapshot);
+        session_ = &*own_;
+      }
+    } else {
+      return;
     }
     session_->begin_query();
   }
 
   explicit operator bool() const noexcept { return session_ != nullptr; }
 
-  void fetch(simt::Block& block, const sstree::Node& n) { session_->fetch(block, n.id); }
+  void fetch(simt::Block& block, const sstree::Node& n) {
+    session_->fetch(block, implicit_ != nullptr ? implicit_->slot_of(n.id) : n.id);
+  }
 
  private:
   std::optional<layout::FetchSession> own_;
   layout::FetchSession* session_ = nullptr;
+  const layout::ImplicitLayout* implicit_ = nullptr;
 };
 
 /// Charge one global-memory fetch of node `n`: via the snapshot arena when

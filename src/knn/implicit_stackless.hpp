@@ -1,0 +1,37 @@
+// Stackless escape-index traversal over the pointer-free implicit layout —
+// the eighth traversal variant.
+//
+// The skip-pointer baseline (stackless_baselines.hpp) already walks the tree
+// with Smits'98 ropes, but over the pointer-carrying node records: every
+// fetch pays the 32-byte header with parent/sibling/skip/child links, and
+// every descent is a dependent pointer load. This variant runs the *same*
+// forward sweep on layout::ImplicitLayout instead:
+//
+//   * descent is `slot + 1` (index arithmetic, no child pointer),
+//   * a prune or a finished leaf jumps to the precomputed escape index,
+//   * per-query state is one slot number — O(1), no stack, no parent links,
+//   * fetches go through FetchSession over the implicit arena: smaller
+//     records (16-byte header, no child id words), and because preorder
+//     placement equals traversal order, descents continue the address
+//     stream and classify as coalesced traffic.
+//
+// Visit order, pruning decisions and results are bit-identical to
+// skip_pointer_* (the escape table is the preorder image of the verified
+// skip chain); only the memory accounting changes — which is exactly the
+// quantity BENCH_gate_implicit gates.
+#pragma once
+
+#include "knn/result.hpp"
+#include "sstree/tree.hpp"
+
+namespace psb::knn {
+
+/// Escape-index exact kNN for one query. Requires opts.implicit (a layout of
+/// `tree`); throws psb::InternalError otherwise — callers that cannot supply
+/// a layout must route to an explicit fallback, never silently degrade.
+QueryResult implicit_stackless_query(const sstree::SSTree& tree, std::span<const Scalar> query,
+                                     const GpuKnnOptions& opts, simt::Metrics* metrics);
+BatchResult implicit_stackless_batch(const sstree::SSTree& tree, const PointSet& queries,
+                                     const GpuKnnOptions& opts = {});
+
+}  // namespace psb::knn

@@ -12,6 +12,7 @@
 
 namespace psb::layout {
 class TraversalSnapshot;
+class ImplicitLayout;
 class FetchSession;
 }  // namespace psb::layout
 
@@ -138,8 +139,15 @@ struct GpuKnnOptions {
   /// results are unchanged — only the memory accounting moves. Must snapshot
   /// the same tree the query runs against.
   const layout::TraversalSnapshot* snapshot = nullptr;
+  /// Pointer-free implicit arena (layout/implicit.hpp): required by the
+  /// stackless escape-index traversal (implicit_stackless_*), which walks
+  /// preorder slots instead of node links and charges fetches through the
+  /// layout's span table. Must lay out the same tree the query runs against.
+  const layout::ImplicitLayout* implicit = nullptr;
   /// Engine-owned resident window shared across a warp cohort of queries;
-  /// null = each query opens its own window. Ignored without `snapshot`.
+  /// null = each query opens its own window. Built over `snapshot` or
+  /// `implicit` (whichever arena the algorithm fetches through); ignored
+  /// when neither is set.
   layout::FetchSession* fetch_session = nullptr;
   /// Cross-index pruning bound for scatter-gather callers (src/shard/): an
   /// upper bound on the query's *global* k-th-NN distance established by

@@ -4,16 +4,28 @@
 
 namespace psb::layout {
 
+FetchSession::FetchSession(std::span<const NodeSpan> spans, std::size_t segment_bytes,
+                           std::uint64_t num_segments)
+    : spans_(spans),
+      segment_bytes_(segment_bytes),
+      resident_(static_cast<std::size_t>(num_segments), 0) {}
+
 FetchSession::FetchSession(const TraversalSnapshot& snapshot)
-    : snap_(&snapshot), resident_(snapshot.num_segments(), 0) {}
+    : FetchSession(snapshot.spans(), snapshot.segment_bytes(), snapshot.num_segments()) {}
+
+FetchSession::FetchSession(const ImplicitLayout& layout)
+    : FetchSession(layout.spans(), layout.segment_bytes(), layout.num_segments()) {}
 
 void FetchSession::begin_query() { last_segment_ = -2; }
 
-FetchCharge FetchSession::classify(NodeId id) {
-  const SegmentRange range = snap_->segments(id);
+FetchCharge FetchSession::classify(std::uint32_t index) {
+  const NodeSpan span = spans_[index];
+  PSB_ASSERT(span.bytes > 0, "fetch of an unplaced span");
+  const std::uint64_t first_seg = span.offset / segment_bytes_;
+  const std::uint64_t last_seg = (span.end() - 1) / segment_bytes_;
   std::uint64_t new_segments = 0;
   std::int64_t first_new = -1;
-  for (std::uint64_t s = range.first; s <= range.last; ++s) {
+  for (std::uint64_t s = first_seg; s <= last_seg; ++s) {
     if (resident_[s] == 0) {
       resident_[s] = 1;
       ++new_segments;
@@ -30,19 +42,20 @@ FetchCharge FetchSession::classify(NodeId id) {
     charge.pattern = simt::Access::kCached;
   } else {
     segments_fetched_ += new_segments;
-    charge.bytes = new_segments * snap_->segment_bytes();
+    charge.bytes = new_segments * segment_bytes_;
     // Continuing the previous fetch's address stream (the packed leaf chain,
-    // or siblings sharing a fetch window) is prefetchable streaming traffic;
-    // any other first touch is a dependent scattered read.
+    // a preorder descent on the implicit arena, or siblings sharing a fetch
+    // window) is prefetchable streaming traffic; any other first touch is a
+    // dependent scattered read.
     charge.pattern = first_new == last_segment_ + 1 ? simt::Access::kCoalesced
                                                     : simt::Access::kRandom;
   }
-  last_segment_ = static_cast<std::int64_t>(range.last);
+  last_segment_ = static_cast<std::int64_t>(last_seg);
   return charge;
 }
 
-void FetchSession::fetch(simt::Block& block, NodeId id) {
-  const FetchCharge charge = classify(id);
+void FetchSession::fetch(simt::Block& block, std::uint32_t index) {
+  const FetchCharge charge = classify(index);
   block.load_global(charge.bytes, charge.pattern);
 }
 

@@ -1,9 +1,10 @@
-// FetchSession: segment-granular global-memory accounting over a
-// TraversalSnapshot arena.
+// FetchSession: segment-granular global-memory accounting over a frozen
+// arena — either the pointer-carrying TraversalSnapshot or the pointer-free
+// ImplicitLayout.
 //
 // The pointer-walking traversals charge every node fetch as node_byte_size
 // bytes with an algorithm-chosen pattern, and re-fetches of recently touched
-// nodes as full-size L2 reads. With the frozen arena the simulation can do
+// nodes as full-size L2 reads. With a frozen arena the simulation can do
 // what the hardware does: serve fetches in 128-byte segments and keep the
 // query's (or warp cohort's) resident window on chip.
 //
@@ -13,8 +14,9 @@
 //     the previous leaf) are not paid twice.
 //   * The pattern is classified by address, not by the caller: a fetch whose
 //     first new segment continues the previous fetch's last segment is part
-//     of a streaming sweep (kCoalesced, PSB's leaf scan); any other first
-//     touch is a dependent scattered read (kRandom).
+//     of a streaming sweep (kCoalesced, PSB's leaf scan — or, on the
+//     implicit layout, every preorder descent slot -> slot+1); any other
+//     first touch is a dependent scattered read (kRandom).
 //   * A fetch whose segments are all resident is an on-chip window hit: the
 //     compact arena keeps a query's working set (top-of-tree prefix, the
 //     scan frontier) cacheable, so the re-fetch costs a load instruction
@@ -26,11 +28,18 @@
 // coherence the query-reordering scheduler is after. begin_query() starts a
 // new dependent chain (the next fetch can never be "streaming" across a
 // query boundary) without discarding residency.
+//
+// Indexing: the fetch index is whatever the arena's span table is keyed by —
+// a NodeId for TraversalSnapshot, a preorder slot for ImplicitLayout. The
+// accounting (residency, streaming classification, window hits) is identical
+// either way; only the address map differs.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "layout/implicit.hpp"
 #include "layout/snapshot.hpp"
 #include "simt/block.hpp"
 
@@ -47,19 +56,21 @@ struct FetchCharge {
 class FetchSession {
  public:
   explicit FetchSession(const TraversalSnapshot& snapshot);
+  explicit FetchSession(const ImplicitLayout& layout);
 
-  const TraversalSnapshot& snapshot() const noexcept { return *snap_; }
+  std::size_t segment_bytes() const noexcept { return segment_bytes_; }
 
   /// Start a new query on this session: breaks the streaming-address chain
   /// but keeps the resident window (warp-cohort sharing).
   void begin_query();
 
-  /// Account the fetch of node `id` and return its cost (also recorded in
-  /// the session totals). Marks the node's segments resident.
-  FetchCharge classify(NodeId id);
+  /// Account the fetch of span-table entry `index` (NodeId on a snapshot
+  /// arena, preorder slot on an implicit arena) and return its cost (also
+  /// recorded in the session totals). Marks the entry's segments resident.
+  FetchCharge classify(std::uint32_t index);
 
   /// classify() + charge the cost to `block` as a global load.
-  void fetch(simt::Block& block, NodeId id);
+  void fetch(simt::Block& block, std::uint32_t index);
 
   // --- session totals (used by tests and engine diagnostics) ---
   std::uint64_t resident_segments() const noexcept { return resident_count_; }
@@ -67,7 +78,11 @@ class FetchSession {
   std::uint64_t segments_fetched() const noexcept { return segments_fetched_; }
 
  private:
-  const TraversalSnapshot* snap_;
+  FetchSession(std::span<const NodeSpan> spans, std::size_t segment_bytes,
+               std::uint64_t num_segments);
+
+  std::span<const NodeSpan> spans_;     ///< the arena's span table
+  std::size_t segment_bytes_;
   std::vector<std::uint8_t> resident_;  ///< one flag per arena segment
   std::uint64_t resident_count_ = 0;
   std::uint64_t window_hits_ = 0;

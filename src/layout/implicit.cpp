@@ -1,0 +1,239 @@
+#include "layout/implicit.hpp"
+
+#include <algorithm>
+
+#include "common/checksum.hpp"
+#include "common/envelope.hpp"
+#include "common/error.hpp"
+#include "fault/fault.hpp"
+
+namespace psb::layout {
+
+std::size_t ImplicitLayout::node_byte_size(const sstree::SSTree& tree,
+                                           const sstree::Node& n) noexcept {
+  // Header: level, count, own radius, escape word — 16 bytes. The pointer
+  // record's parent/sibling/skip/child links are all gone: the first child
+  // is at slot+1 and the rope is the single escape word.
+  constexpr std::size_t kHeader = 16;
+  const std::size_t d = tree.dims();
+  if (n.is_leaf()) {
+    return kHeader + n.points.size() * (d * sizeof(Scalar) + sizeof(PointId));
+  }
+  // Per child: just the bounding shape. No child id word — index arithmetic
+  // replaces it (the byte saving on top of the halved header).
+  const std::size_t shape_floats =
+      tree.bounds_mode() == sstree::BoundsMode::kSphere ? d + 1 : 2 * d;
+  return kHeader + n.children.size() * shape_floats * sizeof(Scalar);
+}
+
+ImplicitLayout::ImplicitLayout(const sstree::SSTree& tree, std::size_t segment_bytes)
+    : tree_(&tree), segment_bytes_(segment_bytes) {
+  PSB_REQUIRE(segment_bytes > 0, "segment size must be > 0");
+  PSB_REQUIRE(tree.num_nodes() > 0, "cannot lay out an empty tree");
+  PSB_REQUIRE(!tree.leaves().empty(), "tree must be finalized before layout");
+
+  // Preorder slot numbering: explicit stack, children pushed right-to-left
+  // so the first child pops first — this reproduces exactly the preorder
+  // that finalize()'s skip pointers describe.
+  preorder_.reserve(tree.num_nodes());
+  std::vector<NodeId> stack{tree.root()};
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    preorder_.push_back(id);
+    const sstree::Node& n = tree.node(id);
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) stack.push_back(*it);
+  }
+  PSB_ASSERT(preorder_.size() == tree.num_nodes(), "preorder walk misses nodes");
+
+  place_spans();
+
+  // Escape ropes: the preorder image of the tree's skip pointers. Computed
+  // from the already-verified skip chain instead of re-deriving subtree
+  // sizes, so the two stackless walks (skip-pointer and escape-index) are
+  // the same visit order by construction.
+  escape_.resize(preorder_.size());
+  for (std::uint32_t slot = 0; slot < preorder_.size(); ++slot) {
+    const NodeId skip = tree.node(preorder_[slot]).skip;
+    escape_[slot] = skip == kInvalidNode ? kInvalidSlot : slot_of_[skip];
+  }
+
+  segment_crcs_ = segment_checksums();
+}
+
+void ImplicitLayout::place_spans() {
+  const sstree::SSTree& tree = *tree_;
+  slot_of_.assign(tree.num_nodes(), kInvalidSlot);
+  spans_.resize(preorder_.size());
+  std::uint64_t cursor = 0;
+  for (std::uint32_t slot = 0; slot < preorder_.size(); ++slot) {
+    const NodeId id = preorder_[slot];
+    slot_of_[id] = slot;
+    spans_[slot] =
+        NodeSpan{cursor, static_cast<std::uint32_t>(node_byte_size(tree, tree.node(id)))};
+    cursor += spans_[slot].bytes;
+  }
+  arena_bytes_ = cursor;
+}
+
+std::vector<std::uint32_t> ImplicitLayout::segment_checksums() const {
+  // One CRC word per segment, folding (slot, span, escape word) for every
+  // slot whose span touches the segment. The escape word is part of the
+  // sealed metadata, so a flipped rope (layout.implicit.escape_bitflip) is
+  // always detected — CRC32 catches every single-bit error.
+  std::vector<Crc32> accum(static_cast<std::size_t>(num_segments()));
+  for (std::uint32_t slot = 0; slot < spans_.size(); ++slot) {
+    const NodeSpan s = spans_[slot];
+    if (s.bytes == 0) continue;
+    const std::uint64_t first = s.offset / segment_bytes_;
+    const std::uint64_t last = (s.end() - 1) / segment_bytes_;
+    for (std::uint64_t seg = first; seg <= last && seg < accum.size(); ++seg) {
+      Crc32& crc = accum[static_cast<std::size_t>(seg)];
+      crc.update_value(slot);
+      crc.update_value(s.offset);
+      crc.update_value(s.bytes);
+      crc.update_value(escape_[slot]);
+    }
+  }
+  std::vector<std::uint32_t> out(accum.size());
+  for (std::size_t i = 0; i < accum.size(); ++i) out[i] = accum[i].value();
+  return out;
+}
+
+bool ImplicitLayout::verify() const noexcept { return segment_checksums() == segment_crcs_; }
+
+void ImplicitLayout::corrupt(std::uint64_t payload) noexcept {
+  if (escape_.empty()) return;
+  std::uint32_t& victim = escape_[static_cast<std::size_t>(payload % escape_.size())];
+  fault::flip_bit(&victim, sizeof(victim), fault::mix(payload));
+}
+
+SegmentRange ImplicitLayout::segments(std::uint32_t slot) const {
+  const NodeSpan s = spans_[slot];
+  PSB_ASSERT(s.bytes > 0, "segment query for an unplaced slot");
+  return SegmentRange{s.offset / segment_bytes_, (s.end() - 1) / segment_bytes_};
+}
+
+void ImplicitLayout::validate() const {
+  const sstree::SSTree& tree = *tree_;
+  PSB_ASSERT(preorder_.size() == tree.num_nodes(), "slot table size diverges from tree");
+  PSB_ASSERT(preorder_.front() == tree.root(), "slot 0 is not the root");
+
+  std::uint64_t covered = 0;
+  for (std::uint32_t slot = 0; slot < preorder_.size(); ++slot) {
+    const NodeId id = preorder_[slot];
+    PSB_ASSERT(slot_of_[id] == slot, "slot_of is not the inverse of preorder");
+    const sstree::Node& n = tree.node(id);
+    if (!n.is_leaf()) {
+      PSB_ASSERT(slot_of_[n.children.front()] == slot + 1,
+                 "first child is not at slot+1 (layout is not preorder)");
+    }
+    // The rope must be the preorder image of the verified skip chain.
+    const std::uint32_t expect =
+        n.skip == kInvalidNode ? kInvalidSlot : slot_of_[n.skip];
+    PSB_ASSERT(escape_[slot] == expect, "escape index diverges from the skip pointer");
+    PSB_ASSERT(escape_[slot] == kInvalidSlot || escape_[slot] > slot,
+               "escape index does not advance the walk");
+
+    const NodeSpan s = spans_[slot];
+    PSB_ASSERT(s.bytes == node_byte_size(tree, n), "span size diverges from implicit record");
+    PSB_ASSERT(slot == 0 ? s.offset == 0 : s.offset == spans_[slot - 1].end(),
+               "spans are not preorder-contiguous");
+    covered += s.bytes;
+  }
+  PSB_ASSERT(covered == arena_bytes_, "spans do not cover the arena exactly");
+  PSB_ASSERT(arena_bytes_ <= tree.stats().total_bytes,
+             "implicit arena is larger than the pointer arena");
+}
+
+ImplicitLayout::Stats ImplicitLayout::stats() const {
+  Stats s;
+  s.arena_bytes = arena_bytes_;
+  s.pointer_arena_bytes = tree_->stats().total_bytes;
+  s.segments = num_segments();
+  s.nodes = preorder_.size();
+  return s;
+}
+
+std::string ImplicitLayout::payload_bytes() const {
+  ByteWriter w;
+  w.put<std::uint32_t>(1);  // layout payload version
+  w.put(static_cast<std::uint32_t>(tree_->num_nodes()));
+  w.put(static_cast<std::uint32_t>(tree_->dims()));
+  w.put(static_cast<std::uint32_t>(tree_->degree()));
+  w.put(static_cast<std::uint32_t>(tree_->bounds_mode() == sstree::BoundsMode::kSphere ? 0 : 1));
+  w.put(static_cast<std::uint64_t>(segment_bytes_));
+  w.put_vec(preorder_);
+  w.put_vec(escape_);
+  w.put_vec(segment_crcs_);
+  return w.bytes();
+}
+
+std::string ImplicitLayout::serialize() const {
+  return wrap_envelope(kImplicitLayoutKind, payload_bytes());
+}
+
+ImplicitLayout ImplicitLayout::parse(const sstree::SSTree& tree, std::string_view file_bytes,
+                                     const std::string& label) {
+  const std::string_view payload = unwrap_envelope(file_bytes, kImplicitLayoutKind, label);
+  ByteReader r(payload, label);
+  const auto version = r.get<std::uint32_t>();
+  if (version != 1) throw CorruptIndex(label + ": unsupported implicit-layout version");
+  const auto num_nodes = r.get<std::uint32_t>();
+  const auto dims = r.get<std::uint32_t>();
+  const auto degree = r.get<std::uint32_t>();
+  const auto mode = r.get<std::uint32_t>();
+  const auto segment_bytes = r.get<std::uint64_t>();
+  if (num_nodes != tree.num_nodes() || dims != tree.dims() || degree != tree.degree() ||
+      mode != (tree.bounds_mode() == sstree::BoundsMode::kSphere ? 0u : 1u)) {
+    throw CorruptIndex(label + ": layout fingerprint does not match the tree");
+  }
+  if (segment_bytes == 0 || segment_bytes > (1u << 20)) {
+    throw CorruptIndex(label + ": implausible segment size");
+  }
+
+  ImplicitLayout lay;
+  lay.tree_ = &tree;
+  lay.segment_bytes_ = static_cast<std::size_t>(segment_bytes);
+  lay.preorder_ = r.get_vec<NodeId>();
+  lay.escape_ = r.get_vec<std::uint32_t>();
+  lay.segment_crcs_ = r.get_vec<std::uint32_t>();
+  r.require_done();
+
+  if (lay.preorder_.size() != tree.num_nodes() || lay.escape_.size() != tree.num_nodes()) {
+    throw CorruptIndex(label + ": slot tables do not match the tree size");
+  }
+  // Permutation check before indexing anything with the loaded slots.
+  std::vector<std::uint8_t> seen(tree.num_nodes(), 0);
+  for (const NodeId id : lay.preorder_) {
+    if (id >= tree.num_nodes() || seen[id] != 0) {
+      throw CorruptIndex(label + ": preorder table is not a permutation of the nodes");
+    }
+    seen[id] = 1;
+  }
+  lay.place_spans();
+  if (lay.segment_crcs_.size() != lay.num_segments()) {
+    throw CorruptIndex(label + ": segment checksum table has the wrong size");
+  }
+  // The sealed CRCs cover placement and escape words: any tampering that
+  // survived the envelope CRC (or a stale file for a different build of the
+  // same-shaped tree) is rejected here.
+  if (!lay.verify()) throw CorruptIndex(label + ": implicit layout failed verification");
+  try {
+    lay.validate();
+  } catch (const std::exception& e) {
+    throw CorruptIndex(label + ": " + e.what());
+  }
+  return lay;
+}
+
+void ImplicitLayout::save(const std::string& path) const {
+  write_envelope(path, kImplicitLayoutKind, payload_bytes());
+}
+
+ImplicitLayout ImplicitLayout::load(const sstree::SSTree& tree, const std::string& path) {
+  const std::string image = read_file_image(path);
+  return parse(tree, image, path);
+}
+
+}  // namespace psb::layout

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "sstree/tree.hpp"
@@ -56,6 +57,8 @@ class TraversalSnapshot {
 
   NodeSpan span(NodeId id) const { return spans_[id]; }
   SegmentRange segments(NodeId id) const;
+  /// NodeId-indexed span table (FetchSession's arena view).
+  std::span<const NodeSpan> spans() const noexcept { return spans_; }
 
   /// Total arena size: the sum of node_byte_size over all nodes.
   std::uint64_t arena_bytes() const noexcept { return arena_bytes_; }

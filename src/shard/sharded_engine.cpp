@@ -12,9 +12,11 @@
 #include "knn/best_first.hpp"
 #include "knn/branch_and_bound.hpp"
 #include "knn/detail/traversal_common.hpp"
+#include "knn/implicit_stackless.hpp"
 #include "knn/psb.hpp"
 #include "knn/stackless_baselines.hpp"
 #include "knn/task_parallel_sstree.hpp"
+#include "layout/implicit.hpp"
 #include "layout/snapshot.hpp"
 #include "obs/registry.hpp"
 #include "shard/partition.hpp"
@@ -97,6 +99,8 @@ struct ShardedEngine::Shard {
   std::unique_ptr<sstree::SSTree> tree;  ///< null while the shard is empty
   std::unique_ptr<layout::TraversalSnapshot> snapshot;
   bool snapshot_ok = false;
+  std::unique_ptr<layout::ImplicitLayout> implicit;
+  bool implicit_ok = false;
   Sphere bounds;              ///< covers every alive point (the scatter-order surface)
   std::size_t arena_bytes = 0;  ///< tree footprint, credited on a bound skip
 };
@@ -158,6 +162,8 @@ void ShardedEngine::rebuild_index(Shard& sh) {
   sh.tree.reset();
   sh.snapshot.reset();
   sh.snapshot_ok = false;
+  sh.implicit.reset();
+  sh.implicit_ok = false;
   sh.arena_bytes = 0;
   sh.bounds = Sphere{std::vector<Scalar>(dims_, 0), 0};
   if (sh.points.empty()) return;
@@ -179,9 +185,13 @@ void ShardedEngine::rebuild_index(Shard& sh) {
 
 void ShardedEngine::refresh_after_update(Shard& sh) {
   sh.arena_bytes = sh.tree->stats().total_bytes;
-  if (opts_.engine.use_snapshot) {
+  if (opts_.engine.needs_snapshot()) {
     sh.snapshot = std::make_unique<layout::TraversalSnapshot>(*sh.tree);
     sh.snapshot_ok = true;
+  }
+  if (opts_.engine.needs_implicit_layout()) {
+    sh.implicit = std::make_unique<layout::ImplicitLayout>(*sh.tree);
+    sh.implicit_ok = true;
   }
   recompute_bounds(sh);
 }
@@ -244,20 +254,40 @@ knn::BatchResult ShardedEngine::run(const PointSet& queries) {
 
   const std::size_t n = queries.size();
 
-  // Arena integrity gate, per shard (mirrors BatchEngine): the corruption
-  // fault may land on any shard's arena; a failed verify() drops that shard
-  // to the pointer-walking fetch path until its snapshot is rebuilt.
+  // Arena integrity gates, per shard (mirrors BatchEngine): the corruption
+  // faults may land on any shard's arena; a failed verify() drops that shard
+  // to the pointer-walking fetch path until its arena is rebuilt. The
+  // implicit downgrade is counted (engine.layout.fallback) — a requested
+  // layout is never dropped silently.
   for (auto& shp : shards_) {
     Shard& sh = *shp;
-    if (sh.snapshot == nullptr) continue;
-    if (fault::enabled()) {
-      if (const fault::Shot shot = fault::evaluate(fault::kSiteSnapshotSegment)) {
-        sh.snapshot->corrupt(shot.payload);
+    if (sh.snapshot != nullptr) {
+      if (fault::enabled()) {
+        if (const fault::Shot shot = fault::evaluate(fault::kSiteSnapshotSegment)) {
+          sh.snapshot->corrupt(shot.payload);
+        }
       }
+      const bool ok = sh.snapshot->verify();
+      if (sh.snapshot_ok && !ok) reg.add("engine.shard.snapshot_fallback", 1);
+      sh.snapshot_ok = ok;
     }
-    const bool ok = sh.snapshot->verify();
-    if (sh.snapshot_ok && !ok) reg.add("engine.shard.snapshot_fallback", 1);
-    sh.snapshot_ok = ok;
+    if (sh.implicit != nullptr) {
+      if (fault::enabled()) {
+        if (const fault::Shot shot = fault::evaluate(fault::kSiteImplicitEscape)) {
+          sh.implicit->corrupt(shot.payload);
+        }
+      }
+      const bool ok = sh.implicit->verify();
+      if (sh.implicit_ok && !ok) reg.add("engine.layout.fallback", 1);
+      sh.implicit_ok = ok;
+    }
+  }
+  // The task-parallel kernel has no implicit-arena path; the scatter passes
+  // below serve it from the snapshot/pointer path — an explicit counted
+  // downgrade, never silent.
+  if (opts_.engine.algorithm == Algorithm::kTaskParallel &&
+      opts_.engine.needs_implicit_layout()) {
+    reg.add("engine.layout.fallback", 1);
   }
 
   std::vector<knn::QueryResult> results(n);
@@ -401,6 +431,7 @@ knn::QueryResult ShardedEngine::run_shard_pass(Shard& sh, std::span<const Scalar
   knn::GpuKnnOptions gpu = opts_.engine.gpu;
   gpu.initial_prune_bound = shared_bound;
   gpu.snapshot = sh.snapshot_ok ? sh.snapshot.get() : nullptr;
+  gpu.implicit = sh.implicit_ok ? sh.implicit.get() : nullptr;
   gpu.fetch_session = nullptr;
 
   // engine.shard.slice: this (query, shard) pass died before producing a
@@ -437,6 +468,12 @@ knn::QueryResult ShardedEngine::run_shard_pass(Shard& sh, std::span<const Scalar
         return knn::restart_query(*sh.tree, q, gpu, &m);
       case Algorithm::kStacklessSkip:
         return knn::skip_pointer_query(*sh.tree, q, gpu, &m);
+      case Algorithm::kImplicitStackless:
+        // With the shard's layout gone (verify() failed), the skip-pointer
+        // twin runs the identical preorder sweep on the pointer path — a
+        // typed, exact fallback counted by the per-shard gate above.
+        return gpu.implicit != nullptr ? knn::implicit_stackless_query(*sh.tree, q, gpu, &m)
+                                       : knn::skip_pointer_query(*sh.tree, q, gpu, &m);
       case Algorithm::kBruteForce:
         // The shard's exhaustive pass is the alive-aware scan (erased rows
         // stay in the local PointSet but must not be answered).
@@ -460,6 +497,7 @@ knn::QueryResult ShardedEngine::run_shard_pass(Shard& sh, std::span<const Scalar
     ++ev[kEvDataFaults];
     knn::GpuKnnOptions retry = gpu;
     retry.snapshot = nullptr;
+    retry.implicit = nullptr;
     try {
       r = knn::restart_query(*sh.tree, q, retry, &m);
       r.status = knn::QueryStatus::kDegradedFallback;
@@ -576,6 +614,8 @@ bool ShardedEngine::erase(PointId global_id) {
     sh.tree.reset();
     sh.snapshot.reset();
     sh.snapshot_ok = false;
+    sh.implicit.reset();
+    sh.implicit_ok = false;
     sh.arena_bytes = 0;
   } else {
     sstree::Updater updater(sh.tree.get());

@@ -18,9 +18,11 @@
 #include "knn/best_first.hpp"
 #include "knn/branch_and_bound.hpp"
 #include "knn/brute_force.hpp"
+#include "knn/implicit_stackless.hpp"
 #include "knn/psb.hpp"
 #include "knn/stackless_baselines.hpp"
 #include "knn/task_parallel_sstree.hpp"
+#include "layout/implicit.hpp"
 #include "obs/registry.hpp"
 #include "shard/sharded_engine.hpp"
 #include "sstree/builders.hpp"
@@ -88,6 +90,11 @@ void run_differential(const PointSet& data, const PointSet& queries, std::size_t
   knn::TaskParallelSsOptions tp;
   tp.k = k;
 
+  // The eighth traversal variant runs on the pointer-free preorder arena.
+  const layout::ImplicitLayout implicit(tree);
+  knn::GpuKnnOptions iopts = opts;
+  iopts.implicit = &implicit;
+
   const std::vector<std::pair<std::string, knn::BatchResult>> candidates = {
       {"psb", knn::psb_batch(tree, queries, opts)},
       {"branch_and_bound", knn::bnb_batch(tree, queries, opts)},
@@ -95,6 +102,7 @@ void run_differential(const PointSet& data, const PointSet& queries, std::size_t
       {"stackless_restart", knn::restart_batch(tree, queries, opts)},
       {"stackless_skip", knn::skip_pointer_batch(tree, queries, opts)},
       {"task_parallel", knn::task_parallel_sstree_knn(tree, queries, tp)},
+      {"implicit_stackless", knn::implicit_stackless_batch(tree, queries, iopts)},
   };
 
   for (std::size_t q = 0; q < queries.size(); ++q) {
@@ -144,7 +152,7 @@ constexpr engine::Algorithm kAllAlgorithms[] = {
     engine::Algorithm::kPsb,           engine::Algorithm::kBestFirst,
     engine::Algorithm::kBranchAndBound, engine::Algorithm::kStacklessRestart,
     engine::Algorithm::kStacklessSkip,  engine::Algorithm::kBruteForce,
-    engine::Algorithm::kTaskParallel,
+    engine::Algorithm::kTaskParallel,   engine::Algorithm::kImplicitStackless,
 };
 
 class ShardedDifferential : public testing::TestWithParam<engine::Algorithm> {};

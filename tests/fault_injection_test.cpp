@@ -28,6 +28,7 @@ TEST(FaultRegistry, AllSitesRegisteredAndNamed) {
   EXPECT_TRUE(is_site(kSiteEnvelopeByteflip));
   EXPECT_TRUE(is_site(kSiteNodeBoundsBitflip));
   EXPECT_TRUE(is_site(kSiteSnapshotSegment));
+  EXPECT_TRUE(is_site(kSiteImplicitEscape));
   EXPECT_TRUE(is_site(kSiteQueryBudget));
   EXPECT_TRUE(is_site(kSiteWorkerSlice));
   EXPECT_TRUE(is_site(kSiteShardSlice));

@@ -29,21 +29,32 @@ using namespace psb;
 commands:
   generate  --out FILE [--type clustered|uniform|noaa] [--dims N] [--count N]
             [--clusters N] [--stddev X] [--seed N]
+            (noaa also takes --stations N --readings N, or --points N as the
+             total reading count; --points/--count divide by --readings)
   build     --data FILE --out FILE [--builder kmeans|hilbert|topdown]
             [--degree N] [--bounds sphere|rect]
   info      --data FILE --index FILE
   query     --data FILE --index FILE [--k N] [--num-queries N]
-            [--algo psb|bnb|brute|bestfirst] [--seed N]
-            [--snapshot 0|1] [--reorder 0|1] [--warp-queries N]
+            [--algo psb|bnb|brute|bestfirst|implicit_stackless] [--seed N]
+            [--snapshot 0|1] [--layout pointer|snapshot|implicit]
+            [--reorder 0|1] [--warp-queries N]
             [--shards N] [--trace-out FILE.json] [--trace-csv FILE.csv]
             (--shards serves through the scatter-gather ShardedEngine, which
              partitions --data itself; --index is then not required)
   radius    --data FILE --index FILE --radius X [--num-queries N] [--seed N]
   bench     --out FILE.json [--type clustered|noaa] [--dims N] [--count N]
-            [--clusters N] [--stations N] [--readings N] [--num-queries N]
+            [--clusters N] [--stations N] [--readings N] [--points N]
+            [--num-queries N | --queries N]
             [--k N] [--degree N] [--seed N] [--algos a,b,...]
-            [--variants base,snapshot,snapshot_reorder,sharded,sharded_nobound]
+            [--variants base,snapshot,snapshot_reorder,implicit,
+             implicit_stackless,sharded,sharded_nobound]
             [--warp-queries N] [--shards N]
+            [--construction-points N] [--construction-degree N]
+            [--construction-readings N] [--construction-budget-ms X]
+            (--construction-points > 0 appends a Hilbert bulk-load bench of an
+             N-reading noaa_synth set: node/arena metrics are deterministic
+             and gated; host_build_seconds is informational, but exceeding
+             --construction-budget-ms is a hard error)
   faultcamp [--iterations N] [--seed N] [--out FILE.json] [--workdir DIR]
 
 exit codes: 0 ok, 2 usage error, 3 corrupt or unreadable input, 4 internal error
@@ -101,7 +112,10 @@ int cmd_generate(const Args& args) {
                                 args.real("extent", 65536.0), args.num("seed", 2016));
   } else if (type == "noaa") {
     data::NoaaSpec spec;
-    spec.stations = args.num("count", 100000) / std::max<std::size_t>(1, spec.readings_per_station);
+    spec.readings_per_station = args.num("readings", spec.readings_per_station);
+    const std::size_t total = args.num("points", args.num("count", 100000));
+    spec.stations = args.num(
+        "stations", total / std::max<std::size_t>(1, spec.readings_per_station));
     spec.seed = args.num("seed", 1973);
     points = data::make_noaa_like(spec);
   } else {
@@ -181,6 +195,7 @@ int cmd_query(const Args& args) {
   const std::size_t nq = args.num("num-queries", 8);
   const PointSet queries = data::sample_queries(points, nq, 0.0, args.num("seed", 7));
   const std::string algo = args.str("algo", "psb");
+  const engine::NodeLayout node_layout = engine::parse_node_layout(args.str("layout", "pointer"));
 
   if (args.has("shards")) {
     // Scatter-gather serving: partition the dataset and answer through the
@@ -192,6 +207,7 @@ int cmd_query(const Args& args) {
     sopts.engine.algorithm = algo_from_flag(algo);
     sopts.engine.gpu.k = k;
     sopts.engine.use_snapshot = args.num("snapshot", 0) != 0;
+    sopts.engine.layout = node_layout;
     shard::ShardedEngine eng(points, sopts);
     const knn::BatchResult r = eng.run(queries);
     for (std::size_t i = 0; i < r.queries.size(); ++i) {
@@ -234,22 +250,21 @@ int cmd_query(const Args& args) {
   opts.k = k;
   const bool use_snapshot = args.num("snapshot", 0) != 0;
   const bool reorder = args.num("reorder", 0) != 0;
+  // Any engine-level feature (frozen arena, reordering, or the stackless
+  // walker that only exists on the implicit layout) routes through the
+  // BatchEngine; the plain library batch entry points stay the default.
+  const bool engine_path = use_snapshot || reorder ||
+                           node_layout != engine::NodeLayout::kPointer ||
+                           algo == "implicit_stackless";
   knn::BatchResult r;
-  if (use_snapshot || reorder) {
+  if (engine_path) {
     engine::BatchEngineOptions eo;
     eo.gpu = opts;
     eo.use_snapshot = use_snapshot;
+    eo.layout = node_layout;
     eo.reorder_queries = reorder;
     eo.warp_queries = args.num("warp-queries", 32);
-    if (algo == "psb") {
-      eo.algorithm = engine::Algorithm::kPsb;
-    } else if (algo == "bnb") {
-      eo.algorithm = engine::Algorithm::kBranchAndBound;
-    } else if (algo == "brute") {
-      eo.algorithm = engine::Algorithm::kBruteForce;
-    } else {
-      usage("--snapshot/--reorder support --algo psb|bnb|brute");
-    }
+    eo.algorithm = algo_from_flag(algo);
     r = engine::BatchEngine(tree, eo).run(queries);
   } else if (algo == "psb") {
     r = knn::psb_batch(tree, queries, opts);
@@ -318,16 +333,22 @@ int cmd_bench(const Args& args) {
     points = data::make_clustered(spec);
   } else if (type == "noaa") {
     data::NoaaSpec spec;
-    spec.stations = args.num("stations", 150);
     spec.readings_per_station = args.num("readings", 40);
+    // --points scales the workload by total reading count (satellite knob for
+    // the large-scale configs); --stations keeps the legacy station-count
+    // interface. The 150 x 40 = 6k default is the cheap tier-2 gate config.
+    spec.stations = args.has("points")
+                        ? args.num("points", 6000) /
+                              std::max<std::size_t>(1, spec.readings_per_station)
+                        : args.num("stations", 150);
     spec.seed = args.num("seed", 1973);
     seed = spec.seed;
     points = data::make_noaa_like(spec);
   } else {
     usage("unknown --type " + type);
   }
-  const PointSet queries = data::sample_queries(points, args.num("num-queries", 64), 0.0,
-                                                seed + 1);
+  const PointSet queries = data::sample_queries(
+      points, args.num("queries", args.num("num-queries", 64)), 0.0, seed + 1);
   const std::size_t degree = args.num("degree", 64);
   sstree::KMeansBuildOptions build_opts;
   const sstree::BuildOutput built = sstree::build_kmeans(points, degree, build_opts);
@@ -350,9 +371,11 @@ int cmd_bench(const Args& args) {
   knn::GpuKnnOptions gpu;
   gpu.k = args.num("k", 16);
   for (const std::string& name : algos) {
-    // base accessed_bytes of this algorithm, for the snapshot ratio fields;
-    // nobound bytes for the bound-sharing ratio (the sharded gate metric).
+    // base accessed_bytes of this algorithm, for the arena ratio fields;
+    // snapshot bytes for the implicit-vs-snapshot gate ratio; nobound bytes
+    // for the bound-sharing ratio (the sharded gate metric).
     double base_bytes = -1.0;
+    double snapshot_bytes = -1.0;
     double nobound_bytes = -1.0;
     for (const std::string& variant : variants) {
       engine::BatchEngineOptions eng_opts;
@@ -361,6 +384,9 @@ int cmd_bench(const Args& args) {
       eng_opts.warp_queries = args.num("warp-queries", 32);
       const bool sharded = variant == "sharded" || variant == "sharded_nobound";
       std::string prefix = name;
+      // The engine traces under its own algorithm name; only the stackless
+      // escape walker replaces the algorithm, the other variants keep it.
+      std::string trace_name = name;
       if (variant == "snapshot") {
         eng_opts.use_snapshot = true;
         prefix += "_snapshot";
@@ -368,6 +394,18 @@ int cmd_bench(const Args& args) {
         eng_opts.use_snapshot = true;
         eng_opts.reorder_queries = true;
         prefix += "_snapshot_reorder";
+      } else if (variant == "implicit") {
+        // Accounting ablation: same link-walking traversal, fetches charged
+        // through the pointer-free preorder arena.
+        eng_opts.layout = engine::NodeLayout::kImplicit;
+        prefix += "_implicit";
+      } else if (variant == "implicit_stackless") {
+        // The eighth traversal variant: stackless escape-index walk, the one
+        // algorithm physically realizable on the pointer-free arena.
+        eng_opts.layout = engine::NodeLayout::kImplicit;
+        eng_opts.algorithm = engine::Algorithm::kImplicitStackless;
+        trace_name = "implicit_stackless";
+        prefix += "_implicit_stackless";
       } else if (sharded) {
         prefix += "_" + variant;
       } else if (variant != "base") {
@@ -395,8 +433,8 @@ int cmd_bench(const Args& args) {
         result = std::move(run.result);
         report = std::move(run.trace);
       }
-      const obs::AlgorithmTrace* trace = report.find(name);
-      PSB_ASSERT(trace != nullptr, "engine produced no trace for " + name);
+      const obs::AlgorithmTrace* trace = report.find(trace_name);
+      PSB_ASSERT(trace != nullptr, "engine produced no trace for " + trace_name);
       const obs::QueryTrace totals = trace->totals();
 
       using obs::TraceCounter;
@@ -427,13 +465,65 @@ int cmd_bench(const Args& args) {
           w.field(prefix + ".accessed_bytes_vs_nobound_ratio",
                   static_cast<double>(accessed) / nobound_bytes);
         }
-      } else if (base_bytes > 0.0) {
-        // < 1.0 means the arena variant moved fewer global-memory bytes than
-        // the pointer walk; gated lower-is-better like every byte metric.
-        w.field(prefix + ".accessed_bytes_ratio",
-                static_cast<double>(accessed) / base_bytes);
+      } else {
+        if (base_bytes > 0.0) {
+          // < 1.0 means the arena variant moved fewer global-memory bytes than
+          // the pointer walk; gated lower-is-better like every byte metric.
+          w.field(prefix + ".accessed_bytes_ratio",
+                  static_cast<double>(accessed) / base_bytes);
+        }
+        if (variant == "snapshot") snapshot_bytes = static_cast<double>(accessed);
+        if ((variant == "implicit" || variant == "implicit_stackless") &&
+            snapshot_bytes > 0.0) {
+          // The implicit-layout headline: pointer-free records vs the
+          // pointer-carrying snapshot arena. < 1.0 is the ISSUE 6 gate. List
+          // snapshot before the implicit variants in --variants to get it.
+          w.field(prefix + ".accessed_bytes_vs_snapshot_ratio",
+                  static_cast<double>(accessed) / snapshot_bytes);
+        }
       }
     }
+  }
+
+  // Optional construction bench (--construction-points > 0): Hilbert
+  // bulk-load of a scaled noaa_synth set — the 1M-point configuration
+  // stresses the Hilbert/radix-sort path — plus the pointer-free arena
+  // placement over the result. Node counts and arena bytes are deterministic
+  // and gated; wall time is exported for the candidate only (bench_gate
+  // treats candidate-only fields as ungated notes) but blowing
+  // --construction-budget-ms fails the run outright.
+  const std::size_t cons_points = args.num("construction-points", 0);
+  if (cons_points > 0) {
+    data::NoaaSpec cspec;
+    cspec.readings_per_station = args.num("construction-readings", 50);
+    cspec.stations =
+        cons_points / std::max<std::size_t>(1, cspec.readings_per_station);
+    cspec.seed = args.num("seed", 1973);
+    const PointSet cons = data::make_noaa_like(cspec);
+    const std::size_t cons_degree = args.num("construction-degree", 128);
+    sstree::HilbertBuildOptions hopts;
+    const sstree::BuildOutput cbuilt = sstree::build_hilbert(cons, cons_degree, hopts);
+    cbuilt.tree.validate();
+    const double budget_ms = args.real("construction-budget-ms", 0.0);
+    if (budget_ms > 0.0 && cbuilt.host_build_seconds * 1000.0 > budget_ms) {
+      throw InternalError("construction budget exceeded: " +
+                          std::to_string(cbuilt.host_build_seconds * 1000.0) + " ms > " +
+                          std::to_string(budget_ms) + " ms for " +
+                          std::to_string(cons.size()) + " points");
+    }
+    const layout::ImplicitLayout clay(cbuilt.tree);
+    const auto s = cbuilt.tree.stats();
+    const layout::ImplicitLayout::Stats ls = clay.stats();
+    w.field("construction.points", static_cast<std::uint64_t>(cons.size()));
+    w.field("construction.degree", static_cast<std::uint64_t>(cons_degree));
+    w.field("construction.nodes", static_cast<std::uint64_t>(s.nodes));
+    w.field("construction.height", static_cast<std::uint64_t>(s.height));
+    w.field("construction.implicit_arena_bytes", static_cast<std::uint64_t>(ls.arena_bytes));
+    w.field("construction.pointer_arena_bytes",
+            static_cast<std::uint64_t>(ls.pointer_arena_bytes));
+    w.field("construction.arena_bytes_ratio",
+            static_cast<double>(ls.arena_bytes) / static_cast<double>(ls.pointer_arena_bytes));
+    w.field("construction.host_build_seconds", cbuilt.host_build_seconds);
   }
   w.end_object();
   obs::write_text_file(out, w.str());
@@ -506,7 +596,7 @@ int cmd_faultcamp(const Args& args) {
   const engine::Algorithm algos[] = {
       engine::Algorithm::kPsb, engine::Algorithm::kBestFirst,
       engine::Algorithm::kBranchAndBound, engine::Algorithm::kStacklessRestart,
-      engine::Algorithm::kStacklessSkip};
+      engine::Algorithm::kStacklessSkip, engine::Algorithm::kImplicitStackless};
   constexpr std::size_t kNumAlgos = sizeof(algos) / sizeof(algos[0]);
 
   // Sharded engines for the engine.shard.slice site, one per algorithm,
@@ -612,6 +702,11 @@ int cmd_faultcamp(const Args& args) {
       eo.algorithm = algos[algo_idx];
       eo.gpu = gpu;
       eo.use_snapshot = true;
+      // The escape-bitflip site only exists on an engine-owned implicit
+      // arena, so its iterations serve through the pointer-free layout
+      // whatever the algorithm (per-segment CRC catches the flip and the
+      // engine degrades to the pointer path — counted, never silent).
+      if (site == fault::kSiteImplicitEscape) eo.layout = engine::NodeLayout::kImplicit;
       eo.warp_queries = 4;
       eo.num_threads = 2;
       const engine::BatchEngine eng(built.tree, eo);
