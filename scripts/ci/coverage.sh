@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # CI job: line-coverage gate over the serving core (src/knn, src/shard,
-# src/engine, src/layout). Builds a --coverage-instrumented tree, runs the tier1 suite,
+# src/engine, src/layout, src/serve). Builds a --coverage-instrumented tree, runs the tier1 suite,
 # and has gcovr aggregate line coverage across every translation unit —
 # library objects and test binaries alike, so header-heavy modules get full
 # credit. The HTML + JSON reports are staged under $ARTIFACT_DIR for the
@@ -41,7 +41,7 @@ mkdir -p "$ARTIFACT_DIR/coverage"
 echo "== gcovr line coverage (fail-under ${FAIL_UNDER_LINE}%) =="
 gcovr --root . "$BUILD_DIR" \
   --filter 'src/knn/' --filter 'src/shard/' --filter 'src/engine/' \
-  --filter 'src/layout/' \
+  --filter 'src/layout/' --filter 'src/serve/' \
   --exclude-throw-branches \
   --print-summary \
   --txt "$ARTIFACT_DIR/coverage/coverage.txt" \

@@ -20,7 +20,7 @@ case "$PRESET" in
     ;;
 esac
 
-ITERATIONS="${ITERATIONS:-600}"
+ITERATIONS="${ITERATIONS:-900}"
 ARTIFACTS="${ARTIFACTS:-ci-artifacts}"
 mkdir -p "$ARTIFACTS"
 

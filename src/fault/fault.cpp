@@ -20,6 +20,7 @@ constexpr SiteInfo kSites[] = {
     {kSiteQueryBudget, "force a pathologically small node budget on one query"},
     {kSiteWorkerSlice, "fail one worker's slice of a batch"},
     {kSiteShardSlice, "kill one (query, shard) pass of the sharded engine"},
+    {kSiteStreamFlush, "kill one flush dispatch of the streaming serving layer"},
 };
 
 }  // namespace

@@ -41,4 +41,10 @@ inline constexpr std::string_view kSiteWorkerSlice = "engine.worker_slice";
 /// failing that, an exact per-shard brute-force fallback).
 inline constexpr std::string_view kSiteShardSlice = "engine.shard.slice";
 
+/// Kill one flush dispatch of the streaming serving layer (simulates a
+/// backend failure mid-cohort; the flush is retried once and, failing that,
+/// the cohort is answered by an exact brute-force scan, flagged
+/// kDegradedFallback — never silently lost).
+inline constexpr std::string_view kSiteStreamFlush = "engine.stream.flush";
+
 }  // namespace psb::fault

@@ -1,0 +1,71 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace psb::obs {
+
+void Histogram::add(std::uint64_t value) {
+  samples_.push_back(value);
+  sum_ += value;
+}
+
+std::uint64_t Histogram::min() const noexcept {
+  if (samples_.empty()) return 0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+std::uint64_t Histogram::max() const noexcept {
+  if (samples_.empty()) return 0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+std::uint64_t Histogram::percentile(double p) const {
+  if (samples_.empty()) return 0;
+  PSB_REQUIRE(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+  std::vector<std::uint64_t> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  rank = std::clamp<std::size_t>(rank, 1, sorted.size());
+  return sorted[rank - 1];
+}
+
+std::vector<Histogram::Bucket> Histogram::buckets() const {
+  // 65 slots: bucket b holds values in (2^(b-1), 2^b] with bucket 0 = {0, 1}.
+  std::uint64_t counts[65] = {};
+  for (const std::uint64_t v : samples_) {
+    int b = 0;
+    while (b < 64 && (std::uint64_t{1} << b) < v) ++b;
+    ++counts[b];
+  }
+  std::vector<Bucket> out;
+  for (int b = 0; b < 65; ++b) {
+    if (counts[b] == 0) continue;
+    const std::uint64_t upper = b >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << b);
+    out.push_back({upper, counts[b]});
+  }
+  return out;
+}
+
+void Histogram::export_fields(JsonWriter& w, std::string_view prefix) const {
+  const std::string pre(prefix);
+  w.field(pre + ".count", static_cast<std::uint64_t>(count()));
+  w.field(pre + ".min", min());
+  w.field(pre + ".max", max());
+  w.field(pre + ".sum", sum());
+  if (!empty()) {
+    w.field(pre + ".p50", percentile(50));
+    w.field(pre + ".p90", percentile(90));
+    w.field(pre + ".p99", percentile(99));
+  }
+  for (const Bucket& b : buckets()) {
+    w.field(pre + ".le_" + std::to_string(b.upper), b.count);
+  }
+}
+
+}  // namespace psb::obs

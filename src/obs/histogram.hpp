@@ -1,0 +1,52 @@
+// Deterministic latency/size histogram for the serving layer's SLO metrics.
+//
+// Values are unsigned integers (virtual microseconds, bytes, depths) recorded
+// in arrival order. Percentiles are exact nearest-rank statistics over the
+// recorded samples — not bucket interpolations — so two runs that record the
+// same values export byte-identical numbers, the property the streaming
+// determinism tests diff. The power-of-two bucket counts exist for compact
+// flat-JSON export (one field per non-empty bucket), never for estimation.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace psb::obs {
+
+class JsonWriter;
+
+class Histogram {
+ public:
+  void add(std::uint64_t value);
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+  std::uint64_t min() const noexcept;  ///< 0 when empty
+  std::uint64_t max() const noexcept;  ///< 0 when empty
+  std::uint64_t sum() const noexcept { return sum_; }
+
+  /// Exact nearest-rank percentile: the ceil(p/100 * n)-th smallest sample
+  /// (p in (0, 100]; p = 50 on n = 4 returns the 2nd smallest). 0 when empty.
+  std::uint64_t percentile(double p) const;
+
+  /// Power-of-two bucket: counts values v with upper/2 < v <= upper (the
+  /// first bucket, upper = 1, also holds v = 0). Only non-empty buckets are
+  /// returned, ascending in upper.
+  struct Bucket {
+    std::uint64_t upper = 0;
+    std::uint64_t count = 0;
+  };
+  std::vector<Bucket> buckets() const;
+
+  /// Emit the histogram as flat JSON fields: <prefix>.count/.min/.max/.sum,
+  /// .p50/.p90/.p99, and one .le_<upper> field per non-empty bucket. The
+  /// field set and values are a pure function of the recorded multiset.
+  void export_fields(JsonWriter& w, std::string_view prefix) const;
+
+ private:
+  std::vector<std::uint64_t> samples_;
+  std::uint64_t sum_ = 0;
+};
+
+}  // namespace psb::obs

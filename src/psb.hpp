@@ -10,10 +10,11 @@
 // Individual module headers can be included directly for faster builds.
 #pragma once
 
-#include "obs/export.hpp"    // IWYU pragma: export
-#include "obs/json.hpp"      // IWYU pragma: export
-#include "obs/registry.hpp"  // IWYU pragma: export
-#include "obs/trace.hpp"     // IWYU pragma: export
+#include "obs/export.hpp"     // IWYU pragma: export
+#include "obs/histogram.hpp"  // IWYU pragma: export
+#include "obs/json.hpp"       // IWYU pragma: export
+#include "obs/registry.hpp"   // IWYU pragma: export
+#include "obs/trace.hpp"      // IWYU pragma: export
 
 #include "common/checksum.hpp"   // IWYU pragma: export
 #include "common/envelope.hpp"   // IWYU pragma: export
@@ -69,6 +70,10 @@
 #include "shard/partition.hpp"       // IWYU pragma: export
 #include "shard/result_cache.hpp"    // IWYU pragma: export
 #include "shard/sharded_engine.hpp"  // IWYU pragma: export
+
+#include "serve/arrivals.hpp"          // IWYU pragma: export
+#include "serve/buffer.hpp"            // IWYU pragma: export
+#include "serve/streaming_engine.hpp"  // IWYU pragma: export
 
 #include "kdtree/kdtree.hpp"             // IWYU pragma: export
 #include "kdtree/task_parallel_knn.hpp"  // IWYU pragma: export

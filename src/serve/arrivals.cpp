@@ -1,0 +1,140 @@
+#include "serve/arrivals.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace psb::serve {
+namespace {
+
+constexpr double kUsPerSecond = 1e6;
+
+std::uint64_t to_us(double seconds) {
+  return static_cast<std::uint64_t>(std::llround(seconds * kUsPerSecond));
+}
+
+/// One raw arrival before the final time sort.
+struct Raw {
+  std::uint64_t time_us;
+  std::size_t order;  ///< generation order, the stable tie-break
+  std::vector<Scalar> query;
+};
+
+}  // namespace
+
+ArrivalStream generate_arrivals(const PointSet& data, const ArrivalSpec& spec) {
+  PSB_REQUIRE(!data.empty(), "arrival generation needs a non-empty dataset");
+  PSB_REQUIRE(spec.rate_qps > 0, "rate_qps must be > 0");
+  PSB_REQUIRE(spec.duration_s > 0, "duration_s must be > 0");
+  PSB_REQUIRE(spec.diurnal_amplitude >= 0 && spec.diurnal_amplitude <= 1,
+              "diurnal_amplitude must be in [0, 1]");
+  PSB_REQUIRE(spec.diurnal_period_s > 0, "diurnal_period_s must be > 0");
+  PSB_REQUIRE(spec.burst_rate_per_s >= 0, "burst_rate_per_s must be >= 0");
+  PSB_REQUIRE(spec.burst_width_s >= 0, "burst_width_s must be >= 0");
+
+  const std::size_t dims = data.dims();
+  std::vector<Raw> raw;
+  std::vector<Scalar> p(dims);
+
+  // Base process: nonhomogeneous Poisson via Lewis–Shedler thinning against
+  // the peak rate. Candidate gaps are exponential at the peak; a candidate at
+  // time t survives with probability rate(t) / peak.
+  {
+    Rng rng(spec.seed);
+    const double peak = spec.rate_qps * (1.0 + spec.diurnal_amplitude);
+    double t = 0.0;
+    while (true) {
+      const double u = rng.next_double();
+      t += -std::log(1.0 - u) / peak;
+      if (t >= spec.duration_s) break;
+      const double rate =
+          spec.rate_qps *
+          (1.0 + spec.diurnal_amplitude *
+                     std::sin(2.0 * 3.14159265358979323846 * t / spec.diurnal_period_s));
+      if (rng.next_double() * peak >= rate) continue;  // thinned out
+      const std::span<const Scalar> src = data[rng.next_below(data.size())];
+      for (std::size_t i = 0; i < dims; ++i) {
+        p[i] = static_cast<Scalar>(static_cast<double>(src[i]) +
+                                   (spec.query_jitter > 0 ? rng.normal(0.0, spec.query_jitter)
+                                                          : 0.0));
+      }
+      raw.push_back({to_us(t), raw.size(), p});
+    }
+  }
+
+  // Burst overlay: burst starts are a homogeneous Poisson process; each burst
+  // scatters burst_size arrivals uniformly inside its window, all querying a
+  // Gaussian neighborhood of one hotspot point.
+  if (spec.burst_rate_per_s > 0 && spec.burst_size > 0) {
+    Rng rng(spec.seed ^ 0x9E3779B97F4A7C15ULL);
+    double start = 0.0;
+    while (true) {
+      start += -std::log(1.0 - rng.next_double()) / spec.burst_rate_per_s;
+      if (start >= spec.duration_s) break;
+      const std::span<const Scalar> hot = data[rng.next_below(data.size())];
+      for (std::size_t b = 0; b < spec.burst_size; ++b) {
+        const double t = std::min(start + rng.next_double() * spec.burst_width_s,
+                                  spec.duration_s);
+        for (std::size_t i = 0; i < dims; ++i) {
+          p[i] = static_cast<Scalar>(static_cast<double>(hot[i]) +
+                                     rng.normal(0.0, spec.burst_spread));
+        }
+        raw.push_back({to_us(t), raw.size(), p});
+      }
+    }
+  }
+
+  std::sort(raw.begin(), raw.end(), [](const Raw& a, const Raw& b) {
+    return a.time_us != b.time_us ? a.time_us < b.time_us : a.order < b.order;
+  });
+
+  ArrivalStream out;
+  out.queries = PointSet(dims);
+  out.queries.reserve(raw.size());
+  out.time_us.reserve(raw.size());
+  for (const Raw& r : raw) {
+    out.queries.append(r.query);
+    out.time_us.push_back(r.time_us);
+  }
+  return out;
+}
+
+ArrivalStream merge_streams(const ArrivalStream& a, const ArrivalStream& b) {
+  PSB_REQUIRE(a.queries.dims() == b.queries.dims() || a.size() == 0 || b.size() == 0,
+              "merged streams must share dimensionality");
+  const std::size_t dims = a.size() > 0 ? a.queries.dims() : b.queries.dims();
+  ArrivalStream out;
+  out.queries = PointSet(dims);
+  out.queries.reserve(a.size() + b.size());
+  out.time_us.reserve(a.size() + b.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() || j < b.size()) {
+    const bool take_a =
+        j >= b.size() || (i < a.size() && a.time_us[i] <= b.time_us[j]);
+    if (take_a) {
+      out.queries.append(a.queries[i]);
+      out.time_us.push_back(a.time_us[i]);
+      ++i;
+    } else {
+      out.queries.append(b.queries[j]);
+      out.time_us.push_back(b.time_us[j]);
+      ++j;
+    }
+  }
+  return out;
+}
+
+ArrivalStream scale_stream(const ArrivalStream& s, std::uint64_t factor) {
+  PSB_REQUIRE(factor > 0, "time-scale factor must be > 0");
+  ArrivalStream out;
+  out.queries = s.queries;
+  out.time_us.reserve(s.size());
+  for (const std::uint64_t t : s.time_us) out.time_us.push_back(t * factor);
+  return out;
+}
+
+}  // namespace psb::serve

@@ -1,0 +1,67 @@
+// Deterministic arrival-process generator for the streaming serving layer.
+//
+// Production kNN traffic is a continuous stream, not an offline batch. This
+// module models it on a *virtual clock* (unsigned microseconds): a Poisson
+// base process whose instantaneous rate is modulated by a diurnal sine wave,
+// overlaid with hotspot bursts — short windows in which many clients query
+// the neighborhood of one data point (the coherence opportunity the buffered
+// serving path exploits). Everything is a pure function of (dataset, spec):
+// the same seed always yields the same arrival times and query coordinates,
+// which is what makes the streaming test battery and the bench gate possible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/points.hpp"
+
+namespace psb::serve {
+
+struct ArrivalSpec {
+  /// Poisson base rate in queries per virtual second.
+  double rate_qps = 1000.0;
+  /// Stream length in virtual seconds.
+  double duration_s = 1.0;
+  /// Diurnal modulation: instantaneous rate = rate_qps *
+  /// (1 + diurnal_amplitude * sin(2*pi*t / diurnal_period_s)), realized by
+  /// thinning. 0 = a homogeneous Poisson process. Must be in [0, 1].
+  double diurnal_amplitude = 0.0;
+  double diurnal_period_s = 1.0;
+  /// Hotspot bursts: burst starts form their own Poisson process at this
+  /// rate (bursts per virtual second); each burst adds burst_size arrivals
+  /// inside a burst_width_s window, every one querying a Gaussian
+  /// neighborhood (burst_spread) of one uniformly drawn hotspot data point.
+  double burst_rate_per_s = 0.0;
+  std::size_t burst_size = 32;
+  double burst_width_s = 0.005;
+  double burst_spread = 1.0;
+  /// Base-process query points are dataset points perturbed by an isotropic
+  /// Gaussian of this standard deviation (0 = queries on data points).
+  double query_jitter = 0.0;
+  std::uint64_t seed = 2016;
+};
+
+/// A generated (or merged) arrival stream: arrival i queries `queries[i]` at
+/// virtual time `time_us[i]`. Times are nondecreasing.
+struct ArrivalStream {
+  PointSet queries;
+  std::vector<std::uint64_t> time_us;
+
+  std::size_t size() const noexcept { return time_us.size(); }
+};
+
+/// Generate a stream over `data` (used for hotspot/base query sampling).
+/// Deterministic in (data, spec); arrivals are sorted by time with stable
+/// generation-order tie-breaks.
+ArrivalStream generate_arrivals(const PointSet& data, const ArrivalSpec& spec);
+
+/// Merge two streams into one, ordered by arrival time (ties: `a` first,
+/// then stream-internal order). The union of queries is preserved exactly —
+/// the metamorphic contract that a merged run answers both streams.
+ArrivalStream merge_streams(const ArrivalStream& a, const ArrivalStream& b);
+
+/// Multiply every arrival time by an integer constant (the metamorphic
+/// time-scaling transformation; exact, no rounding).
+ArrivalStream scale_stream(const ArrivalStream& s, std::uint64_t factor);
+
+}  // namespace psb::serve

@@ -1,0 +1,70 @@
+#include "serve/buffer.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace psb::serve {
+
+CellRouter::CellRouter(const PointSet& data, int cell_bits)
+    : dims_(data.dims()), cell_bits_(cell_bits) {
+  PSB_REQUIRE(!data.empty(), "cell router needs a non-empty dataset");
+  PSB_REQUIRE(cell_bits >= 1 && cell_bits <= 16, "cell_bits must be in [1, 16]");
+  bounds_ = hilbert::bounding_rect(data);
+  if (dims_ <= 64) {
+    // Clamp total key width to one 64-bit word so route() can return the
+    // most-significant word as the complete cell key.
+    const int bits = std::min<int>(cell_bits_, static_cast<int>(64 / dims_));
+    if (bits >= 1) encoder_.emplace_back(dims_, bits);
+  }
+}
+
+std::uint64_t CellRouter::route(std::span<const Scalar> p) const {
+  if (encoder_.empty()) return 0;
+  std::uint64_t key[1] = {0};
+  encoder_.front().encode_point(p, bounds_, key);
+  return key[0];
+}
+
+std::size_t CohortBuffers::admit(std::uint64_t cell, const Pending& p) {
+  auto& q = buffers_[cell];
+  q.push_back(p);
+  ++pending_;
+  return q.size();
+}
+
+std::vector<CohortBuffers::Pending> CohortBuffers::take(std::uint64_t cell) {
+  auto it = buffers_.find(cell);
+  PSB_REQUIRE(it != buffers_.end(), "take() on an empty cell");
+  std::vector<Pending> out(it->second.begin(), it->second.end());
+  pending_ -= out.size();
+  buffers_.erase(it);
+  return out;
+}
+
+CohortBuffers::NextDeadline CohortBuffers::next_deadline(std::uint64_t deadline_us,
+                                                         std::uint64_t horizon_us) const {
+  PSB_REQUIRE(pending_ > 0, "next_deadline() with no pending queries");
+  const std::uint64_t slack = horizon_us < deadline_us ? deadline_us - horizon_us : 0;
+  NextDeadline best;
+  bool found = false;
+  // std::map iterates in ascending key order, so the first cell achieving the
+  // minimum time wins — the documented smallest-cell tie-break.
+  for (const auto& [cell, queue] : buffers_) {
+    const std::uint64_t t = queue.front().arrival_us + slack;
+    if (!found || t < best.time_us) {
+      best = {t, cell};
+      found = true;
+    }
+  }
+  return best;
+}
+
+std::vector<std::uint64_t> CohortBuffers::active_cells() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(buffers_.size());
+  for (const auto& [cell, queue] : buffers_) out.push_back(cell);
+  return out;
+}
+
+}  // namespace psb::serve

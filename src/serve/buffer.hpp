@@ -1,0 +1,78 @@
+// Per-subtree query buffering for the streaming serving layer.
+//
+// Arriving queries are routed to a buffer keyed by their coarse Hilbert cell
+// (the same space-filling curve the tree build and the reorder_queries cohort
+// former use), so a flushed cohort is spatially coherent: its queries descend
+// the same subtrees and share fetch windows in snapshot mode. A buffer
+// flushes when it reaches capacity, or when its oldest member's deadline
+// budget drops below the flush horizon — the "bigger buffer" policy from
+// arXiv 1512.02831 adapted to an SLO-aware virtual clock.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/points.hpp"
+#include "hilbert/hilbert.hpp"
+
+namespace psb::serve {
+
+/// Maps query points to coarse Hilbert cells. The grid covers the dataset's
+/// bounding rectangle at `cell_bits` bits per dimension; queries outside the
+/// rectangle clamp to the boundary cells. Dimensionalities beyond the Hilbert
+/// encoder's 64-axis limit collapse to a single cell (pure FIFO buffering).
+class CellRouter {
+ public:
+  CellRouter(const PointSet& data, int cell_bits);
+
+  /// Cell key for a query point (the most-significant key word — cell_bits is
+  /// small enough that one word always suffices for dims <= 64).
+  std::uint64_t route(std::span<const Scalar> p) const;
+
+ private:
+  std::size_t dims_;
+  int cell_bits_;
+  Rect bounds_;
+  std::vector<hilbert::Encoder> encoder_;  ///< empty when collapsed to one cell
+};
+
+/// The admission-side buffer pool: one FIFO of pending arrival indices per
+/// active cell. Pure bookkeeping — the StreamingEngine owns the clock and the
+/// flush decisions; this class answers "which cell must flush next and when".
+class CohortBuffers {
+ public:
+  struct Pending {
+    std::size_t arrival_index = 0;
+    std::uint64_t arrival_us = 0;
+  };
+
+  /// Append a query to its cell buffer. Returns the buffer's new size.
+  std::size_t admit(std::uint64_t cell, const Pending& p);
+
+  /// Remove and return the cell's pending queries (oldest first).
+  std::vector<Pending> take(std::uint64_t cell);
+
+  /// Earliest deadline-driven flush over all non-empty buffers:
+  /// min over cells of (oldest arrival + deadline - horizon), smallest cell
+  /// key breaking ties. Valid only when pending() > 0.
+  struct NextDeadline {
+    std::uint64_t time_us = 0;
+    std::uint64_t cell = 0;
+  };
+  NextDeadline next_deadline(std::uint64_t deadline_us, std::uint64_t horizon_us) const;
+
+  /// Non-empty cell keys in ascending order (the end-of-stream drain order).
+  std::vector<std::uint64_t> active_cells() const;
+
+  /// Total queries currently buffered across all cells.
+  std::size_t pending() const noexcept { return pending_; }
+
+ private:
+  std::map<std::uint64_t, std::deque<Pending>> buffers_;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace psb::serve

@@ -1,0 +1,258 @@
+#include "serve/streaming_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <queue>
+
+#include "common/error.hpp"
+#include "fault/fault.hpp"
+#include "fault/sites.hpp"
+#include "knn/brute_force.hpp"
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+
+namespace psb::serve {
+
+std::string_view dispatch_mode_name(DispatchMode m) noexcept {
+  switch (m) {
+    case DispatchMode::kNaive: return "naive";
+    case DispatchMode::kBuffered: return "buffered";
+  }
+  return "unknown";
+}
+
+DispatchMode parse_dispatch_mode(std::string_view name) {
+  if (name == "naive") return DispatchMode::kNaive;
+  if (name == "buffered") return DispatchMode::kBuffered;
+  throw InvalidArgument("unknown dispatch mode: " + std::string(name));
+}
+
+namespace {
+
+void validate(const StreamingOptions& opts) {
+  PSB_REQUIRE(opts.engine.deadline_ms == 0,
+              "StreamingOptions owns deadline semantics; engine.deadline_ms must be 0");
+  PSB_REQUIRE(opts.buffer_capacity >= 1, "buffer_capacity must be >= 1");
+  PSB_REQUIRE(opts.deadline_us > 0, "deadline_us must be > 0");
+  PSB_REQUIRE(opts.service_time_scale >= 1, "service_time_scale must be >= 1");
+}
+
+}  // namespace
+
+StreamingEngine::StreamingEngine(const sstree::SSTree& tree, StreamingOptions opts)
+    : opts_(std::move(opts)),
+      batch_(std::make_unique<engine::BatchEngine>(tree, opts_.engine)),
+      data_(&tree.data()),
+      router_(tree.data(), opts_.cell_bits) {
+  validate(opts_);
+}
+
+StreamingEngine::StreamingEngine(shard::ShardedEngine& sharded, const PointSet& data,
+                                 StreamingOptions opts)
+    : opts_(std::move(opts)), sharded_(&sharded), data_(&data), router_(data, opts_.cell_bits) {
+  validate(opts_);
+  PSB_REQUIRE(sharded.options().engine.deadline_ms == 0,
+              "StreamingOptions owns deadline semantics; engine.deadline_ms must be 0");
+}
+
+struct StreamingEngine::FlushOutcome {
+  knn::BatchResult result;
+  std::uint64_t service_us = 0;
+  bool faulted = false;
+  bool retried = false;
+  bool brute_forced = false;
+};
+
+StreamingEngine::FlushOutcome StreamingEngine::dispatch(const PointSet& cohort) {
+  FlushOutcome out;
+  // The engine.stream.flush fault kills a dispatch attempt. First fire:
+  // retry the flush (the one-shot default leaves the retry clean — masked).
+  // Second fire: answer the cohort by an exact per-query brute-force scan,
+  // flagged kDegradedFallback. Every extra attempt costs one more
+  // dispatch_overhead_us on the virtual clock.
+  std::uint64_t attempts = 1;
+  if (fault::evaluate(fault::kSiteStreamFlush)) {
+    out.faulted = true;
+    ++attempts;
+    if (fault::evaluate(fault::kSiteStreamFlush)) {
+      out.brute_forced = true;
+      ++attempts;
+    } else {
+      out.retried = true;
+    }
+  }
+  if (out.brute_forced) {
+    knn::GpuKnnOptions g;
+    g.k = opts_.engine.gpu.k;
+    g.device = opts_.engine.gpu.device;
+    out.result = knn::brute_force_batch(*data_, cohort, g);
+    for (knn::QueryResult& q : out.result.queries) {
+      q.status = knn::QueryStatus::kDegradedFallback;
+    }
+  } else {
+    out.result = batch_ ? batch_->run(cohort) : sharded_->run(cohort);
+  }
+  const auto kernel_us =
+      static_cast<std::uint64_t>(std::llround(out.result.timing.wall_ms * 1000.0));
+  out.service_us =
+      attempts * opts_.dispatch_overhead_us + kernel_us * opts_.service_time_scale;
+  return out;
+}
+
+StreamingReport StreamingEngine::run(const ArrivalStream& stream) {
+  StreamingReport report;
+  report.arrivals = stream.size();
+  report.queries.resize(stream.size());
+  if (stream.size() > 0) {
+    PSB_REQUIRE(stream.queries.dims() == data_->dims(),
+                "stream dimensionality must match the indexed dataset");
+  }
+
+  CohortBuffers buffers;
+  // Completion times of dispatched queries still counted as in-flight for the
+  // backpressure depth (one entry per query).
+  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>, std::greater<>> inflight;
+  std::uint64_t server_free = 0;
+  std::uint64_t flush_seq = 0;
+
+  enum class FlushKind { kFull, kDeadline, kDrain };
+  const auto flush_cell = [&](std::uint64_t cell, std::uint64_t now, FlushKind kind) {
+    const std::vector<CohortBuffers::Pending> pend = buffers.take(cell);
+    PointSet cohort(stream.queries.dims());
+    cohort.reserve(pend.size());
+    for (const CohortBuffers::Pending& p : pend) cohort.append(stream.queries[p.arrival_index]);
+
+    FlushOutcome out = dispatch(cohort);
+    const std::uint64_t start = std::max(now, server_free);
+    const std::uint64_t end = start + out.service_us;
+    server_free = end;
+
+    ++flush_seq;
+    ++report.flushes;
+    switch (kind) {
+      case FlushKind::kFull: ++report.flush_full; break;
+      case FlushKind::kDeadline: ++report.flush_deadline; break;
+      case FlushKind::kDrain: ++report.flush_drain; break;
+    }
+    if (out.faulted) ++report.flush_faults;
+    if (out.retried) ++report.flush_retries;
+    if (out.brute_forced) ++report.flush_brute_forced;
+    report.accessed_bytes += out.result.metrics.total_bytes();
+    report.span_us = std::max(report.span_us, end);
+
+    for (std::size_t i = 0; i < pend.size(); ++i) {
+      StreamedQuery& q = report.queries[pend[i].arrival_index];
+      knn::QueryResult& r = out.result.queries[i];
+      q.neighbors = std::move(r.neighbors);
+      q.status = r.status;
+      q.latency_us = end - pend[i].arrival_us;
+      q.flush_id = flush_seq;
+      q.cell = cell;
+      if (q.latency_us > opts_.deadline_us) {
+        q.deadline_missed = true;
+        ++report.deadline_misses;
+        if (q.status == knn::QueryStatus::kOk) q.status = knn::QueryStatus::kDeadlinePartial;
+      }
+      if (q.status != knn::QueryStatus::kOk) ++report.degraded;
+      report.latency_us.add(q.latency_us);
+      ++report.answered;
+      inflight.push(end);
+    }
+  };
+
+  std::uint64_t t_end = 0;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const std::uint64_t t = stream.time_us[i];
+    t_end = t;
+
+    // Deadline flushes due before (or tied with) this arrival fire first.
+    while (opts_.mode == DispatchMode::kBuffered && buffers.pending() > 0) {
+      const CohortBuffers::NextDeadline nd =
+          buffers.next_deadline(opts_.deadline_us, opts_.flush_horizon_us);
+      if (nd.time_us > t) break;
+      flush_cell(nd.cell, nd.time_us, FlushKind::kDeadline);
+    }
+
+    while (!inflight.empty() && inflight.top() <= t) inflight.pop();
+    const std::uint64_t cell = router_.route(stream.queries[i]);
+
+    const std::size_t depth = buffers.pending() + inflight.size();
+    if (opts_.admission_queue_bound > 0 && depth >= opts_.admission_queue_bound) {
+      StreamedQuery& q = report.queries[i];
+      q.shed = true;
+      q.cell = cell;
+      // A shed arrival has no answer; flag it inexact so nothing downstream
+      // can mistake the empty list for an exact result.
+      q.status = knn::QueryStatus::kDeadlinePartial;
+      ++report.shed;
+      continue;
+    }
+    ++report.admitted;
+    report.max_queue_depth = std::max<std::uint64_t>(report.max_queue_depth, depth + 1);
+
+    const std::size_t size = buffers.admit(cell, {i, t});
+    if (opts_.mode == DispatchMode::kNaive || size >= opts_.buffer_capacity) {
+      flush_cell(cell, t, FlushKind::kFull);
+    }
+  }
+
+  // End of stream: drain every remaining buffer at the final arrival time,
+  // ascending cell-key order — deterministic, and nothing is left behind.
+  for (const std::uint64_t cell : buffers.active_cells()) {
+    flush_cell(cell, t_end, FlushKind::kDrain);
+  }
+  PSB_ASSERT(buffers.pending() == 0, "drain left queries buffered");
+  PSB_ASSERT(report.answered == report.admitted, "admitted query lost without an answer");
+
+  obs::Registry& reg = obs::Registry::global();
+  reg.add("serve.streams", 1);
+  reg.add("serve.arrivals", report.arrivals);
+  reg.add("serve.admitted", report.admitted);
+  reg.add("serve.answered", report.answered);
+  reg.add("serve.shed", report.shed);
+  reg.add("serve.flushes", report.flushes);
+  reg.add("serve.flush_full", report.flush_full);
+  reg.add("serve.flush_deadline", report.flush_deadline);
+  reg.add("serve.flush_drain", report.flush_drain);
+  reg.add("serve.flush_faults", report.flush_faults);
+  reg.add("serve.flush_retries", report.flush_retries);
+  reg.add("serve.flush_brute_forced", report.flush_brute_forced);
+  reg.add("serve.deadline_misses", report.deadline_misses);
+  reg.add("serve.degraded", report.degraded);
+  return report;
+}
+
+void streaming_report_fields(obs::JsonWriter& w, const StreamingReport& report,
+                             std::string_view label) {
+  const std::string pre(label);
+  w.field(pre + ".arrivals", report.arrivals);
+  w.field(pre + ".admitted", report.admitted);
+  w.field(pre + ".answered", report.answered);
+  w.field(pre + ".shed", report.shed);
+  w.field(pre + ".flushes", report.flushes);
+  w.field(pre + ".flush_full", report.flush_full);
+  w.field(pre + ".flush_deadline", report.flush_deadline);
+  w.field(pre + ".flush_drain", report.flush_drain);
+  w.field(pre + ".flush_faults", report.flush_faults);
+  w.field(pre + ".flush_retries", report.flush_retries);
+  w.field(pre + ".flush_brute_forced", report.flush_brute_forced);
+  w.field(pre + ".deadline_misses", report.deadline_misses);
+  w.field(pre + ".degraded", report.degraded);
+  w.field(pre + ".max_queue_depth", report.max_queue_depth);
+  w.field(pre + ".accessed_bytes", report.accessed_bytes);
+  w.field(pre + ".span_us", report.span_us);
+  w.field(pre + ".throughput_qps", report.throughput_qps());
+  report.latency_us.export_fields(w, pre + ".latency_us");
+}
+
+std::string streaming_report_to_json(const StreamingReport& report, std::string_view label) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "psb.stream.v1");
+  streaming_report_fields(w, report, label);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace psb::serve

@@ -10,7 +10,10 @@
 #include "common/geometry.hpp"
 #include "fault/fault.hpp"
 #include "fault/sites.hpp"
+#include "serve/arrivals.hpp"
+#include "serve/streaming_engine.hpp"
 #include "shard/sharded_engine.hpp"
+#include "sstree/builders.hpp"
 #include "test_util.hpp"
 
 namespace psb::fault {
@@ -18,7 +21,7 @@ namespace {
 
 TEST(FaultRegistry, AllSitesRegisteredAndNamed) {
   const auto all = sites();
-  ASSERT_GE(all.size(), 7u);
+  ASSERT_GE(all.size(), 9u);
   for (const SiteInfo& s : all) {
     EXPECT_FALSE(s.name.empty());
     EXPECT_FALSE(s.description.empty());
@@ -32,6 +35,7 @@ TEST(FaultRegistry, AllSitesRegisteredAndNamed) {
   EXPECT_TRUE(is_site(kSiteQueryBudget));
   EXPECT_TRUE(is_site(kSiteWorkerSlice));
   EXPECT_TRUE(is_site(kSiteShardSlice));
+  EXPECT_TRUE(is_site(kSiteStreamFlush));
   EXPECT_FALSE(is_site("no.such.site"));
 }
 
@@ -175,6 +179,82 @@ TEST(ShardSliceFault, RerunMasksThenBruteForceFlags) {
     const knn::BatchResult got = eng.run(queries);
     EXPECT_EQ(scope.fired(kSiteShardSlice), 2u);
     EXPECT_FALSE(got.all_ok()) << "double slice death must surface a degraded status";
+    bool degraded = false;
+    for (const auto& q : got.queries) {
+      degraded |= q.status == knn::QueryStatus::kDegradedFallback;
+    }
+    EXPECT_TRUE(degraded);
+    expect_same(got, "brute fallback");
+  }
+}
+
+// engine.stream.flush end to end: a killed flush dispatch is retried once
+// (masked — clean answers, only the retry counter moves) and, when the retry
+// is killed too, the cohort is answered by the exact per-query brute-force
+// scan flagged kDegradedFallback. In both cases every answer stays
+// bit-identical to the fault-free run: never unflagged-wrong.
+TEST(StreamFlushFault, RetryMasksThenBruteForceFlags) {
+  const PointSet data = test::small_clustered(3, 300, 4041);
+  const PointSet queries = test::random_queries(3, 12, 4042);
+  serve::ArrivalStream stream;
+  stream.queries = PointSet(3);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    stream.queries.append(queries[i]);
+    stream.time_us.push_back(i * 500);
+  }
+
+  const sstree::BuildOutput built = sstree::build_kmeans(data, 12, {});
+  serve::StreamingOptions so;
+  so.engine.gpu.k = 6;
+  so.engine.num_threads = 1;
+  so.buffer_capacity = 4;
+  so.engine.warp_queries = 4;
+  so.deadline_us = 1'000'000'000;  // no deadline interference: only the fault flags
+  so.admission_queue_bound = 0;
+  so.cell_bits = 2;
+
+  serve::StreamingEngine clean_eng(built.tree, so);
+  const serve::StreamingReport clean = clean_eng.run(stream);
+  ASSERT_EQ(clean.answered, stream.size());
+  ASSERT_EQ(clean.degraded, 0u);
+
+  const auto expect_same = [&](const serve::StreamingReport& got, const char* label) {
+    ASSERT_EQ(got.queries.size(), clean.queries.size()) << label;
+    for (std::size_t q = 0; q < clean.queries.size(); ++q) {
+      const auto& want = clean.queries[q].neighbors;
+      const auto& have = got.queries[q].neighbors;
+      ASSERT_EQ(have.size(), want.size()) << label << " query " << q;
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(have[i].id, want[i].id) << label << " query " << q;
+        EXPECT_EQ(have[i].dist, want[i].dist) << label << " query " << q;
+      }
+    }
+  };
+
+  {
+    // One-shot death: the second dispatch attempt sees a clean site — the
+    // flush retries and the fault is masked (exact, unflagged, counted).
+    InjectionScope scope(Spec{std::string(kSiteStreamFlush), 77, /*trigger=*/1, /*count=*/1});
+    serve::StreamingEngine eng(built.tree, so);
+    const serve::StreamingReport got = eng.run(stream);
+    EXPECT_EQ(scope.fired(kSiteStreamFlush), 1u);
+    EXPECT_EQ(got.flush_faults, 1u);
+    EXPECT_EQ(got.flush_retries, 1u);
+    EXPECT_EQ(got.flush_brute_forced, 0u);
+    EXPECT_EQ(got.degraded, 0u) << "retry should mask a one-shot flush death";
+    expect_same(got, "masked");
+  }
+  {
+    // Double death: the retry dies too, forcing the flagged exact fallback
+    // for that cohort only.
+    InjectionScope scope(Spec{std::string(kSiteStreamFlush), 77, /*trigger=*/1, /*count=*/2});
+    serve::StreamingEngine eng(built.tree, so);
+    const serve::StreamingReport got = eng.run(stream);
+    EXPECT_EQ(scope.fired(kSiteStreamFlush), 2u);
+    EXPECT_EQ(got.flush_faults, 1u);
+    EXPECT_EQ(got.flush_retries, 0u);
+    EXPECT_EQ(got.flush_brute_forced, 1u);
+    EXPECT_GT(got.degraded, 0u) << "double flush death must surface a degraded status";
     bool degraded = false;
     for (const auto& q : got.queries) {
       degraded |= q.status == knn::QueryStatus::kDegradedFallback;

@@ -17,6 +17,7 @@
 #include "knn/stackless_baselines.hpp"
 #include "knn/task_parallel_sstree.hpp"
 #include "obs/export.hpp"
+#include "obs/histogram.hpp"
 #include "obs/json.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
@@ -75,6 +76,96 @@ TEST(Registry, ConcurrentAddsAreLossless) {
   }
   for (auto& t : pool) t.join();
   EXPECT_EQ(reg.counter("hits").load(), 4000U);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram (the streaming layer's SLO metrics)
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, EmptyHistogramIsAllZeros) {
+  obs::Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0U);
+  EXPECT_EQ(h.min(), 0U);
+  EXPECT_EQ(h.max(), 0U);
+  EXPECT_EQ(h.sum(), 0U);
+  EXPECT_EQ(h.percentile(50), 0U);
+  EXPECT_EQ(h.percentile(99), 0U);
+  EXPECT_TRUE(h.buckets().empty());
+  obs::JsonWriter w;
+  w.begin_object();
+  h.export_fields(w, "lat");
+  w.end_object();
+  const std::string doc = w.str();
+  EXPECT_NE(doc.find("\"lat.count\": 0"), std::string::npos);
+  EXPECT_EQ(doc.find("le_"), std::string::npos);  // no empty buckets emitted
+}
+
+TEST(Histogram, PercentileIsExactNearestRank) {
+  obs::Histogram h;
+  // Insertion order must not matter: percentiles are over the sorted multiset.
+  for (const std::uint64_t v : {30U, 10U, 40U, 20U}) h.add(v);
+  // n = 4: rank = ceil(p/100 * 4), so p50 -> 2nd smallest, p99 -> 4th.
+  EXPECT_EQ(h.percentile(25), 10U);
+  EXPECT_EQ(h.percentile(50), 20U);
+  EXPECT_EQ(h.percentile(75), 30U);
+  EXPECT_EQ(h.percentile(99), 40U);
+  EXPECT_EQ(h.percentile(100), 40U);
+  EXPECT_EQ(h.min(), 10U);
+  EXPECT_EQ(h.max(), 40U);
+  EXPECT_EQ(h.sum(), 100U);
+
+  // Duplicates count as distinct samples in the rank.
+  obs::Histogram dup;
+  for (const std::uint64_t v : {5U, 5U, 5U, 100U}) dup.add(v);
+  EXPECT_EQ(dup.percentile(75), 5U);
+  EXPECT_EQ(dup.percentile(76), 100U);
+}
+
+TEST(Histogram, PowerOfTwoBucketsCoverValuesOnce) {
+  obs::Histogram h;
+  // 0 and 1 land in the first bucket (upper = 1); each other value v lands in
+  // the unique bucket with upper/2 < v <= upper.
+  for (const std::uint64_t v : {0U, 1U, 2U, 3U, 4U, 5U, 8U, 9U, 1000U}) h.add(v);
+  const std::vector<obs::Histogram::Bucket> buckets = h.buckets();
+  ASSERT_EQ(buckets.size(), 6U);
+  EXPECT_EQ(buckets[0].upper, 1U);
+  EXPECT_EQ(buckets[0].count, 2U);  // 0, 1
+  EXPECT_EQ(buckets[1].upper, 2U);
+  EXPECT_EQ(buckets[1].count, 1U);  // 2
+  EXPECT_EQ(buckets[2].upper, 4U);
+  EXPECT_EQ(buckets[2].count, 2U);  // 3, 4
+  EXPECT_EQ(buckets[3].upper, 8U);
+  EXPECT_EQ(buckets[3].count, 2U);  // 5, 8
+  EXPECT_EQ(buckets[4].upper, 16U);
+  EXPECT_EQ(buckets[4].count, 1U);  // 9
+  EXPECT_EQ(buckets[5].upper, 1024U);
+  EXPECT_EQ(buckets[5].count, 1U);  // 1000
+  std::uint64_t total = 0;
+  for (const obs::Histogram::Bucket& b : buckets) total += b.count;
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(Histogram, ExportFieldsAreDeterministicInTheRecordedMultiset) {
+  const auto build = [](const std::vector<std::uint64_t>& values) {
+    obs::Histogram h;
+    for (const std::uint64_t v : values) h.add(v);
+    obs::JsonWriter w;
+    w.begin_object();
+    h.export_fields(w, "lat");
+    w.end_object();
+    return w.str();
+  };
+  // Same multiset, different insertion orders: byte-identical export.
+  const std::string a = build({120, 45, 3000, 45, 7});
+  const std::string b = build({7, 3000, 45, 120, 45});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"lat.count\": 5"), std::string::npos);
+  EXPECT_NE(a.find("\"lat.p50\": 45"), std::string::npos);
+  EXPECT_NE(a.find("\"lat.p99\": 3000"), std::string::npos);
+  EXPECT_NE(a.find("\"lat.le_8\": 1"), std::string::npos);
+  // A different multiset changes the bytes.
+  EXPECT_NE(build({120, 45, 3000, 45, 8}), a);
 }
 
 // ---------------------------------------------------------------------------

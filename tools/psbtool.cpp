@@ -42,13 +42,25 @@ commands:
             (--shards serves through the scatter-gather ShardedEngine, which
              partitions --data itself; --index is then not required)
   radius    --data FILE --index FILE --radius X [--num-queries N] [--seed N]
+  serve     --data FILE (--index FILE | --shards N) [--algo ...] [--k N]
+            [--mode naive|buffered|both] [--rate QPS] [--duration-s S]
+            [--deadline-ms X] [--horizon-ms X] [--capacity N] [--queue-bound N]
+            [--cell-bits N] [--overhead-us N] [--diurnal-amplitude X]
+            [--diurnal-period-s S] [--burst-rate X] [--burst-size N]
+            [--seed N] [--out FILE.json]
+            (replays a seeded arrival stream on the virtual clock through the
+             streaming front-end and reports p50/p99 latency, throughput,
+             deadline misses and sheds; --out writes the flat stream JSON)
   bench     --out FILE.json [--type clustered|noaa] [--dims N] [--count N]
             [--clusters N] [--stations N] [--readings N] [--points N]
             [--num-queries N | --queries N]
             [--k N] [--degree N] [--seed N] [--algos a,b,...]
             [--variants base,snapshot,snapshot_reorder,implicit,
-             implicit_stackless,sharded,sharded_nobound]
+             implicit_stackless,sharded,sharded_nobound,
+             stream_naive,stream_buffered]
             [--warp-queries N] [--shards N]
+            [--stream-rate QPS] [--stream-duration-s S] [--stream-deadline-ms X]
+            [--stream-horizon-ms X] [--stream-capacity N] [--stream-cell-bits N]
             [--construction-points N] [--construction-degree N]
             [--construction-readings N] [--construction-budget-ms X]
             (--construction-points > 0 appends a Hilbert bulk-load bench of an
@@ -56,6 +68,7 @@ commands:
              and gated; host_build_seconds is informational, but exceeding
              --construction-budget-ms is a hard error)
   faultcamp [--iterations N] [--seed N] [--out FILE.json] [--workdir DIR]
+            (defaults to 900 iterations: 100 per registered site)
 
 exit codes: 0 ok, 2 usage error, 3 corrupt or unreadable input, 4 internal error
 )";
@@ -298,6 +311,94 @@ int cmd_query(const Args& args) {
   return 0;
 }
 
+// Streaming serving demo / measurement: replay a seeded arrival stream on the
+// virtual clock through the streaming front-end. Everything printed (and
+// written with --out) is a pure function of the dataset and the flags — two
+// invocations with the same arguments produce byte-identical JSON.
+int cmd_serve(const Args& args) {
+  const PointSet points = data::read_binary(args.str("data"));
+
+  serve::StreamingOptions so;
+  so.engine.algorithm = algo_from_flag(args.str("algo", "psb"));
+  so.engine.gpu.k = args.num("k", 8);
+  so.engine.use_snapshot = args.num("snapshot", 1) != 0;
+  so.engine.reorder_queries = args.num("reorder", 1) != 0;
+  so.buffer_capacity = args.num("capacity", 32);
+  so.engine.warp_queries = so.buffer_capacity;
+  so.deadline_us = static_cast<std::uint64_t>(args.real("deadline-ms", 20.0) * 1000.0);
+  so.flush_horizon_us = static_cast<std::uint64_t>(args.real("horizon-ms", 2.0) * 1000.0);
+  so.admission_queue_bound = args.num("queue-bound", 4096);
+  so.cell_bits = static_cast<int>(args.num("cell-bits", 4));
+  so.dispatch_overhead_us = args.num("overhead-us", 120);
+
+  serve::ArrivalSpec aspec;
+  aspec.rate_qps = args.real("rate", 2000.0);
+  aspec.duration_s = args.real("duration-s", 1.0);
+  aspec.diurnal_amplitude = args.real("diurnal-amplitude", 0.5);
+  aspec.diurnal_period_s = args.real("diurnal-period-s", 0.25);
+  aspec.burst_rate_per_s = args.real("burst-rate", 20.0);
+  aspec.burst_size = args.num("burst-size", 32);
+  aspec.seed = args.num("seed", 2016);
+  const serve::ArrivalStream stream = serve::generate_arrivals(points, aspec);
+
+  // Backend: a persisted tree index, or the scatter-gather ShardedEngine
+  // (which partitions --data itself, mirroring `query --shards`).
+  std::optional<sstree::SSTree> tree;
+  std::unique_ptr<shard::ShardedEngine> sharded;
+  if (args.has("shards")) {
+    shard::ShardedEngineOptions sopts;
+    sopts.num_shards = args.num("shards", 4);
+    sopts.degree = args.num("degree", 64);
+    sopts.engine = so.engine;
+    sharded = std::make_unique<shard::ShardedEngine>(points, sopts);
+  } else {
+    tree.emplace(sstree::read_index(&points, args.str("index")));
+  }
+
+  const std::string mode = args.str("mode", "buffered");
+  std::vector<std::string> modes;
+  if (mode == "both") {
+    modes = {"naive", "buffered"};
+  } else {
+    modes = {mode};
+  }
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "psb.stream.v1");
+  for (const std::string& m : modes) {
+    serve::StreamingOptions run_opts = so;
+    run_opts.mode = serve::parse_dispatch_mode(m);
+    serve::StreamingReport rep =
+        sharded ? serve::StreamingEngine(*sharded, points, run_opts).run(stream)
+                : serve::StreamingEngine(*tree, run_opts).run(stream);
+    serve::streaming_report_fields(w, rep, "stream_" + m);
+
+    const double miss_pct = rep.answered == 0
+                                ? 0.0
+                                : 100.0 * static_cast<double>(rep.deadline_misses) /
+                                      static_cast<double>(rep.answered);
+    std::printf(
+        "%-9s arrivals %llu  answered %llu  shed %llu  flushes %llu  "
+        "p50 %.3f ms  p99 %.3f ms  miss %.1f%%  depth %llu  %.0f qps\n",
+        m.c_str(), static_cast<unsigned long long>(rep.arrivals),
+        static_cast<unsigned long long>(rep.answered),
+        static_cast<unsigned long long>(rep.shed),
+        static_cast<unsigned long long>(rep.flushes),
+        static_cast<double>(rep.p50_us()) / 1000.0,
+        static_cast<double>(rep.p99_us()) / 1000.0, miss_pct,
+        static_cast<unsigned long long>(rep.max_queue_depth), rep.throughput_qps());
+  }
+  w.end_object();
+
+  const std::string out = args.str("out", "-");
+  if (out != "-") {
+    obs::write_text_file(out, w.str());
+    std::cout << "stream json written: " << out << "\n";
+  }
+  return 0;
+}
+
 // Deterministic micro-benchmark for the regression gate: a seeded clustered
 // workload, a kmeans tree, and one engine run per requested algorithm. Every
 // exported number is derived from simulator counters (no wall clock), so the
@@ -370,6 +471,25 @@ int cmd_bench(const Args& args) {
 
   knn::GpuKnnOptions gpu;
   gpu.k = args.num("k", 16);
+
+  // Arrival stream for the stream_* variants, generated once so the naive and
+  // buffered runs replay the identical workload.
+  std::optional<serve::ArrivalStream> stream_cache;
+  const auto arrival_stream = [&]() -> const serve::ArrivalStream& {
+    if (!stream_cache) {
+      serve::ArrivalSpec aspec;
+      aspec.rate_qps = args.real("stream-rate", 3000.0);
+      aspec.duration_s = args.real("stream-duration-s", 0.25);
+      aspec.diurnal_amplitude = args.real("stream-diurnal-amplitude", 0.5);
+      aspec.diurnal_period_s = args.real("stream-diurnal-period-s", 0.1);
+      aspec.burst_rate_per_s = args.real("stream-burst-rate", 40.0);
+      aspec.burst_size = args.num("stream-burst-size", 24);
+      aspec.seed = seed + 2;
+      stream_cache = serve::generate_arrivals(points, aspec);
+    }
+    return *stream_cache;
+  };
+
   for (const std::string& name : algos) {
     // base accessed_bytes of this algorithm, for the arena ratio fields;
     // snapshot bytes for the implicit-vs-snapshot gate ratio; nobound bytes
@@ -377,6 +497,9 @@ int cmd_bench(const Args& args) {
     double base_bytes = -1.0;
     double snapshot_bytes = -1.0;
     double nobound_bytes = -1.0;
+    // stream_naive's p99 / accessed bytes, for the buffered gate ratios.
+    double stream_naive_p99 = -1.0;
+    double stream_naive_bytes = -1.0;
     for (const std::string& variant : variants) {
       engine::BatchEngineOptions eng_opts;
       eng_opts.algorithm = engine::parse_algorithm(name);
@@ -408,6 +531,54 @@ int cmd_bench(const Args& args) {
         prefix += "_implicit_stackless";
       } else if (sharded) {
         prefix += "_" + variant;
+      } else if (variant == "stream_naive" || variant == "stream_buffered") {
+        // Streaming front-end variants: replay the shared arrival stream
+        // through the StreamingEngine. Both modes serve snapshot cohorts with
+        // Hilbert reordering; naive dispatches one cohort per arrival (so its
+        // warp cohorts never exceed one query), buffered amortizes dispatch
+        // overhead and shares fetch windows across each flushed cell cohort.
+        const bool buffered = variant == "stream_buffered";
+        serve::StreamingOptions so;
+        so.engine = eng_opts;
+        so.engine.use_snapshot = true;
+        so.engine.reorder_queries = true;
+        so.mode = buffered ? serve::DispatchMode::kBuffered : serve::DispatchMode::kNaive;
+        so.buffer_capacity = args.num("stream-capacity", 16);
+        so.engine.warp_queries = so.buffer_capacity;
+        so.deadline_us =
+            static_cast<std::uint64_t>(args.real("stream-deadline-ms", 20.0) * 1000.0);
+        so.flush_horizon_us =
+            static_cast<std::uint64_t>(args.real("stream-horizon-ms", 2.0) * 1000.0);
+        so.admission_queue_bound = args.num("stream-queue-bound", 4096);
+        so.cell_bits = static_cast<int>(args.num("stream-cell-bits", 3));
+        so.dispatch_overhead_us = args.num("stream-overhead-us", 120);
+
+        serve::StreamingEngine seng(built.tree, so);
+        const serve::StreamingReport rep = seng.run(arrival_stream());
+        prefix = name + "_" + variant;
+        w.field(prefix + ".arrivals", rep.arrivals);
+        w.field(prefix + ".answered", rep.answered);
+        w.field(prefix + ".shed", rep.shed);
+        w.field(prefix + ".flushes", rep.flushes);
+        w.field(prefix + ".deadline_misses", rep.deadline_misses);
+        w.field(prefix + ".max_queue_depth", rep.max_queue_depth);
+        w.field(prefix + ".accessed_bytes", rep.accessed_bytes);
+        w.field(prefix + ".p50_latency_us", rep.p50_us());
+        w.field(prefix + ".p99_latency_us", rep.p99_us());
+        w.field(prefix + ".throughput_qps", rep.throughput_qps());
+        if (!buffered) {
+          stream_naive_p99 = static_cast<double>(rep.p99_us());
+          stream_naive_bytes = static_cast<double>(rep.accessed_bytes);
+        } else if (stream_naive_p99 > 0.0 && stream_naive_bytes > 0.0) {
+          // The streaming gate metrics: < 1.0 means buffered cohort dispatch
+          // beat per-arrival dispatch on tail latency and on global-memory
+          // bytes. List stream_naive before stream_buffered to get them.
+          w.field(prefix + ".p99_latency_ratio",
+                  static_cast<double>(rep.p99_us()) / stream_naive_p99);
+          w.field(prefix + ".accessed_bytes_ratio",
+                  static_cast<double>(rep.accessed_bytes) / stream_naive_bytes);
+        }
+        continue;
       } else if (variant != "base") {
         usage("unknown --variants entry " + variant);
       }
@@ -565,7 +736,7 @@ void check_exact_or_flagged(const knn::BatchResult& got, const knn::BatchResult&
 }
 
 int cmd_faultcamp(const Args& args) {
-  const std::size_t iterations = args.num("iterations", 700);
+  const std::size_t iterations = args.num("iterations", 900);
   const std::uint64_t base_seed = args.num("seed", 2016);
   const std::string out = args.str("out", "-");
   const std::string workdir = args.str("workdir", ".");
@@ -618,6 +789,35 @@ int cmd_faultcamp(const Args& args) {
     return *sharded[algo_idx];
   };
 
+  // Streaming engines for the engine.stream.flush site, one per algorithm,
+  // lazy like the sharded pool. The campaign stream replays the 12 workload
+  // queries at a fixed 200 us cadence with a far-away deadline and no
+  // admission bound, so every arrival is admitted and answered — the oracle
+  // below can then hold the streamed answers to the exact-or-flagged bar.
+  serve::ArrivalStream campaign_stream;
+  campaign_stream.queries = queries;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    campaign_stream.time_us.push_back(i * 200);
+  }
+  std::unique_ptr<serve::StreamingEngine> streamers[kNumAlgos];
+  const auto streamer_for = [&](std::size_t algo_idx) -> serve::StreamingEngine& {
+    if (streamers[algo_idx] == nullptr) {
+      serve::StreamingOptions so;
+      so.engine.algorithm = algos[algo_idx];
+      so.engine.gpu = gpu;
+      so.engine.use_snapshot = true;
+      so.engine.num_threads = 1;
+      so.mode = serve::DispatchMode::kBuffered;
+      so.buffer_capacity = 4;
+      so.engine.warp_queries = so.buffer_capacity;
+      so.deadline_us = 1'000'000'000;  // no deadline cuts: answers stay comparable
+      so.admission_queue_bound = 0;    // no sheds: every query must be answered
+      so.cell_bits = 2;
+      streamers[algo_idx] = std::make_unique<serve::StreamingEngine>(built.tree, so);
+    }
+    return *streamers[algo_idx];
+  };
+
   const std::span<const fault::SiteInfo> sites = fault::sites();
   struct SiteTally {
     std::uint64_t iterations = 0;
@@ -654,6 +854,13 @@ int cmd_faultcamp(const Args& args) {
       // one-shot deaths (the rerun masks them) with double deaths (the rerun
       // dies too, forcing the flagged brute-force fallback).
       fspec.trigger = fspec.seed % 40;
+      fspec.count = 1 + (iter / sites.size()) % 2;
+    } else if (site == fault::kSiteStreamFlush) {
+      // One evaluation per flush attempt; the 12-query capacity-4 stream
+      // issues a handful of flushes. Alternate one-shot dispatch deaths (the
+      // retry masks them) with double deaths (retry dies too, forcing the
+      // flagged brute-force cohort answer).
+      fspec.trigger = fspec.seed % 6;
       fspec.count = 1 + (iter / sites.size()) % 2;
     } else {
       fspec.trigger = 0;
@@ -697,6 +904,17 @@ int cmd_faultcamp(const Args& args) {
     knn::BatchResult got;
     if (site == fault::kSiteShardSlice) {
       got = sharded_for(algo_idx).run(queries);
+    } else if (site == fault::kSiteStreamFlush) {
+      // The flush site only exists on the streaming front-end; replay the
+      // fixed-cadence stream and hold the per-arrival answers (arrival order
+      // == workload query order) to the same exact-or-flagged oracle.
+      serve::StreamingReport rep = streamer_for(algo_idx).run(campaign_stream);
+      got.queries.resize(rep.queries.size());
+      for (std::size_t q = 0; q < rep.queries.size(); ++q) {
+        PSB_ASSERT(!rep.queries[q].shed, context + ": unbounded stream shed a query");
+        got.queries[q].neighbors = std::move(rep.queries[q].neighbors);
+        got.queries[q].status = rep.queries[q].status;
+      }
     } else {
       engine::BatchEngineOptions eo;
       eo.algorithm = algos[algo_idx];
@@ -796,6 +1014,7 @@ int main(int argc, char** argv) {
     if (cmd == "info") return cmd_info(args);
     if (cmd == "query") return cmd_query(args);
     if (cmd == "radius") return cmd_radius(args);
+    if (cmd == "serve") return cmd_serve(args);
     if (cmd == "bench") return cmd_bench(args);
     if (cmd == "faultcamp") return cmd_faultcamp(args);
     usage("unknown command " + cmd);
