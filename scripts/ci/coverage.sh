@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # CI job: line-coverage gate over the serving core (src/knn, src/shard,
-# src/engine, src/layout, src/serve). Builds a --coverage-instrumented tree, runs the tier1 suite,
+# src/engine, src/exec, src/layout, src/serve). Builds a
+# --coverage-instrumented tree, runs the tier1 suite,
 # and has gcovr aggregate line coverage across every translation unit —
 # library objects and test binaries alike, so header-heavy modules get full
 # credit. The HTML + JSON reports are staged under $ARTIFACT_DIR for the
@@ -9,6 +10,7 @@
 # The threshold is a RATCHET: raise it when coverage genuinely improves,
 # never lower it to make a red build green. History:
 #   72  PR 5  first gate (gcov union measured 72.9% at introduction)
+#   74  PR 8  src/exec added to the filter (executor + metamorphic suites)
 #
 #   scripts/ci/coverage.sh                   # artifacts in ci-artifacts/
 #   FAIL_UNDER_LINE=75 scripts/ci/coverage.sh
@@ -18,7 +20,7 @@ cd "$(dirname "$0")/../.."
 BUILD_DIR="${BUILD_DIR:-build-ci-cov}"
 ARTIFACT_DIR="${ARTIFACT_DIR:-ci-artifacts}"
 JOBS="${JOBS:-$(nproc)}"
-FAIL_UNDER_LINE="${FAIL_UNDER_LINE:-72}"
+FAIL_UNDER_LINE="${FAIL_UNDER_LINE:-74}"
 
 cmake -B "$BUILD_DIR" -G Ninja \
   -DCMAKE_BUILD_TYPE=Debug \
@@ -41,7 +43,7 @@ mkdir -p "$ARTIFACT_DIR/coverage"
 echo "== gcovr line coverage (fail-under ${FAIL_UNDER_LINE}%) =="
 gcovr --root . "$BUILD_DIR" \
   --filter 'src/knn/' --filter 'src/shard/' --filter 'src/engine/' \
-  --filter 'src/layout/' --filter 'src/serve/' \
+  --filter 'src/exec/' --filter 'src/layout/' --filter 'src/serve/' \
   --exclude-throw-branches \
   --print-summary \
   --txt "$ARTIFACT_DIR/coverage/coverage.txt" \

@@ -20,7 +20,7 @@ case "$PRESET" in
     ;;
 esac
 
-ITERATIONS="${ITERATIONS:-900}"
+ITERATIONS="${ITERATIONS:-1000}"
 ARTIFACTS="${ARTIFACTS:-ci-artifacts}"
 mkdir -p "$ARTIFACTS"
 

@@ -17,6 +17,15 @@ else
   echo "clang-format not installed — skipping style diff (mechanical checks still run)"
 fi
 
+if command -v shellcheck >/dev/null 2>&1; then
+  echo "== shellcheck ($(shellcheck --version | sed -n 's/^version: //p')) =="
+  mapfile -t SCRIPTS < <(git ls-files 'scripts/ci/*.sh' 'scripts/reproduce.sh')
+  shellcheck "${SCRIPTS[@]}"
+  echo "shellcheck ok (${#SCRIPTS[@]} scripts)"
+else
+  echo "shellcheck not installed — skipping shell lint (mechanical checks still run)"
+fi
+
 echo "== mechanical hygiene =="
 python3 - "${SOURCES[@]}" <<'EOF'
 import sys

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "exec/executor.hpp"
 #include "fault/fault.hpp"
 #include "fault/sites.hpp"
 #include "hilbert/hilbert.hpp"
@@ -49,6 +50,7 @@ enum QueryEvent : std::uint8_t {
   kEvBudgetExhausted = 1 << 3, ///< the traversal stopped on its node budget
   kEvDeadlineCut = 1 << 4,     ///< started past the batch deadline
   kEvBudgetFault = 1 << 5,     ///< engine.query_budget fault armed this query
+  kEvResumeFault = 1 << 6,     ///< an executor resume step was killed (exec.resume)
 };
 
 }  // namespace
@@ -91,6 +93,21 @@ NodeLayout parse_node_layout(std::string_view name) {
     if (node_layout_name(l) == name) return l;
   }
   throw InvalidArgument("unknown layout name: " + std::string(name));
+}
+
+std::string_view exec_schedule_name(ExecSchedule s) noexcept {
+  switch (s) {
+    case ExecSchedule::kExecutor: return "executor";
+    case ExecSchedule::kLegacy: return "legacy";
+  }
+  return "unknown";
+}
+
+ExecSchedule parse_exec_schedule(std::string_view name) {
+  for (ExecSchedule s : {ExecSchedule::kExecutor, ExecSchedule::kLegacy}) {
+    if (exec_schedule_name(s) == name) return s;
+  }
+  throw InvalidArgument("unknown exec schedule name: " + std::string(name));
 }
 
 BatchEngine::BatchEngine(const sstree::SSTree& tree, BatchEngineOptions opts)
@@ -193,6 +210,10 @@ knn::BatchResult BatchEngine::run(const PointSet& queries) const {
   std::vector<knn::QueryResult> results(n);
   std::vector<simt::Metrics> metrics(n);
   std::vector<std::uint8_t> events(n, 0);
+  const bool use_exec = opts_.exec_schedule == ExecSchedule::kExecutor;
+  // Per-query resume-step phase records (executor scheduling only); replayed
+  // per cohort through the overlap model on the merge thread.
+  std::vector<std::vector<simt::StepPhase>> step_slots(use_exec ? n : 0);
 
   const auto batch_start = std::chrono::steady_clock::now();
   const auto past_deadline = [&]() {
@@ -230,6 +251,39 @@ knn::BatchResult BatchEngine::run(const PointSet& queries) const {
     throw InternalError("unreachable algorithm dispatch");
   };
 
+  // Executor-scheduled form of run_algorithm: the same traversal driven as a
+  // suspendable state machine (src/exec/). Cohort members still execute
+  // depth-first — the shared FetchSession makes the charge order part of the
+  // bit-identity contract — so results, stats and traces match
+  // run_algorithm exactly; the recorded resume steps additionally feed the
+  // double-buffered fetch/compute stream model. Variants without a native
+  // executor run behind the one-step LoopExecutor adapter (no yield points,
+  // no modeled overlap — but the same exec.resume fault boundary).
+  const auto run_executor = [&](std::size_t q, const knn::GpuKnnOptions& gpu) {
+    knn::QueryResult res;
+    std::unique_ptr<exec::Executor> ex;
+    switch (opts_.algorithm) {
+      case Algorithm::kStacklessSkip:
+        ex = exec::make_skip_pointer_executor(tree_, queries[q], gpu, &metrics[q], res);
+        break;
+      case Algorithm::kImplicitStackless:
+        // Same typed fallback as run_algorithm when the layout is gone.
+        ex = gpu.implicit != nullptr
+                 ? exec::make_implicit_stackless_executor(tree_, queries[q], gpu, &metrics[q],
+                                                          res)
+                 : exec::make_skip_pointer_executor(tree_, queries[q], gpu, &metrics[q], res);
+        break;
+      default:
+        ex = exec::make_loop_executor([&res, &run_algorithm, q, &gpu] {
+          res = run_algorithm(q, gpu);
+        }, gpu.device, &metrics[q], block_threads_for(opts_.algorithm, tree_, gpu));
+        break;
+    }
+    exec::drive(*ex);
+    step_slots[q] = ex->steps();
+    return res;
+  };
+
   // The exact last-resort answer: a pointer-path brute-force scan, immune to
   // node-integrity faults (it never reads tree bounds) and unbudgeted.
   const auto brute_force_fallback = [&](std::size_t q, knn::GpuKnnOptions gpu) {
@@ -264,7 +318,18 @@ knn::BatchResult BatchEngine::run(const PointSet& queries) const {
       events[q] |= kEvDeadlineCut;
     }
     try {
-      results[q] = run_algorithm(q, gpu);
+      results[q] = use_exec ? run_executor(q, gpu) : run_algorithm(q, gpu);
+    } catch (const exec::ResumeFault&) {
+      // A killed resume step abandons the suspended executor. The injected
+      // kill is one-shot, so a fresh executor rerun sees a quiet site and
+      // completes on the normal path (masked but counted); a second kill —
+      // or any data fault during the rerun — drops to exact brute force.
+      events[q] |= kEvResumeFault;
+      try {
+        results[q] = run_executor(q, gpu);
+      } catch (const DataFault&) {
+        results[q] = brute_force_fallback(q, gpu);
+      }
     } catch (const DataFault&) {
       events[q] |= kEvDataFault;
       knn::GpuKnnOptions retry = gpu;
@@ -380,6 +445,7 @@ knn::BatchResult BatchEngine::run(const PointSet& queries) const {
       results[q] = knn::QueryResult{};
       metrics[q] = simt::Metrics{};
       events[q] = 0;
+      if (use_exec) step_slots[q].clear();
     }
     process_unit(u);
     ++recovered_units;
@@ -390,24 +456,43 @@ knn::BatchResult BatchEngine::run(const PointSet& queries) const {
   out.queries = std::move(results);
   const bool traced = obs::enabled();
   const std::string_view name = algorithm_name(opts_.algorithm);
-  std::uint64_t ev_totals[6] = {};
+  std::uint64_t ev_totals[7] = {};
   for (std::size_t q = 0; q < n; ++q) {
     out.stats.merge(out.queries[q].stats);
     out.metrics.merge(metrics[q]);
     if (traced) obs::emit(name, knn::make_query_trace(q, out.queries[q].stats, metrics[q]));
-    for (int b = 0; b < 6; ++b) {
+    for (int b = 0; b < 7; ++b) {
       if (events[q] & (1u << b)) ++ev_totals[b];
     }
   }
   // Fold degradation events into the registry (only non-zero totals, so a
   // clean batch leaves no trace of the machinery).
-  static constexpr std::string_view kEventCounter[6] = {
+  static constexpr std::string_view kEventCounter[7] = {
       "engine.fault.data_faults",       "engine.fault.retries",
       "engine.fault.brute_fallbacks",   "engine.fault.budget_exhausted",
       "engine.fault.deadline_cuts",     "engine.fault.budget_injected",
+      "engine.fault.resume_faults",
   };
-  for (int b = 0; b < 6; ++b) {
+  for (int b = 0; b < 7; ++b) {
     if (ev_totals[b] > 0) reg.add(kEventCounter[b], ev_totals[b]);
+  }
+  // Replay each cohort's recorded resume steps through the double-buffered
+  // fetch/compute stream model. Per-unit replay in `order` makes the totals
+  // a pure function of (queries, options) — worker count moves nothing.
+  if (use_exec) {
+    std::vector<const std::vector<simt::StepPhase>*> cohort_steps;
+    for (std::size_t u = 0; u < units; ++u) {
+      cohort_steps.clear();
+      const std::size_t begin = u * cohort;
+      const std::size_t end = std::min(n, begin + cohort);
+      for (std::size_t s = begin; s < end; ++s) cohort_steps.push_back(&step_slots[order[s]]);
+      out.exec.merge(simt::pipeline_schedule(opts_.gpu.device, cohort_steps));
+    }
+    if (out.exec.steps > 0) {
+      reg.add("engine.exec.steps", out.exec.steps);
+      reg.add("engine.exec.serialized_cycles", out.exec.serialized_cycles);
+      reg.add("engine.exec.overlapped_cycles", out.exec.overlapped_cycles);
+    }
   }
   simt::KernelConfig cfg;
   cfg.blocks = static_cast<int>(std::max<std::size_t>(n, 1));

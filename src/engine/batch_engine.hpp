@@ -68,6 +68,29 @@ std::string_view node_layout_name(NodeLayout l) noexcept;
 /// InvalidArgument on unknown names.
 NodeLayout parse_node_layout(std::string_view name);
 
+/// How the engine drives each query's traversal.
+enum class ExecSchedule : std::uint8_t {
+  /// Default: every query runs as a suspendable exec::Executor, yielding at
+  /// each leaf reduction. Cohort members still execute depth-first (the
+  /// shared FetchSession makes the charge order part of the determinism
+  /// contract — results, stats and traces are bit-identical to kLegacy),
+  /// while the recorded resume steps are replayed through the
+  /// double-buffered fetch/compute stream model (simt/overlap.hpp) and
+  /// published as BatchResult::exec + engine.exec.* counters. The executor
+  /// boundary also hosts the exec.resume fault site.
+  kExecutor,
+  /// The pre-executor run-to-completion loops: no overlap accounting, no
+  /// exec.resume evaluations. Kept as the metamorphic reference.
+  kLegacy,
+};
+
+/// Stable name used for CLI flags (`--exec ...`).
+std::string_view exec_schedule_name(ExecSchedule s) noexcept;
+
+/// Parse an exec-schedule name (as printed by exec_schedule_name); throws
+/// InvalidArgument on unknown names.
+ExecSchedule parse_exec_schedule(std::string_view name);
+
 struct BatchEngineOptions {
   Algorithm algorithm = Algorithm::kPsb;
   knn::GpuKnnOptions gpu{};
@@ -108,6 +131,10 @@ struct BatchEngineOptions {
   /// Deadline-cut queries are never brute-forced — the scan would blow the
   /// very deadline that cut them.
   bool allow_brute_force_fallback = true;
+  /// Traversal driver (see ExecSchedule). kExecutor and kLegacy produce
+  /// bit-identical results, stats and traces; only the overlap accounting
+  /// and the exec.resume fault boundary differ.
+  ExecSchedule exec_schedule = ExecSchedule::kExecutor;
 
   /// The arena mode after resolving the legacy use_snapshot alias.
   NodeLayout resolved_layout() const noexcept {

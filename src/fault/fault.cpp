@@ -21,6 +21,7 @@ constexpr SiteInfo kSites[] = {
     {kSiteWorkerSlice, "fail one worker's slice of a batch"},
     {kSiteShardSlice, "kill one (query, shard) pass of the sharded engine"},
     {kSiteStreamFlush, "kill one flush dispatch of the streaming serving layer"},
+    {kSiteExecResume, "kill one resume step of a suspended traversal executor"},
 };
 
 }  // namespace

@@ -47,4 +47,10 @@ inline constexpr std::string_view kSiteShardSlice = "engine.shard.slice";
 /// kDegradedFallback — never silently lost).
 inline constexpr std::string_view kSiteStreamFlush = "engine.stream.flush";
 
+/// Kill one resume step of a suspended traversal executor (simulates a
+/// stream/queue failure at the scheduler's natural retry boundary; the
+/// engine reruns the query on a fresh executor and, failing that, answers
+/// it by an exact brute-force scan, flagged kDegradedFallback).
+inline constexpr std::string_view kSiteExecResume = "exec.resume";
+
 }  // namespace psb::fault

@@ -9,6 +9,7 @@
 #include "common/geometry.hpp"
 #include "simt/cost_model.hpp"
 #include "simt/metrics.hpp"
+#include "simt/overlap.hpp"
 
 namespace psb::layout {
 class TraversalSnapshot;
@@ -103,6 +104,10 @@ struct BatchResult {
   TraversalStats stats;        ///< summed over queries
   simt::Metrics metrics;       ///< summed over per-query kernels
   simt::KernelTiming timing;   ///< cost-model estimate for the batch
+  /// Stream-overlap accounting from the resumable-executor schedule (zero
+  /// when the batch ran legacy run-to-completion loops). Purely additive:
+  /// `timing` and `metrics` are identical either way.
+  simt::OverlapTotals exec;
 
   double avg_query_ms() const noexcept { return timing.avg_query_ms; }
   double accessed_mb() const noexcept {

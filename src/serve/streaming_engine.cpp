@@ -139,6 +139,7 @@ StreamingReport StreamingEngine::run(const ArrivalStream& stream) {
     if (out.retried) ++report.flush_retries;
     if (out.brute_forced) ++report.flush_brute_forced;
     report.accessed_bytes += out.result.metrics.total_bytes();
+    report.exec.merge(out.result.exec);
     report.span_us = std::max(report.span_us, end);
 
     for (std::size_t i = 0; i < pend.size(); ++i) {
@@ -220,6 +221,11 @@ StreamingReport StreamingEngine::run(const ArrivalStream& stream) {
   reg.add("serve.flush_brute_forced", report.flush_brute_forced);
   reg.add("serve.deadline_misses", report.deadline_misses);
   reg.add("serve.degraded", report.degraded);
+  if (report.exec.steps > 0) {
+    reg.add("serve.exec_steps", report.exec.steps);
+    reg.add("serve.exec_serialized_cycles", report.exec.serialized_cycles);
+    reg.add("serve.exec_overlapped_cycles", report.exec.overlapped_cycles);
+  }
   return report;
 }
 
@@ -241,6 +247,9 @@ void streaming_report_fields(obs::JsonWriter& w, const StreamingReport& report,
   w.field(pre + ".degraded", report.degraded);
   w.field(pre + ".max_queue_depth", report.max_queue_depth);
   w.field(pre + ".accessed_bytes", report.accessed_bytes);
+  w.field(pre + ".exec_steps", report.exec.steps);
+  w.field(pre + ".exec_serialized_cycles", report.exec.serialized_cycles);
+  w.field(pre + ".exec_overlapped_cycles", report.exec.overlapped_cycles);
   w.field(pre + ".span_us", report.span_us);
   w.field(pre + ".throughput_qps", report.throughput_qps());
   report.latency_us.export_fields(w, pre + ".latency_us");

@@ -102,6 +102,9 @@ struct StreamingReport {
   std::uint64_t max_queue_depth = 0;
   std::uint64_t accessed_bytes = 0;  ///< backend bytes summed over flushes
   std::uint64_t span_us = 0;         ///< last completion time on the virtual clock
+  /// Executor-schedule overlap totals merged over flushes (simt/overlap.hpp);
+  /// all-zero when the backend runs the legacy schedule or brute-forces.
+  simt::OverlapTotals exec;
 
   obs::Histogram latency_us;  ///< answered queries only
 

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "exec/executor.hpp"
 #include "fault/fault.hpp"
 #include "fault/sites.hpp"
 #include "hilbert/hilbert.hpp"
@@ -48,6 +49,9 @@ enum Ev : std::size_t {
   kEvRetries,            ///< recovered by the pointer-path restart retry
   kEvBruteFallbacks,     ///< recovered by the exact shard scan
   kEvBudgetExhausted,    ///< a pass stopped on its node budget
+  kEvResumeFaults,       ///< exec.resume killed a pass's resume step
+  kEvResumeReruns,       ///< pass recovered by a fresh-executor rerun
+  kEvResumeBrutes,       ///< rerun died too; exact shard scan answered
   kNumEv,
 };
 
@@ -58,7 +62,8 @@ constexpr std::string_view kEvCounter[kNumEv] = {
     "engine.shard.slice_deaths",       "engine.shard.slice_reruns",
     "engine.shard.slice_brute_fallbacks", "engine.shard.data_faults",
     "engine.shard.retries",            "engine.shard.brute_fallbacks",
-    "engine.shard.budget_exhausted",
+    "engine.shard.budget_exhausted",   "engine.shard.resume_faults",
+    "engine.shard.resume_reruns",      "engine.shard.resume_brute_fallbacks",
 };
 
 int block_threads_for(Algorithm a, std::size_t degree, const knn::GpuKnnOptions& gpu) {
@@ -294,10 +299,15 @@ knn::BatchResult ShardedEngine::run(const PointSet& queries) {
   std::vector<simt::Metrics> metrics(n);
   std::vector<std::array<std::uint64_t, kNumEv>> events(n);
   for (auto& ev : events) ev.fill(0);
+  // A query's shard passes serialize (the shared bound feeds forward), so
+  // its resume steps across all passes concatenate into one per-query
+  // stream; cross-query interleaving is where the modeled overlap comes
+  // from, exactly as in BatchEngine.
+  std::vector<std::vector<simt::StepPhase>> step_slots(n);
 
   const auto work = [&](std::size_t begin, std::size_t end) {
     for (std::size_t q = begin; q < end; ++q) {
-      results[q] = serve_query(queries[q], metrics[q], events[q]);
+      results[q] = serve_query(queries[q], metrics[q], events[q], step_slots[q]);
     }
   };
 
@@ -337,6 +347,24 @@ knn::BatchResult ShardedEngine::run(const PointSet& queries) {
   for (std::size_t b = 0; b < kNumEv; ++b) {
     if (totals[b] > 0) reg.add(kEvCounter[b], totals[b]);
   }
+  // Overlap schedule over cohorts of warp_queries consecutive queries (batch
+  // order; the scatter path never reorders). Computed on the merge thread
+  // from the per-query step streams, so totals are worker-count independent.
+  if (opts_.engine.exec_schedule == engine::ExecSchedule::kExecutor) {
+    const std::size_t cohort = std::max<std::size_t>(opts_.engine.warp_queries, 1);
+    std::vector<const std::vector<simt::StepPhase>*> cohort_steps;
+    for (std::size_t begin = 0; begin < n; begin += cohort) {
+      cohort_steps.clear();
+      const std::size_t end = std::min(n, begin + cohort);
+      for (std::size_t q = begin; q < end; ++q) cohort_steps.push_back(&step_slots[q]);
+      out.exec.merge(simt::pipeline_schedule(opts_.engine.gpu.device, cohort_steps));
+    }
+    if (out.exec.steps > 0) {
+      reg.add("engine.shard.exec_steps", out.exec.steps);
+      reg.add("engine.shard.exec_serialized_cycles", out.exec.serialized_cycles);
+      reg.add("engine.shard.exec_overlapped_cycles", out.exec.overlapped_cycles);
+    }
+  }
   simt::KernelConfig cfg;
   cfg.blocks = static_cast<int>(std::max<std::size_t>(n, 1));
   cfg.threads_per_block = block_threads_for(opts_.engine.algorithm, opts_.degree,
@@ -354,7 +382,8 @@ ShardedEngine::TracedRun ShardedEngine::run_traced(const PointSet& queries) {
 }
 
 knn::QueryResult ShardedEngine::serve_query(std::span<const Scalar> q, simt::Metrics& m,
-                                            std::span<std::uint64_t> ev) {
+                                            std::span<std::uint64_t> ev,
+                                            std::vector<simt::StepPhase>& steps) {
   const std::size_t k = opts_.engine.gpu.k;
 
   // Exact-match cache probe. Bypassed while fault injection is armed so
@@ -408,7 +437,7 @@ knn::QueryResult ShardedEngine::serve_query(std::span<const Scalar> q, simt::Met
     ++ev[kEvVisits];
     const Scalar bound =
         opts_.share_bounds && merged.full() ? merged.bound() : kInfinity;
-    knn::QueryResult local = run_shard_pass(sh, q, bound, m, ev);
+    knn::QueryResult local = run_shard_pass(sh, q, bound, m, ev, steps);
     for (const KnnHeap::Entry& e : local.neighbors) {
       merged.offer(e.dist, sh.to_global[e.id]);
     }
@@ -427,7 +456,8 @@ knn::QueryResult ShardedEngine::serve_query(std::span<const Scalar> q, simt::Met
 
 knn::QueryResult ShardedEngine::run_shard_pass(Shard& sh, std::span<const Scalar> q,
                                                Scalar shared_bound, simt::Metrics& m,
-                                               std::span<std::uint64_t> ev) {
+                                               std::span<std::uint64_t> ev,
+                                               std::vector<simt::StepPhase>& steps) {
   knn::GpuKnnOptions gpu = opts_.engine.gpu;
   gpu.initial_prune_bound = shared_bound;
   gpu.snapshot = sh.snapshot_ok ? sh.snapshot.get() : nullptr;
@@ -490,9 +520,51 @@ knn::QueryResult ShardedEngine::run_shard_pass(Shard& sh, std::span<const Scalar
     throw InternalError("unreachable algorithm dispatch");
   };
 
+  // Executor-scheduled form of run_algorithm (same traversal, same charges —
+  // see BatchEngine): completed passes append their resume steps to the
+  // query's stream; an abandoned attempt's steps are dropped.
+  const bool use_exec = opts_.engine.exec_schedule == engine::ExecSchedule::kExecutor;
+  const auto run_executor = [&]() -> knn::QueryResult {
+    knn::QueryResult res;
+    std::unique_ptr<exec::Executor> ex;
+    switch (algo) {
+      case Algorithm::kStacklessSkip:
+        ex = exec::make_skip_pointer_executor(*sh.tree, q, gpu, &m, res);
+        break;
+      case Algorithm::kImplicitStackless:
+        ex = gpu.implicit != nullptr
+                 ? exec::make_implicit_stackless_executor(*sh.tree, q, gpu, &m, res)
+                 : exec::make_skip_pointer_executor(*sh.tree, q, gpu, &m, res);
+        break;
+      default:
+        ex = exec::make_loop_executor([&res, &run_algorithm] { res = run_algorithm(); },
+                                      gpu.device, &m,
+                                      block_threads_for(algo, opts_.degree, gpu));
+        break;
+    }
+    exec::drive(*ex);
+    steps.insert(steps.end(), ex->steps().begin(), ex->steps().end());
+    return res;
+  };
+
   knn::QueryResult r;
   try {
-    r = run_algorithm();
+    r = use_exec ? run_executor() : run_algorithm();
+  } catch (const exec::ResumeFault&) {
+    // A killed resume step abandons the suspended executor. The injected
+    // kill is one-shot, so the fresh-executor rerun sees a quiet site and
+    // answers exactly (masked but counted); a second kill — or any data
+    // fault during the rerun — falls to the exact shard scan.
+    ++ev[kEvResumeFaults];
+    try {
+      r = run_executor();
+      ++ev[kEvResumeReruns];
+    } catch (const DataFault&) {
+      ++ev[kEvResumeBrutes];
+      r = shard_scan(sh, q, m);
+      r.status = knn::QueryStatus::kDegradedFallback;
+      return r;
+    }
   } catch (const DataFault&) {
     ++ev[kEvDataFaults];
     knn::GpuKnnOptions retry = gpu;

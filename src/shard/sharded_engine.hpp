@@ -22,6 +22,10 @@
 // once and then answered by an exact alive-mask-aware brute-force scan of
 // the shard (kDegradedFallback); DataFault retries on the pointer path then
 // brute-forces; budget exhaustion brute-forces or returns kDeadlinePartial.
+// Shard passes run as resumable executors (src/exec/) by default: a killed
+// resume step — the exec.resume fault — reruns the pass on a fresh executor
+// and, failing that, falls to the exact shard scan, and the recorded resume
+// steps feed the stream-overlap model (engine.shard.exec_* counters).
 //
 // Online updates route to the owning shard through sstree::Updater; the
 // optional LRU result cache (result_cache.hpp) is invalidated on every
@@ -112,9 +116,11 @@ class ShardedEngine {
   void compact(Shard& sh, std::size_t shard_idx);
 
   knn::QueryResult serve_query(std::span<const Scalar> q, simt::Metrics& m,
-                               std::span<std::uint64_t> ev);
+                               std::span<std::uint64_t> ev,
+                               std::vector<simt::StepPhase>& steps);
   knn::QueryResult run_shard_pass(Shard& sh, std::span<const Scalar> q, Scalar shared_bound,
-                                  simt::Metrics& m, std::span<std::uint64_t> ev);
+                                  simt::Metrics& m, std::span<std::uint64_t> ev,
+                                  std::vector<simt::StepPhase>& steps);
   knn::QueryResult shard_scan(const Shard& sh, std::span<const Scalar> q,
                               simt::Metrics& m) const;
 

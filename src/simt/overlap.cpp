@@ -1,0 +1,82 @@
+#include "simt/overlap.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace psb::simt {
+namespace {
+
+/// Cycles per microsecond at the device clock.
+double cycles_per_us(const DeviceSpec& spec) noexcept { return spec.clock_ghz * 1e3; }
+
+std::uint64_t us_to_cycles(const DeviceSpec& spec, double us) noexcept {
+  return static_cast<std::uint64_t>(std::llround(us * cycles_per_us(spec)));
+}
+
+}  // namespace
+
+double phase_us(const DeviceSpec& spec, const Metrics& end, const Metrics& start,
+                int threads_per_block, const CostParams& params) {
+  // bytes / (GB/s) = nanoseconds per byte * bytes; divide by 1e3 for us.
+  const double mem_us =
+      (static_cast<double>(end.bytes_coalesced - start.bytes_coalesced) / spec.bw_coalesced_gbps +
+       static_cast<double>(end.bytes_random - start.bytes_random) / spec.bw_random_gbps +
+       static_cast<double>(end.bytes_cached - start.bytes_cached) / spec.bw_cached_gbps) /
+      1e3;
+  const double latency_us =
+      static_cast<double>(end.fetches_random - start.fetches_random) * spec.latency_random_us +
+      static_cast<double>(end.fetches_cached - start.fetches_cached) * spec.latency_cached_us;
+  const int warps = std::max(1, threads_per_block / std::max(1, spec.warp_size));
+  const double issue = static_cast<double>(std::min(warps, params.schedulers_per_sm));
+  const double compute_us =
+      static_cast<double>(end.warp_instructions - start.warp_instructions) /
+      (issue * cycles_per_us(spec));
+  const double serial_us = static_cast<double>(end.serial_ops - start.serial_ops) *
+                           params.serial_penalty_cycles / cycles_per_us(spec);
+  return mem_us + latency_us + compute_us + serial_us;
+}
+
+OverlapTotals pipeline_schedule(const DeviceSpec& spec,
+                                std::span<const std::vector<StepPhase>* const> queries,
+                                const CostParams& /*params*/) {
+  OverlapTotals out;
+  double serialized_us = 0;
+  double fetch_end_prev = 0;     // fetch stream: one step in flight
+  double compute_end_prev = 0;   // compute stream: one step in flight
+  double compute_end_prev2 = 0;  // staging-buffer reuse (depth 2)
+  std::vector<double> query_compute_end(queries.size(), 0.0);
+
+  // Round-robin merge: round r issues step r of every query that still has
+  // one, in cohort order — the breadth-first resume schedule.
+  std::size_t round = 0;
+  bool any = true;
+  while (any) {
+    any = false;
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const std::vector<StepPhase>& steps = *queries[q];
+      if (round >= steps.size()) continue;
+      any = true;
+      const StepPhase& s = steps[round];
+      serialized_us += s.fetch_us + s.compute_us;
+      // The same-query bound encodes the real data dependence: this step's
+      // fetch address was produced by the query's previous compute phase.
+      const double fetch_start =
+          std::max(std::max(fetch_end_prev, compute_end_prev2), query_compute_end[q]);
+      const double fetch_end = fetch_start + s.fetch_us;
+      const double compute_start = std::max(fetch_end, compute_end_prev);
+      const double compute_end = compute_start + s.compute_us;
+      fetch_end_prev = fetch_end;
+      compute_end_prev2 = compute_end_prev;
+      compute_end_prev = compute_end;
+      query_compute_end[q] = compute_end;
+      ++out.steps;
+    }
+    ++round;
+  }
+
+  out.serialized_cycles = us_to_cycles(spec, serialized_us);
+  out.overlapped_cycles = us_to_cycles(spec, compute_end_prev);
+  return out;
+}
+
+}  // namespace psb::simt

@@ -1,0 +1,97 @@
+// Stream-overlap accounting: the cost-model extension behind the resumable
+// executors (src/exec/).
+//
+// A run-to-completion traversal serializes every step's node fetching with
+// its leaf reduction. A resumable executor yields at each leaf reduction, so
+// a scheduler holding a cohort of suspended queries can issue one query's
+// next *fetch phase* on a copy stream while another query's *compute phase*
+// (the leaf distance reduction + k-list insertion) occupies the cores —
+// classic double-buffered fetch/compute streams over the shared
+// FetchSession window.
+//
+// The model here replays each cohort's recorded per-step phases through a
+// two-stream pipeline with buffer depth 2 (one staging buffer per stream):
+//
+//   fetch_start[i]   = max(fetch_end[i-1],          // one fetch stream
+//                          compute_end[i-2],        // its buffer is reused
+//                          compute_end[prev step of the same query])
+//   compute_start[i] = max(fetch_end[i],            // data must be staged
+//                          compute_end[i-1])        // one compute stream
+//
+// Steps are merged round-robin across the cohort (query 0 step 0, query 1
+// step 0, ..., query 0 step 1, ...), the order a breadth-first resume
+// scheduler would issue them. The same-query constraint is what keeps the
+// model honest: a traversal's next fetch address depends on its previous
+// prune decision, so a *lone* query's steps cannot overlap at all (the
+// recurrence then degenerates to the serialized sum, ratio exactly 1.0) —
+// the measured win comes from cross-query interleaving only.
+//
+//   serialized_cycles = sum over steps of (fetch_us + compute_us)
+//   overlapped_cycles = compute_end of the last step
+//
+// Overlapped <= serialized always; strictly less as soon as two different
+// queries have adjacent nonzero phases. Phase durations come from per-step
+// Metrics deltas via phase_us(), using the same DeviceSpec constants as
+// cost_model.hpp (per-block issue rate min(warps, schedulers), bandwidth
+// per pattern class, DRAM/L2 load-to-use latency, serialization penalty) —
+// so the two accountings can be audited against each other.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "simt/cost_model.hpp"
+#include "simt/device.hpp"
+#include "simt/metrics.hpp"
+
+namespace psb::simt {
+
+/// One executor resume step, reduced to its two modeled phases: the node
+/// walk up to the leaf (fetch stream) and the leaf reduction (compute
+/// stream). A terminal step with no leaf reduction has compute_us == 0.
+struct StepPhase {
+  double fetch_us = 0;
+  double compute_us = 0;
+};
+
+/// First-class obs totals for one scheduled cohort (or a merge of many).
+struct OverlapTotals {
+  std::uint64_t steps = 0;              ///< resume steps scheduled
+  std::uint64_t serialized_cycles = 0;  ///< run-to-completion modeled cost
+  std::uint64_t overlapped_cycles = 0;  ///< double-buffered pipeline makespan
+
+  void merge(const OverlapTotals& o) noexcept {
+    steps += o.steps;
+    serialized_cycles += o.serialized_cycles;
+    overlapped_cycles += o.overlapped_cycles;
+  }
+
+  /// overlapped / serialized in (0, 1]; 1.0 when nothing was scheduled.
+  double ratio() const noexcept {
+    return serialized_cycles == 0
+               ? 1.0
+               : static_cast<double>(overlapped_cycles) /
+                     static_cast<double>(serialized_cycles);
+  }
+};
+
+/// Modeled duration, in microseconds, of the work charged between two
+/// Metrics snapshots of the same block (`start` taken before, `end` after).
+/// Sums the block's stream time (bytes over per-pattern bandwidth), its
+/// dependent-load latency chain, its instruction-issue time at
+/// min(warps, schedulers) per cycle, and its warp-serialized penalty — the
+/// per-block critical-chain terms of cost_model.hpp, without the cross-block
+/// amortization (a phase belongs to exactly one query's block).
+double phase_us(const DeviceSpec& spec, const Metrics& end, const Metrics& start,
+                int threads_per_block, const CostParams& params = {});
+
+/// Replay one cohort's recorded steps (one vector per query, in cohort
+/// execution order) through the double-buffered pipeline described above.
+/// Deterministic: fixed-order double arithmetic, independent of host thread
+/// count. Cycle totals are rounded once at the end (llround at clock_ghz).
+OverlapTotals pipeline_schedule(const DeviceSpec& spec,
+                                std::span<const std::vector<StepPhase>* const> queries,
+                                const CostParams& params = {});
+
+}  // namespace psb::simt

@@ -1,0 +1,298 @@
+// The executor-schedule bit-identity contract: serving a batch through the
+// resumable executors (ExecSchedule::kExecutor, the default) must reproduce
+// the legacy run-to-completion loops bit-for-bit — same neighbors, statuses,
+// traversal stats, device Metrics, cost-model timing, and per-query traces —
+// across every algorithm, the offline / sharded / streamed paths, snapshot
+// cohorts, host thread counts and query reordering. The only observable the
+// executor path may add is the exec overlap namespace itself.
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/batch_engine.hpp"
+#include "obs/registry.hpp"
+#include "serve/arrivals.hpp"
+#include "serve/streaming_engine.hpp"
+#include "shard/sharded_engine.hpp"
+#include "sstree/builders.hpp"
+#include "test_util.hpp"
+
+namespace psb {
+namespace {
+
+using engine::Algorithm;
+using engine::BatchEngine;
+using engine::BatchEngineOptions;
+using engine::ExecSchedule;
+
+constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::kPsb,           Algorithm::kBestFirst,
+    Algorithm::kBranchAndBound, Algorithm::kStacklessRestart,
+    Algorithm::kStacklessSkip,  Algorithm::kBruteForce,
+    Algorithm::kTaskParallel,   Algorithm::kImplicitStackless,
+};
+
+struct Workload {
+  PointSet data;
+  PointSet queries;
+  sstree::BuildOutput built;
+
+  Workload() : data(test::small_clustered(4, 700, 2016)),
+               queries(test::random_queries(4, 12, 17)),
+               built(sstree::build_kmeans(data, 16, {})) {}
+};
+
+void expect_batch_identical(const knn::BatchResult& exec, const knn::BatchResult& legacy,
+                            const std::string& label) {
+  ASSERT_EQ(exec.queries.size(), legacy.queries.size()) << label;
+  for (std::size_t q = 0; q < exec.queries.size(); ++q) {
+    const knn::QueryResult& a = exec.queries[q];
+    const knn::QueryResult& b = legacy.queries[q];
+    const std::string at = label + " query " + std::to_string(q);
+    ASSERT_EQ(a.neighbors.size(), b.neighbors.size()) << at;
+    for (std::size_t i = 0; i < a.neighbors.size(); ++i) {
+      EXPECT_EQ(a.neighbors[i].id, b.neighbors[i].id) << at << " rank " << i;
+      EXPECT_EQ(a.neighbors[i].dist, b.neighbors[i].dist) << at << " rank " << i;
+    }
+    EXPECT_EQ(a.status, b.status) << at;
+    EXPECT_EQ(a.stats.nodes_visited, b.stats.nodes_visited) << at;
+    EXPECT_EQ(a.stats.leaves_visited, b.stats.leaves_visited) << at;
+    EXPECT_EQ(a.stats.points_examined, b.stats.points_examined) << at;
+    EXPECT_EQ(a.stats.backtracks, b.stats.backtracks) << at;
+    EXPECT_EQ(a.stats.leaf_scans, b.stats.leaf_scans) << at;
+    EXPECT_EQ(a.stats.restarts, b.stats.restarts) << at;
+    EXPECT_EQ(a.stats.heap_inserts, b.stats.heap_inserts) << at;
+    EXPECT_EQ(a.stats.heap_pushes, b.stats.heap_pushes) << at;
+  }
+  // Aggregated device counters and the cost-model timing derived from them
+  // must be bit-identical (the executors perform the exact legacy charge
+  // sequence, so even the double-precision timing cannot drift).
+  EXPECT_EQ(exec.metrics.warp_instructions, legacy.metrics.warp_instructions) << label;
+  EXPECT_EQ(exec.metrics.active_lane_slots, legacy.metrics.active_lane_slots) << label;
+  EXPECT_EQ(exec.metrics.serial_ops, legacy.metrics.serial_ops) << label;
+  EXPECT_EQ(exec.metrics.divergent_steps, legacy.metrics.divergent_steps) << label;
+  EXPECT_EQ(exec.metrics.bytes_coalesced, legacy.metrics.bytes_coalesced) << label;
+  EXPECT_EQ(exec.metrics.bytes_random, legacy.metrics.bytes_random) << label;
+  EXPECT_EQ(exec.metrics.bytes_cached, legacy.metrics.bytes_cached) << label;
+  EXPECT_EQ(exec.metrics.node_fetches, legacy.metrics.node_fetches) << label;
+  EXPECT_EQ(exec.metrics.fetches_random, legacy.metrics.fetches_random) << label;
+  EXPECT_EQ(exec.metrics.fetches_cached, legacy.metrics.fetches_cached) << label;
+  EXPECT_EQ(exec.timing.wall_ms, legacy.timing.wall_ms) << label;
+  EXPECT_EQ(exec.timing.avg_query_ms, legacy.timing.avg_query_ms) << label;
+  // The overlap totals are the one permitted divergence: populated by the
+  // executor schedule, all-zero on the legacy path.
+  EXPECT_EQ(legacy.exec.steps, 0u) << label;
+}
+
+void expect_traces_identical(const obs::TraceReport& exec, const obs::TraceReport& legacy,
+                             const std::string& label) {
+  ASSERT_EQ(exec.algorithms.size(), legacy.algorithms.size()) << label;
+  for (std::size_t a = 0; a < exec.algorithms.size(); ++a) {
+    const obs::AlgorithmTrace& ta = exec.algorithms[a];
+    const obs::AlgorithmTrace& tb = legacy.algorithms[a];
+    EXPECT_EQ(ta.algorithm, tb.algorithm) << label;
+    ASSERT_EQ(ta.queries.size(), tb.queries.size()) << label << " " << ta.algorithm;
+    for (std::size_t q = 0; q < ta.queries.size(); ++q) {
+      EXPECT_EQ(ta.queries[q].query_index, tb.queries[q].query_index);
+      for (std::size_t c = 0; c < obs::kNumTraceCounters; ++c) {
+        EXPECT_EQ(ta.queries[q].counters[c], tb.queries[q].counters[c])
+            << label << " " << ta.algorithm << " query " << q << " counter "
+            << obs::trace_counter_name(static_cast<obs::TraceCounter>(c));
+      }
+    }
+  }
+}
+
+void run_both_and_compare(const sstree::SSTree& tree, const PointSet& queries,
+                          BatchEngineOptions opts, const std::string& label) {
+  opts.exec_schedule = ExecSchedule::kExecutor;
+  const BatchEngine exec_eng(tree, opts);
+  const BatchEngine::TracedRun exec_run = exec_eng.run_traced(queries);
+
+  opts.exec_schedule = ExecSchedule::kLegacy;
+  const BatchEngine legacy_eng(tree, opts);
+  const BatchEngine::TracedRun legacy_run = legacy_eng.run_traced(queries);
+
+  expect_batch_identical(exec_run.result, legacy_run.result, label);
+  expect_traces_identical(exec_run.trace, legacy_run.trace, label);
+}
+
+TEST(ExecMetamorphicTest, ExecutorEqualsLegacyEveryAlgorithm) {
+  const Workload w;
+  for (const Algorithm a : kAllAlgorithms) {
+    BatchEngineOptions opts;
+    opts.algorithm = a;
+    opts.gpu.k = 6;
+    opts.num_threads = 1;
+    run_both_and_compare(w.built.tree, w.queries, opts,
+                         std::string(engine::algorithm_name(a)) + " base");
+  }
+}
+
+TEST(ExecMetamorphicTest, ExecutorEqualsLegacySnapshotCohorts) {
+  const Workload w;
+  for (const Algorithm a : kAllAlgorithms) {
+    BatchEngineOptions opts;
+    opts.algorithm = a;
+    opts.gpu.k = 6;
+    opts.use_snapshot = true;
+    opts.warp_queries = 4;
+    opts.num_threads = 1;
+    run_both_and_compare(w.built.tree, w.queries, opts,
+                         std::string(engine::algorithm_name(a)) + " snapshot");
+  }
+}
+
+TEST(ExecMetamorphicTest, ExecutorEqualsLegacyUnderQueryReorder) {
+  const Workload w;
+  for (const Algorithm a : {Algorithm::kStacklessSkip, Algorithm::kImplicitStackless,
+                            Algorithm::kPsb}) {
+    BatchEngineOptions opts;
+    opts.algorithm = a;
+    opts.gpu.k = 6;
+    opts.use_snapshot = true;
+    opts.reorder_queries = true;
+    opts.warp_queries = 4;
+    opts.num_threads = 1;
+    run_both_and_compare(w.built.tree, w.queries, opts,
+                         std::string(engine::algorithm_name(a)) + " reorder");
+  }
+}
+
+TEST(ExecMetamorphicTest, ExecutorEqualsLegacyMultiThreaded) {
+  const Workload w;
+  for (const Algorithm a : {Algorithm::kStacklessSkip, Algorithm::kBestFirst}) {
+    BatchEngineOptions opts;
+    opts.algorithm = a;
+    opts.gpu.k = 6;
+    opts.use_snapshot = true;
+    opts.warp_queries = 4;
+    opts.num_threads = 4;
+    run_both_and_compare(w.built.tree, w.queries, opts,
+                         std::string(engine::algorithm_name(a)) + " threads=4");
+  }
+}
+
+TEST(ExecMetamorphicTest, ShardedExecutorEqualsLegacy) {
+  const Workload w;
+  for (const Algorithm a : {Algorithm::kStacklessSkip, Algorithm::kImplicitStackless,
+                            Algorithm::kBranchAndBound}) {
+    shard::ShardedEngineOptions sopts;
+    sopts.num_shards = 4;
+    sopts.degree = 16;
+    sopts.engine.algorithm = a;
+    sopts.engine.gpu.k = 6;
+    sopts.engine.use_snapshot = true;
+    sopts.engine.num_threads = 1;
+
+    sopts.engine.exec_schedule = ExecSchedule::kExecutor;
+    shard::ShardedEngine exec_eng(w.data, sopts);
+    const knn::BatchResult exec_res = exec_eng.run(w.queries);
+
+    sopts.engine.exec_schedule = ExecSchedule::kLegacy;
+    shard::ShardedEngine legacy_eng(w.data, sopts);
+    const knn::BatchResult legacy_res = legacy_eng.run(w.queries);
+
+    expect_batch_identical(exec_res, legacy_res,
+                           std::string(engine::algorithm_name(a)) + " sharded");
+    EXPECT_GT(exec_res.exec.steps, 0u) << engine::algorithm_name(a);
+  }
+}
+
+TEST(ExecMetamorphicTest, StreamedExecutorEqualsLegacy) {
+  const Workload w;
+  serve::ArrivalSpec aspec;
+  aspec.rate_qps = 2500.0;
+  aspec.duration_s = 0.05;
+  aspec.seed = 77;
+  const serve::ArrivalStream stream = serve::generate_arrivals(w.data, aspec);
+  ASSERT_GT(stream.size(), 0u);
+
+  serve::StreamingOptions so;
+  so.engine.algorithm = Algorithm::kStacklessSkip;
+  so.engine.gpu.k = 6;
+  so.engine.use_snapshot = true;
+  so.engine.num_threads = 1;
+  so.buffer_capacity = 4;
+  so.engine.warp_queries = 4;
+  so.admission_queue_bound = 0;  // nothing shed: every arrival is comparable
+  so.cell_bits = 2;
+
+  so.engine.exec_schedule = ExecSchedule::kExecutor;
+  serve::StreamingEngine exec_eng(w.built.tree, so);
+  const serve::StreamingReport exec_rep = exec_eng.run(stream);
+
+  so.engine.exec_schedule = ExecSchedule::kLegacy;
+  serve::StreamingEngine legacy_eng(w.built.tree, so);
+  const serve::StreamingReport legacy_rep = legacy_eng.run(stream);
+
+  // The virtual-clock schedule is a pure function of the backend's
+  // cost-model timing, which the executor path reproduces bit-for-bit — so
+  // every latency, flush assignment and counter must agree exactly.
+  ASSERT_EQ(exec_rep.queries.size(), legacy_rep.queries.size());
+  for (std::size_t i = 0; i < exec_rep.queries.size(); ++i) {
+    const serve::StreamedQuery& a = exec_rep.queries[i];
+    const serve::StreamedQuery& b = legacy_rep.queries[i];
+    ASSERT_EQ(a.neighbors.size(), b.neighbors.size()) << "arrival " << i;
+    for (std::size_t r = 0; r < a.neighbors.size(); ++r) {
+      EXPECT_EQ(a.neighbors[r].id, b.neighbors[r].id) << "arrival " << i;
+      EXPECT_EQ(a.neighbors[r].dist, b.neighbors[r].dist) << "arrival " << i;
+    }
+    EXPECT_EQ(a.status, b.status) << "arrival " << i;
+    EXPECT_EQ(a.latency_us, b.latency_us) << "arrival " << i;
+    EXPECT_EQ(a.flush_id, b.flush_id) << "arrival " << i;
+  }
+  EXPECT_EQ(exec_rep.flushes, legacy_rep.flushes);
+  EXPECT_EQ(exec_rep.span_us, legacy_rep.span_us);
+  EXPECT_EQ(exec_rep.accessed_bytes, legacy_rep.accessed_bytes);
+  EXPECT_EQ(exec_rep.deadline_misses, legacy_rep.deadline_misses);
+  // The streamed path rides the executor schedule by default and surfaces
+  // its overlap totals; the legacy run reports none.
+  EXPECT_GT(exec_rep.exec.steps, 0u);
+  EXPECT_EQ(legacy_rep.exec.steps, 0u);
+}
+
+TEST(ExecMetamorphicTest, RegistryDiffIsOnlyExecNamespace) {
+  const Workload w;
+  BatchEngineOptions opts;
+  opts.algorithm = Algorithm::kStacklessSkip;
+  opts.gpu.k = 6;
+  opts.use_snapshot = true;
+  opts.warp_queries = 4;
+  opts.num_threads = 1;
+
+  const auto counters_for = [&](ExecSchedule s) {
+    opts.exec_schedule = s;
+    obs::Registry::global().reset();
+    const BatchEngine eng(w.built.tree, opts);
+    (void)eng.run(w.queries);
+    return obs::Registry::global().snapshot();
+  };
+  const obs::Registry::Snapshot legacy = counters_for(ExecSchedule::kLegacy);
+  const obs::Registry::Snapshot exec = counters_for(ExecSchedule::kExecutor);
+
+  const auto value = [](const obs::Registry::Snapshot& s, std::string_view name) {
+    for (const auto& [n, v] : s.counters) {
+      if (n == name) return v;
+    }
+    return std::uint64_t{0};
+  };
+  // Every legacy counter survives unchanged; everything the executor path
+  // adds lives under engine.exec.* (the resume-fault counter exists in both
+  // schedules and stays zero without an injection scope).
+  for (const auto& [name, v] : legacy.counters) {
+    EXPECT_EQ(value(exec, name), v) << name;
+  }
+  for (const auto& [name, v] : exec.counters) {
+    if (value(legacy, name) != v) {
+      EXPECT_TRUE(std::string_view(name).substr(0, 12) == "engine.exec.")
+          << name << " changed between schedules";
+    }
+  }
+  EXPECT_GT(value(exec, "engine.exec.steps"), 0u);
+}
+
+}  // namespace
+}  // namespace psb

@@ -68,7 +68,7 @@ commands:
              and gated; host_build_seconds is informational, but exceeding
              --construction-budget-ms is a hard error)
   faultcamp [--iterations N] [--seed N] [--out FILE.json] [--workdir DIR]
-            (defaults to 900 iterations: 100 per registered site)
+            (defaults to 1000 iterations: 100 per registered site)
 
 exit codes: 0 ok, 2 usage error, 3 corrupt or unreadable input, 4 internal error
 )";
@@ -563,6 +563,12 @@ int cmd_bench(const Args& args) {
         w.field(prefix + ".deadline_misses", rep.deadline_misses);
         w.field(prefix + ".max_queue_depth", rep.max_queue_depth);
         w.field(prefix + ".accessed_bytes", rep.accessed_bytes);
+        if (rep.exec.steps > 0) {
+          w.field(prefix + ".exec_steps", rep.exec.steps);
+          w.field(prefix + ".exec_serialized_cycles", rep.exec.serialized_cycles);
+          w.field(prefix + ".exec_overlapped_cycles", rep.exec.overlapped_cycles);
+          w.field(prefix + ".exec_overlap_ratio", rep.exec.ratio());
+        }
         w.field(prefix + ".p50_latency_us", rep.p50_us());
         w.field(prefix + ".p99_latency_us", rep.p99_us());
         w.field(prefix + ".throughput_qps", rep.throughput_qps());
@@ -624,6 +630,16 @@ int cmd_bench(const Args& args) {
       w.field(prefix + ".divergent_steps", col(TraceCounter::kDivergentSteps));
       w.field(prefix + ".avg_query_ms", result.timing.avg_query_ms);
       w.field(prefix + ".warp_efficiency", result.metrics.warp_efficiency());
+      if (result.exec.steps > 0) {
+        // Stream-overlap totals from the resumable-executor schedule
+        // (src/exec/). The ratio is the BENCH_gate_exec headline: < 1.0 means
+        // the double-buffered fetch/compute pipeline beat the serialized
+        // run-to-completion cost on this cohort mix; gated lower-is-better.
+        w.field(prefix + ".exec_steps", result.exec.steps);
+        w.field(prefix + ".exec_serialized_cycles", result.exec.serialized_cycles);
+        w.field(prefix + ".exec_overlapped_cycles", result.exec.overlapped_cycles);
+        w.field(prefix + ".exec_overlap_ratio", result.exec.ratio());
+      }
       if (variant == "base") {
         base_bytes = static_cast<double>(accessed);
       } else if (variant == "sharded_nobound") {
@@ -736,7 +752,7 @@ void check_exact_or_flagged(const knn::BatchResult& got, const knn::BatchResult&
 }
 
 int cmd_faultcamp(const Args& args) {
-  const std::size_t iterations = args.num("iterations", 900);
+  const std::size_t iterations = args.num("iterations", 1000);
   const std::uint64_t base_seed = args.num("seed", 2016);
   const std::string out = args.str("out", "-");
   const std::string workdir = args.str("workdir", ".");
@@ -861,6 +877,14 @@ int cmd_faultcamp(const Args& args) {
       // retry masks them) with double deaths (retry dies too, forcing the
       // flagged brute-force cohort answer).
       fspec.trigger = fspec.seed % 6;
+      fspec.count = 1 + (iter / sites.size()) % 2;
+    } else if (site == fault::kSiteExecResume) {
+      // One evaluation per executor resume step: at least 12 for the
+      // single-step loop adapters (one per query), hundreds for the stackless
+      // walkers. Alternate one-shot resume deaths (a fresh-executor rerun
+      // masks them) with double deaths (the rerun's first resume dies too,
+      // forcing the flagged brute-force fallback).
+      fspec.trigger = fspec.seed % 12;
       fspec.count = 1 + (iter / sites.size()) % 2;
     } else {
       fspec.trigger = 0;
