@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # CI job: line-coverage gate over the serving core (src/knn, src/shard,
-# src/engine, src/exec, src/layout, src/serve). Builds a
+# src/engine, src/exec, src/layout, src/serve, src/replica). Builds a
 # --coverage-instrumented tree, runs the tier1 suite,
 # and has gcovr aggregate line coverage across every translation unit —
 # library objects and test binaries alike, so header-heavy modules get full
@@ -11,6 +11,7 @@
 # never lower it to make a red build green. History:
 #   72  PR 5  first gate (gcov union measured 72.9% at introduction)
 #   74  PR 8  src/exec added to the filter (executor + metamorphic suites)
+#   74  PR 9  src/replica added to the filter (router + replicated serving)
 #
 #   scripts/ci/coverage.sh                   # artifacts in ci-artifacts/
 #   FAIL_UNDER_LINE=75 scripts/ci/coverage.sh
@@ -44,6 +45,7 @@ echo "== gcovr line coverage (fail-under ${FAIL_UNDER_LINE}%) =="
 gcovr --root . "$BUILD_DIR" \
   --filter 'src/knn/' --filter 'src/shard/' --filter 'src/engine/' \
   --filter 'src/exec/' --filter 'src/layout/' --filter 'src/serve/' \
+  --filter 'src/replica/' \
   --exclude-throw-branches \
   --print-summary \
   --txt "$ARTIFACT_DIR/coverage/coverage.txt" \

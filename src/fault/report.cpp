@@ -1,0 +1,45 @@
+#include "fault/report.hpp"
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace psb::fault {
+
+std::string campaign_report_json(const CampaignSummary& summary) {
+  PSB_REQUIRE(!summary.schema.empty(), "campaign summary needs a schema name");
+  std::uint64_t total_fired = 0;
+  std::uint64_t total_detected = 0;
+  std::uint64_t total_masked = 0;
+  std::uint64_t total_flagged = 0;
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("schema", summary.schema);
+  w.field("iterations", summary.iterations);
+  w.field("seed", summary.seed);
+  for (const SiteTally& t : summary.sites) {
+    PSB_ASSERT(t.fired == t.detected + t.masked,
+               t.site + ": fired fault neither detected nor masked");
+    PSB_ASSERT(t.flagged <= t.detected, t.site + ": flagged outcomes exceed detections");
+    w.field(t.site + ".iterations", t.iterations);
+    w.field(t.site + ".fired", t.fired);
+    w.field(t.site + ".detected", t.detected);
+    w.field(t.site + ".masked", t.masked);
+    w.field(t.site + ".flagged", t.flagged);
+    total_fired += t.fired;
+    total_detected += t.detected;
+    total_masked += t.masked;
+    total_flagged += t.flagged;
+  }
+  for (const auto& [name, value] : summary.extra) {
+    w.field(name, value);
+  }
+  w.field("total.fired", total_fired);
+  w.field("total.detected", total_detected);
+  w.field("total.masked", total_masked);
+  w.field("total.flagged", total_flagged);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace psb::fault

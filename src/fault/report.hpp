@@ -1,0 +1,50 @@
+// Byte-stable campaign report table shared by the fault campaigns (psbtool
+// faultcamp / chaoscamp). Both drivers tally per-site outcomes into the same
+// structure and serialize it through one writer, so the per-site
+// fired/detected/masked/flagged breakdown is a stable, diffable JSON table —
+// identical tallies always export identical bytes (asserted by
+// tests/fault_injection_test.cpp), which is what lets CI archive and compare
+// campaign reports across runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace psb::fault {
+
+/// Per-site outcome tally of one campaign. Invariant (asserted by
+/// campaign_report_json): fired == detected + masked, and flagged <=
+/// detected — a fired fault is either detected (typed error from a loader or
+/// a non-kOk QueryStatus) or masked by an exact fallback, never lost.
+struct SiteTally {
+  std::string site;
+  std::uint64_t iterations = 0;  ///< iterations that armed this site
+  std::uint64_t fired = 0;       ///< armed evaluations that actually fired
+  std::uint64_t detected = 0;    ///< fired and surfaced (error or flag)
+  std::uint64_t masked = 0;      ///< fired but absorbed exactly and silently
+  std::uint64_t flagged = 0;     ///< detected via a non-kOk QueryStatus
+};
+
+/// One whole campaign: header, the per-site table (registry order), and any
+/// extra campaign-specific counters (multi-fault combo stats, ...) appended
+/// between the table and the totals.
+struct CampaignSummary {
+  std::string schema;  ///< e.g. "psb.faultcamp.v2", "psb.chaoscamp.v1"
+  std::uint64_t iterations = 0;
+  std::uint64_t seed = 0;
+  std::vector<SiteTally> sites;
+  std::vector<std::pair<std::string, std::uint64_t>> extra;
+};
+
+/// Serialize a campaign summary as flat JSON: schema/iterations/seed, then
+/// `<site>.{iterations,fired,detected,masked,flagged}` per site in table
+/// order, then the extra fields, then `total.{fired,detected,masked,
+/// flagged}`. Throws psb::InternalError when any site violates the
+/// fired == detected + masked or flagged <= detected invariants — a campaign
+/// must never emit a table that claims a fault was neither detected nor
+/// masked. Identical summaries serialize byte-identically.
+std::string campaign_report_json(const CampaignSummary& summary);
+
+}  // namespace psb::fault

@@ -53,4 +53,22 @@ inline constexpr std::string_view kSiteStreamFlush = "engine.stream.flush";
 /// it by an exact brute-force scan, flagged kDegradedFallback).
 inline constexpr std::string_view kSiteExecResume = "exec.resume";
 
+/// Crash one virtual replica server at dispatch (simulates a process or
+/// machine death; the server stops answering until a counted restart after
+/// ReplicaOptions::restart_us, and the router fails the request over to the
+/// next-healthiest sibling).
+inline constexpr std::string_view kSiteReplicaCrash = "replica.crash";
+
+/// Multiply one replica dispatch's service time (simulates a straggling
+/// server — page cache miss, noisy neighbor; absorbed by the per-replica
+/// timeout and, when hedging is armed, by a tail-latency hedge to a
+/// sibling).
+inline constexpr std::string_view kSiteReplicaStraggle = "replica.straggle";
+
+/// Flip one bit of a replica's serialized reply (simulates wire or
+/// device-memory corruption of the answer; always caught by the per-reply
+/// CRC32 — a single-bit error cannot pass — and punished with a counted
+/// eviction before a sibling re-answers).
+inline constexpr std::string_view kSiteReplicaCorruptReply = "replica.corrupt_reply";
+
 }  // namespace psb::fault

@@ -14,6 +14,11 @@ void Histogram::add(std::uint64_t value) {
   sum_ += value;
 }
 
+void Histogram::merge(const Histogram& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sum_ += other.sum_;
+}
+
 std::uint64_t Histogram::min() const noexcept {
   if (samples_.empty()) return 0;
   return *std::min_element(samples_.begin(), samples_.end());

@@ -20,6 +20,13 @@ class Histogram {
  public:
   void add(std::uint64_t value);
 
+  /// Fold another histogram's samples into this one. Afterwards the sample
+  /// multiset equals the concatenation of both inputs, so count/sum/min/max,
+  /// every percentile and every bucket match a histogram fed both streams
+  /// directly — the property that lets per-replica latency histograms merge
+  /// into one fleet histogram without bias (asserted in obs_test).
+  void merge(const Histogram& other);
+
   std::size_t count() const noexcept { return samples_.size(); }
   bool empty() const noexcept { return samples_.empty(); }
   std::uint64_t min() const noexcept;  ///< 0 when empty

@@ -31,8 +31,9 @@
 #include "simt/sort.hpp"          // IWYU pragma: export
 #include "simt/task_parallel.hpp" // IWYU pragma: export
 
-#include "fault/fault.hpp"  // IWYU pragma: export
-#include "fault/sites.hpp"  // IWYU pragma: export
+#include "fault/fault.hpp"   // IWYU pragma: export
+#include "fault/report.hpp"  // IWYU pragma: export
+#include "fault/sites.hpp"   // IWYU pragma: export
 
 #include "hilbert/hilbert.hpp"  // IWYU pragma: export
 
@@ -70,6 +71,8 @@
 #include "shard/partition.hpp"       // IWYU pragma: export
 #include "shard/result_cache.hpp"    // IWYU pragma: export
 #include "shard/sharded_engine.hpp"  // IWYU pragma: export
+
+#include "replica/replica.hpp"  // IWYU pragma: export
 
 #include "serve/arrivals.hpp"          // IWYU pragma: export
 #include "serve/buffer.hpp"            // IWYU pragma: export

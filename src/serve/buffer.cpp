@@ -15,7 +15,12 @@ CellRouter::CellRouter(const PointSet& data, int cell_bits)
     // Clamp total key width to one 64-bit word so route() can return the
     // most-significant word as the complete cell key.
     const int bits = std::min<int>(cell_bits_, static_cast<int>(64 / dims_));
-    if (bits >= 1) encoder_.emplace_back(dims_, bits);
+    if (bits >= 1) {
+      encoder_.emplace_back(dims_, bits);
+      // route() hands out the MSB-aligned most-significant key word, so the
+      // key space callers partition is the full 64-bit word (see key_bits()).
+      key_bits_ = 64;
+    }
   }
 }
 

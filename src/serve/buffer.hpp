@@ -32,9 +32,17 @@ class CellRouter {
   /// small enough that one word always suffices for dims <= 64).
   std::uint64_t route(std::span<const Scalar> p) const;
 
+  /// Width in bits of the cell key space route() draws from — what a caller
+  /// needs to split the cells into contiguous Hilbert ranges. route() returns
+  /// the encoder's most-significant key word, whose `bits * dims` used bits
+  /// sit MSB-aligned in the 64-bit value, so this is 64 whenever routing is
+  /// active and 0 when the router collapsed to a single cell.
+  int key_bits() const noexcept { return key_bits_; }
+
  private:
   std::size_t dims_;
   int cell_bits_;
+  int key_bits_ = 0;
   Rect bounds_;
   std::vector<hilbert::Encoder> encoder_;  ///< empty when collapsed to one cell
 };

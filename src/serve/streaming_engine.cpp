@@ -46,6 +46,9 @@ StreamingEngine::StreamingEngine(const sstree::SSTree& tree, StreamingOptions op
       data_(&tree.data()),
       router_(tree.data(), opts_.cell_bits) {
   validate(opts_);
+  if (opts_.replica.enabled()) {
+    replicas_ = std::make_unique<replica::ReplicaRouter>(opts_.replica);
+  }
 }
 
 StreamingEngine::StreamingEngine(shard::ShardedEngine& sharded, const PointSet& data,
@@ -54,11 +57,16 @@ StreamingEngine::StreamingEngine(shard::ShardedEngine& sharded, const PointSet& 
   validate(opts_);
   PSB_REQUIRE(sharded.options().engine.deadline_ms == 0,
               "StreamingOptions owns deadline semantics; engine.deadline_ms must be 0");
+  if (opts_.replica.enabled()) {
+    replicas_ = std::make_unique<replica::ReplicaRouter>(opts_.replica);
+  }
 }
 
 struct StreamingEngine::FlushOutcome {
   knn::BatchResult result;
-  std::uint64_t service_us = 0;
+  std::uint64_t service_us = 0;  ///< legacy single-server service window
+  std::uint64_t kernel_us = 0;   ///< cost-model kernel time, pre-scaling
+  std::uint64_t attempts = 1;    ///< stream.flush dispatch attempts
   bool faulted = false;
   bool retried = false;
   bool brute_forced = false;
@@ -71,13 +79,12 @@ StreamingEngine::FlushOutcome StreamingEngine::dispatch(const PointSet& cohort) 
   // Second fire: answer the cohort by an exact per-query brute-force scan,
   // flagged kDegradedFallback. Every extra attempt costs one more
   // dispatch_overhead_us on the virtual clock.
-  std::uint64_t attempts = 1;
   if (fault::evaluate(fault::kSiteStreamFlush)) {
     out.faulted = true;
-    ++attempts;
+    ++out.attempts;
     if (fault::evaluate(fault::kSiteStreamFlush)) {
       out.brute_forced = true;
-      ++attempts;
+      ++out.attempts;
     } else {
       out.retried = true;
     }
@@ -93,15 +100,39 @@ StreamingEngine::FlushOutcome StreamingEngine::dispatch(const PointSet& cohort) 
   } else {
     out.result = batch_ ? batch_->run(cohort) : sharded_->run(cohort);
   }
-  const auto kernel_us =
-      static_cast<std::uint64_t>(std::llround(out.result.timing.wall_ms * 1000.0));
+  out.kernel_us = static_cast<std::uint64_t>(std::llround(out.result.timing.wall_ms * 1000.0));
   out.service_us =
-      attempts * opts_.dispatch_overhead_us + kernel_us * opts_.service_time_scale;
+      out.attempts * opts_.dispatch_overhead_us + out.kernel_us * opts_.service_time_scale;
   return out;
 }
 
+namespace {
+
+/// Serialize a cohort's answer (every query's sorted neighbor list) into the
+/// byte image the replica layer CRC32-checks: the wire form a real reply
+/// would travel in, so replica.corrupt_reply flips a bit something actually
+/// depends on.
+std::vector<unsigned char> serialize_reply(const knn::BatchResult& result) {
+  std::vector<unsigned char> bytes;
+  for (const knn::QueryResult& q : result.queries) {
+    for (const KnnHeap::Entry& e : q.neighbors) {
+      const auto* dist = reinterpret_cast<const unsigned char*>(&e.dist);
+      bytes.insert(bytes.end(), dist, dist + sizeof(e.dist));
+      const auto* id = reinterpret_cast<const unsigned char*>(&e.id);
+      bytes.insert(bytes.end(), id, id + sizeof(e.id));
+    }
+  }
+  return bytes;
+}
+
+}  // namespace
+
 StreamingReport StreamingEngine::run(const ArrivalStream& stream) {
   StreamingReport report;
+  // Router counters are engine-lifetime (health persists across runs);
+  // snapshot them so the report carries this run's deltas only.
+  const replica::ReplicaStats replica_base =
+      replicas_ ? replicas_->stats() : replica::ReplicaStats{};
   report.arrivals = stream.size();
   report.queries.resize(stream.size());
   if (stream.size() > 0) {
@@ -124,9 +155,46 @@ StreamingReport StreamingEngine::run(const ArrivalStream& stream) {
     for (const CohortBuffers::Pending& p : pend) cohort.append(stream.queries[p.arrival_index]);
 
     FlushOutcome out = dispatch(cohort);
-    const std::uint64_t start = std::max(now, server_free);
-    const std::uint64_t end = start + out.service_us;
-    server_free = end;
+    std::uint64_t end = 0;
+    if (replicas_) {
+      // Replicated path: the per-attempt dispatch overhead moves into the
+      // router (every failover and hedge pays it again); service_us carries
+      // the backend cost plus any stream.flush retry overhead, so one clean
+      // attempt reproduces the single-server service window exactly — the
+      // R = 1 bit-identity the replica tests pin down.
+      const std::vector<unsigned char> reply = serialize_reply(out.result);
+      replica::ReplicaRouter::Request rq;
+      rq.group = replica::group_for_cell(cell, router_.key_bits(), opts_.replica.groups);
+      rq.now_us = now;
+      rq.service_us = (out.attempts - 1) * opts_.dispatch_overhead_us +
+                      out.kernel_us * opts_.service_time_scale;
+      rq.overhead_us = opts_.dispatch_overhead_us;
+      rq.reply = reply;
+      const replica::ReplicaRouter::Outcome oc = replicas_->dispatch(rq);
+      if (oc.served) {
+        end = oc.completion_us;
+      } else {
+        // Ladder bottom: every replica down or out of attempts. The
+        // front-end answers the cohort itself with an exact brute-force
+        // scan, flagged kDegradedFallback — late and degraded, never lost.
+        knn::GpuKnnOptions g;
+        g.k = opts_.engine.gpu.k;
+        g.device = opts_.engine.gpu.device;
+        out.result = knn::brute_force_batch(*data_, cohort, g);
+        for (knn::QueryResult& q : out.result.queries) {
+          q.status = knn::QueryStatus::kDegradedFallback;
+        }
+        out.brute_forced = true;
+        const auto brute_us =
+            static_cast<std::uint64_t>(std::llround(out.result.timing.wall_ms * 1000.0));
+        end = oc.completion_us + opts_.dispatch_overhead_us + brute_us * opts_.service_time_scale;
+      }
+      report.replica_dispatch_us.add(end - now);
+    } else {
+      const std::uint64_t start = std::max(now, server_free);
+      end = start + out.service_us;
+      server_free = end;
+    }
 
     ++flush_seq;
     ++report.flushes;
@@ -226,6 +294,26 @@ StreamingReport StreamingEngine::run(const ArrivalStream& stream) {
     reg.add("serve.exec_serialized_cycles", report.exec.serialized_cycles);
     reg.add("serve.exec_overlapped_cycles", report.exec.overlapped_cycles);
   }
+  if (replicas_) {
+    report.replicated = true;
+    report.replica = replicas_->stats().minus(replica_base);
+    const replica::ReplicaStats& rs = report.replica;
+    if (rs.dispatches > 0) {
+      reg.add("replica.dispatches", rs.dispatches);
+      reg.add("replica.attempts", rs.attempts);
+      reg.add("replica.crashes", rs.crashes);
+      reg.add("replica.restarts", rs.restarts);
+      reg.add("replica.straggles", rs.straggles);
+      reg.add("replica.timeouts", rs.timeouts);
+      reg.add("replica.corrupt_replies", rs.corrupt_replies);
+      reg.add("replica.evictions", rs.evictions);
+      reg.add("replica.failovers", rs.failovers);
+      reg.add("replica.hedge_issued", rs.hedge_issued);
+      reg.add("replica.hedge_won", rs.hedge_won);
+      reg.add("replica.hedge_wasted", rs.hedge_wasted);
+      reg.add("replica.exhausted", rs.exhausted);
+    }
+  }
   return report;
 }
 
@@ -250,6 +338,26 @@ void streaming_report_fields(obs::JsonWriter& w, const StreamingReport& report,
   w.field(pre + ".exec_steps", report.exec.steps);
   w.field(pre + ".exec_serialized_cycles", report.exec.serialized_cycles);
   w.field(pre + ".exec_overlapped_cycles", report.exec.overlapped_cycles);
+  if (report.replicated) {
+    // Replica fields only appear on the replicated path, so legacy exports
+    // stay byte-identical to the pre-replica schema.
+    const replica::ReplicaStats& rs = report.replica;
+    w.field(pre + ".replica.dispatches", rs.dispatches);
+    w.field(pre + ".replica.attempts", rs.attempts);
+    w.field(pre + ".replica.crashes", rs.crashes);
+    w.field(pre + ".replica.restarts", rs.restarts);
+    w.field(pre + ".replica.straggles", rs.straggles);
+    w.field(pre + ".replica.timeouts", rs.timeouts);
+    w.field(pre + ".replica.corrupt_replies", rs.corrupt_replies);
+    w.field(pre + ".replica.evictions", rs.evictions);
+    w.field(pre + ".replica.failovers", rs.failovers);
+    w.field(pre + ".replica.backoff_wait_us", rs.backoff_wait_us);
+    w.field(pre + ".replica.hedge_issued", rs.hedge_issued);
+    w.field(pre + ".replica.hedge_won", rs.hedge_won);
+    w.field(pre + ".replica.hedge_wasted", rs.hedge_wasted);
+    w.field(pre + ".replica.exhausted", rs.exhausted);
+    report.replica_dispatch_us.export_fields(w, pre + ".replica.dispatch_us");
+  }
   w.field(pre + ".span_us", report.span_us);
   w.field(pre + ".throughput_qps", report.throughput_qps());
   report.latency_us.export_fields(w, pre + ".latency_us");

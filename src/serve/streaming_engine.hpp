@@ -32,6 +32,7 @@
 
 #include "engine/batch_engine.hpp"
 #include "obs/histogram.hpp"
+#include "replica/replica.hpp"
 #include "serve/arrivals.hpp"
 #include "serve/buffer.hpp"
 #include "shard/sharded_engine.hpp"
@@ -70,6 +71,11 @@ struct StreamingOptions {
   std::uint64_t dispatch_overhead_us = 120;
   /// Integer multiplier on the cost-model service time (see file comment).
   std::uint64_t service_time_scale = 1;
+  /// Replicated serving (src/replica/): replica.replicas >= 1 replaces the
+  /// single virtual server with per-shard-range replica sets fronted by a
+  /// ReplicaRouter (failover, backoff, hedging). replicas = 0 (the default)
+  /// keeps the legacy single-server queueing model, byte-identically.
+  replica::ReplicaOptions replica{};
 };
 
 /// One arrival's outcome, in arrival order.
@@ -105,6 +111,12 @@ struct StreamingReport {
   /// Executor-schedule overlap totals merged over flushes (simt/overlap.hpp);
   /// all-zero when the backend runs the legacy schedule or brute-forces.
   simt::OverlapTotals exec;
+
+  /// Replicated-serving accounting; all-zero (and absent from the JSON
+  /// export) when replication is off.
+  bool replicated = false;
+  replica::ReplicaStats replica;        ///< this run's router-counter deltas
+  obs::Histogram replica_dispatch_us;   ///< router dispatch latencies (per flush)
 
   obs::Histogram latency_us;  ///< answered queries only
 
@@ -142,6 +154,9 @@ class StreamingEngine {
   shard::ShardedEngine* sharded_ = nullptr;     ///< sharded mode
   const PointSet* data_ = nullptr;
   CellRouter router_;
+  /// Present iff opts_.replica.enabled(); health/latency state persists for
+  /// the engine's lifetime (across run() calls), like a real fleet's.
+  std::unique_ptr<replica::ReplicaRouter> replicas_;
 };
 
 /// Emit a report's fields (counters, derived rates, latency histogram) into

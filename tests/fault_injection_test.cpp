@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "common/geometry.hpp"
 #include "fault/fault.hpp"
+#include "fault/report.hpp"
 #include "fault/sites.hpp"
 #include "serve/arrivals.hpp"
 #include "serve/streaming_engine.hpp"
@@ -21,7 +22,7 @@ namespace {
 
 TEST(FaultRegistry, AllSitesRegisteredAndNamed) {
   const auto all = sites();
-  ASSERT_GE(all.size(), 9u);
+  ASSERT_GE(all.size(), 13u);
   for (const SiteInfo& s : all) {
     EXPECT_FALSE(s.name.empty());
     EXPECT_FALSE(s.description.empty());
@@ -36,7 +37,45 @@ TEST(FaultRegistry, AllSitesRegisteredAndNamed) {
   EXPECT_TRUE(is_site(kSiteWorkerSlice));
   EXPECT_TRUE(is_site(kSiteShardSlice));
   EXPECT_TRUE(is_site(kSiteStreamFlush));
+  EXPECT_TRUE(is_site(kSiteExecResume));
+  EXPECT_TRUE(is_site(kSiteReplicaCrash));
+  EXPECT_TRUE(is_site(kSiteReplicaStraggle));
+  EXPECT_TRUE(is_site(kSiteReplicaCorruptReply));
   EXPECT_FALSE(is_site("no.such.site"));
+}
+
+TEST(CampaignReport, IdenticalTalliesSerializeByteIdentically) {
+  const auto make = [] {
+    CampaignSummary s;
+    s.schema = "psb.testcamp.v1";
+    s.iterations = 26;
+    s.seed = 7;
+    s.sites.push_back({std::string(kSiteQueryBudget), 13, 11, 9, 2, 9});
+    s.sites.push_back({std::string(kSiteReplicaCrash), 13, 10, 4, 6, 4});
+    s.extra.emplace_back("combos.two", 20);
+    s.extra.emplace_back("combos.three", 6);
+    return s;
+  };
+  const std::string a = campaign_report_json(make());
+  const std::string b = campaign_report_json(make());
+  EXPECT_EQ(a, b);  // byte-stability: CI diffs archived campaign reports
+  // The table carries every column per site, the extras, and the totals.
+  EXPECT_NE(a.find("\"engine.query_budget.flagged\": 9"), std::string::npos) << a;
+  EXPECT_NE(a.find("\"replica.crash.masked\": 6"), std::string::npos) << a;
+  EXPECT_NE(a.find("\"combos.three\": 6"), std::string::npos) << a;
+  EXPECT_NE(a.find("\"total.fired\": 21"), std::string::npos) << a;
+  EXPECT_NE(a.find("\"total.flagged\": 13"), std::string::npos) << a;
+}
+
+TEST(CampaignReport, InvariantViolationsThrow) {
+  CampaignSummary s;
+  s.schema = "psb.testcamp.v1";
+  s.sites.push_back({std::string(kSiteQueryBudget), 4, 3, 1, 1, 1});  // 3 != 1 + 1
+  EXPECT_THROW(campaign_report_json(s), InternalError);
+  s.sites[0] = {std::string(kSiteQueryBudget), 4, 3, 2, 1, 3};  // flagged > detected
+  EXPECT_THROW(campaign_report_json(s), InternalError);
+  s.sites[0] = {std::string(kSiteQueryBudget), 4, 3, 2, 1, 2};
+  EXPECT_NO_THROW(campaign_report_json(s));
 }
 
 TEST(FaultScope, DisabledByDefault) {

@@ -168,6 +168,64 @@ TEST(Histogram, ExportFieldsAreDeterministicInTheRecordedMultiset) {
   EXPECT_NE(build({120, 45, 3000, 45, 8}), a);
 }
 
+TEST(Histogram, MergeEqualsHistogramOfConcatenatedSamples) {
+  const std::vector<std::uint64_t> left = {120, 45, 3000, 45, 7};
+  const std::vector<std::uint64_t> right = {9000, 1, 45, 512};
+  obs::Histogram a;
+  for (const std::uint64_t v : left) a.add(v);
+  obs::Histogram b;
+  for (const std::uint64_t v : right) b.add(v);
+  a.merge(b);
+
+  obs::Histogram concat;
+  for (const std::uint64_t v : left) concat.add(v);
+  for (const std::uint64_t v : right) concat.add(v);
+
+  // The merged multiset is exactly the concatenation: every statistic and
+  // the JSON export agree with feeding the samples to one histogram.
+  EXPECT_EQ(a.count(), concat.count());
+  EXPECT_EQ(a.sum(), concat.sum());
+  EXPECT_EQ(a.min(), concat.min());
+  EXPECT_EQ(a.max(), concat.max());
+  for (const int p : {1, 25, 50, 75, 90, 99, 100}) {
+    EXPECT_EQ(a.percentile(p), concat.percentile(p)) << "p" << p;
+  }
+  const std::vector<obs::Histogram::Bucket> ab = a.buckets();
+  const std::vector<obs::Histogram::Bucket> cb = concat.buckets();
+  ASSERT_EQ(ab.size(), cb.size());
+  for (std::size_t i = 0; i < ab.size(); ++i) {
+    EXPECT_EQ(ab[i].upper, cb[i].upper);
+    EXPECT_EQ(ab[i].count, cb[i].count);
+  }
+  const auto export_json = [](const obs::Histogram& h) {
+    obs::JsonWriter w;
+    w.begin_object();
+    h.export_fields(w, "lat");
+    w.end_object();
+    return w.str();
+  };
+  EXPECT_EQ(export_json(a), export_json(concat));
+  // b is untouched by the merge.
+  EXPECT_EQ(b.count(), right.size());
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentityBothWays) {
+  obs::Histogram h;
+  for (const std::uint64_t v : {10U, 20U, 30U}) h.add(v);
+  obs::Histogram empty;
+  h.merge(empty);  // merging in an empty histogram changes nothing
+  EXPECT_EQ(h.count(), 3U);
+  EXPECT_EQ(h.sum(), 60U);
+  empty.merge(h);  // merging into an empty histogram copies the samples
+  EXPECT_EQ(empty.count(), 3U);
+  EXPECT_EQ(empty.sum(), 60U);
+  EXPECT_EQ(empty.percentile(50), 20U);
+  obs::Histogram e1;
+  obs::Histogram e2;
+  e1.merge(e2);
+  EXPECT_TRUE(e1.empty());
+}
+
 // ---------------------------------------------------------------------------
 // Trace sessions
 // ---------------------------------------------------------------------------

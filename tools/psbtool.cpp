@@ -48,16 +48,22 @@ commands:
             [--cell-bits N] [--overhead-us N] [--diurnal-amplitude X]
             [--diurnal-period-s S] [--burst-rate X] [--burst-size N]
             [--seed N] [--out FILE.json]
+            [--replicas R] [--replica-groups N] [--hedge 0|1] [--hedge-pct P]
+            [--hedge-warmup N] [--replica-timeout-us N] [--straggle-pct P]
+            [--straggle-mult M] [--replica-seed N]
             (replays a seeded arrival stream on the virtual clock through the
              streaming front-end and reports p50/p99 latency, throughput,
-             deadline misses and sheds; --out writes the flat stream JSON)
+             deadline misses and sheds; --out writes the flat stream JSON;
+             --replicas >= 1 serves each Hilbert shard range from R virtual
+             replicas behind the failover/hedging router — --hedge-pct alone
+             implies --hedge 1)
   bench     --out FILE.json [--type clustered|noaa] [--dims N] [--count N]
             [--clusters N] [--stations N] [--readings N] [--points N]
             [--num-queries N | --queries N]
             [--k N] [--degree N] [--seed N] [--algos a,b,...]
             [--variants base,snapshot,snapshot_reorder,implicit,
              implicit_stackless,sharded,sharded_nobound,
-             stream_naive,stream_buffered]
+             stream_naive,stream_buffered,replicated,replicated_hedged]
             [--warp-queries N] [--shards N]
             [--stream-rate QPS] [--stream-duration-s S] [--stream-deadline-ms X]
             [--stream-horizon-ms X] [--stream-capacity N] [--stream-cell-bits N]
@@ -67,8 +73,18 @@ commands:
              N-reading noaa_synth set: node/arena metrics are deterministic
              and gated; host_build_seconds is informational, but exceeding
              --construction-budget-ms is a hard error)
+            (replicated/replicated_hedged serve the stream through R virtual
+             replicas under a seeded straggler profile, without and with
+             tail-latency hedging; listing replicated first adds the hedged
+             run's p99_latency_vs_unhedged_ratio gate field)
   faultcamp [--iterations N] [--seed N] [--out FILE.json] [--workdir DIR]
-            (defaults to 1000 iterations: 100 per registered site)
+            (single-fault campaign; defaults to 1000 iterations round-robined
+             over the registered sites, reported as the stable per-site
+             fired/detected/masked/flagged table)
+  chaoscamp [--iterations N] [--seed N] [--out FILE.json] [--workdir DIR]
+            (multi-fault campaign: every iteration arms 2-3 concurrent seeded
+             sites and serves through the replicated streaming front-end; the
+             exact-or-flagged oracle must hold under overlapping failures)
 
 exit codes: 0 ok, 2 usage error, 3 corrupt or unreadable input, 4 internal error
 )";
@@ -330,6 +346,15 @@ int cmd_serve(const Args& args) {
   so.admission_queue_bound = args.num("queue-bound", 4096);
   so.cell_bits = static_cast<int>(args.num("cell-bits", 4));
   so.dispatch_overhead_us = args.num("overhead-us", 120);
+  so.replica.replicas = args.num("replicas", 0);
+  so.replica.groups = args.num("replica-groups", 4);
+  so.replica.hedge = args.num("hedge", args.has("hedge-pct") ? 1 : 0) != 0;
+  so.replica.hedge_percentile = args.real("hedge-pct", 95.0);
+  so.replica.hedge_warmup = args.num("hedge-warmup", 16);
+  so.replica.timeout_us = args.num("replica-timeout-us", 0);
+  so.replica.straggle_pct = static_cast<std::uint32_t>(args.num("straggle-pct", 0));
+  so.replica.straggle_multiplier = args.num("straggle-mult", 8);
+  so.replica.health_seed = args.num("replica-seed", args.num("seed", 2016) + 3);
 
   serve::ArrivalSpec aspec;
   aspec.rate_qps = args.real("rate", 2000.0);
@@ -388,6 +413,21 @@ int cmd_serve(const Args& args) {
         static_cast<double>(rep.p50_us()) / 1000.0,
         static_cast<double>(rep.p99_us()) / 1000.0, miss_pct,
         static_cast<unsigned long long>(rep.max_queue_depth), rep.throughput_qps());
+    if (rep.replicated) {
+      const replica::ReplicaStats& rs = rep.replica;
+      std::printf(
+          "          replicas: attempts %llu  failovers %llu  crashes %llu  "
+          "straggles %llu  corrupt %llu  hedges %llu/%llu/%llu  exhausted %llu\n",
+          static_cast<unsigned long long>(rs.attempts),
+          static_cast<unsigned long long>(rs.failovers),
+          static_cast<unsigned long long>(rs.crashes),
+          static_cast<unsigned long long>(rs.straggles),
+          static_cast<unsigned long long>(rs.corrupt_replies),
+          static_cast<unsigned long long>(rs.hedge_issued),
+          static_cast<unsigned long long>(rs.hedge_won),
+          static_cast<unsigned long long>(rs.hedge_wasted),
+          static_cast<unsigned long long>(rs.exhausted));
+    }
   }
   w.end_object();
 
@@ -500,6 +540,8 @@ int cmd_bench(const Args& args) {
     // stream_naive's p99 / accessed bytes, for the buffered gate ratios.
     double stream_naive_p99 = -1.0;
     double stream_naive_bytes = -1.0;
+    // unhedged replicated p99, for the hedging gate ratio.
+    double replicated_p99 = -1.0;
     for (const std::string& variant : variants) {
       engine::BatchEngineOptions eng_opts;
       eng_opts.algorithm = engine::parse_algorithm(name);
@@ -583,6 +625,65 @@ int cmd_bench(const Args& args) {
                   static_cast<double>(rep.p99_us()) / stream_naive_p99);
           w.field(prefix + ".accessed_bytes_ratio",
                   static_cast<double>(rep.accessed_bytes) / stream_naive_bytes);
+        }
+        continue;
+      } else if (variant == "replicated" || variant == "replicated_hedged") {
+        // Replicated serving variants: the buffered streaming front-end over
+        // per-shard-range replica sets (src/replica/) with a seeded straggler
+        // profile. The unhedged run establishes the tail under stragglers;
+        // the hedged twin re-issues slow primaries against the next-healthiest
+        // sibling. List replicated before replicated_hedged to get the
+        // p99_latency_vs_unhedged_ratio gate field (< 1.0 = hedging won).
+        const bool hedged = variant == "replicated_hedged";
+        serve::StreamingOptions so;
+        so.engine = eng_opts;
+        so.engine.use_snapshot = true;
+        so.engine.reorder_queries = true;
+        so.mode = serve::DispatchMode::kBuffered;
+        so.buffer_capacity = args.num("stream-capacity", 16);
+        so.engine.warp_queries = so.buffer_capacity;
+        so.deadline_us =
+            static_cast<std::uint64_t>(args.real("stream-deadline-ms", 20.0) * 1000.0);
+        so.flush_horizon_us =
+            static_cast<std::uint64_t>(args.real("stream-horizon-ms", 2.0) * 1000.0);
+        so.admission_queue_bound = args.num("stream-queue-bound", 4096);
+        so.cell_bits = static_cast<int>(args.num("stream-cell-bits", 3));
+        so.dispatch_overhead_us = args.num("stream-overhead-us", 120);
+        so.replica.replicas = args.num("replicas", 3);
+        so.replica.groups = args.num("replica-groups", 4);
+        so.replica.health_seed = seed + 5;
+        so.replica.straggle_pct = static_cast<std::uint32_t>(args.num("straggle-pct", 10));
+        so.replica.straggle_multiplier = args.num("straggle-mult", 8);
+        so.replica.hedge = hedged;
+        so.replica.hedge_percentile = args.real("hedge-pct", 95.0);
+        so.replica.hedge_warmup = args.num("hedge-warmup", 16);
+
+        serve::StreamingEngine seng(built.tree, so);
+        const serve::StreamingReport rep = seng.run(arrival_stream());
+        prefix = name + "_" + variant;
+        w.field(prefix + ".arrivals", rep.arrivals);
+        w.field(prefix + ".answered", rep.answered);
+        w.field(prefix + ".shed", rep.shed);
+        w.field(prefix + ".flushes", rep.flushes);
+        w.field(prefix + ".deadline_misses", rep.deadline_misses);
+        w.field(prefix + ".max_queue_depth", rep.max_queue_depth);
+        w.field(prefix + ".accessed_bytes", rep.accessed_bytes);
+        w.field(prefix + ".replica_attempts", rep.replica.attempts);
+        w.field(prefix + ".replica_straggles", rep.replica.straggles);
+        w.field(prefix + ".replica_failovers", rep.replica.failovers);
+        w.field(prefix + ".hedge_issued", rep.replica.hedge_issued);
+        w.field(prefix + ".hedge_won", rep.replica.hedge_won);
+        w.field(prefix + ".hedge_wasted", rep.replica.hedge_wasted);
+        w.field(prefix + ".p50_latency_us", rep.p50_us());
+        w.field(prefix + ".p99_latency_us", rep.p99_us());
+        w.field(prefix + ".throughput_qps", rep.throughput_qps());
+        if (!hedged) {
+          replicated_p99 = static_cast<double>(rep.p99_us());
+        } else if (replicated_p99 > 0.0) {
+          // The hedging gate metric: < 1.0 means tail hedging beat the
+          // unhedged replica set on p99 under the same straggler profile.
+          w.field(prefix + ".p99_latency_vs_unhedged_ratio",
+                  static_cast<double>(rep.p99_us()) / replicated_p99);
         }
         continue;
       } else if (variant != "base") {
@@ -835,13 +936,8 @@ int cmd_faultcamp(const Args& args) {
   };
 
   const std::span<const fault::SiteInfo> sites = fault::sites();
-  struct SiteTally {
-    std::uint64_t iterations = 0;
-    std::uint64_t fired = 0;
-    std::uint64_t detected = 0;  ///< typed error or non-kOk status
-    std::uint64_t masked = 0;    ///< fired but results stayed exact and kOk
-  };
-  std::vector<SiteTally> tally(sites.size());
+  std::vector<fault::SiteTally> tally(sites.size());
+  for (std::size_t i = 0; i < sites.size(); ++i) tally[i].site = std::string(sites[i].name);
 
   for (std::size_t iter = 0; iter < iterations; ++iter) {
     const std::size_t site_idx = iter % sites.size();
@@ -886,11 +982,24 @@ int cmd_faultcamp(const Args& args) {
       // forcing the flagged brute-force fallback).
       fspec.trigger = fspec.seed % 12;
       fspec.count = 1 + (iter / sites.size()) % 2;
+    } else if (site == fault::kSiteReplicaCrash || site == fault::kSiteReplicaCorruptReply) {
+      // One evaluation per replica dispatch attempt (~3 flushes for the
+      // capacity-4 stream, more with failover retries). Alternate one-shot
+      // faults (the sibling failover masks them) with count-8 bursts that
+      // exhaust the 4-attempt dispatch and force the flagged brute-force
+      // rung of the ladder.
+      fspec.trigger = fspec.seed % 4;
+      fspec.count = (iter / sites.size()) % 2 == 0 ? 1 : 8;
+    } else if (site == fault::kSiteReplicaStraggle) {
+      // A straggling replica inflates its service time but — with no
+      // per-attempt timeout and a far-away deadline — still completes
+      // exactly: always masked, counted in replica.straggles.
+      fspec.trigger = fspec.seed % 4;
     } else {
       fspec.trigger = 0;
     }
 
-    SiteTally& t = tally[site_idx];
+    fault::SiteTally& t = tally[site_idx];
     ++t.iterations;
     const std::string context =
         "faultcamp iter " + std::to_string(iter) + " site " + std::string(site);
@@ -928,6 +1037,34 @@ int cmd_faultcamp(const Args& args) {
     knn::BatchResult got;
     if (site == fault::kSiteShardSlice) {
       got = sharded_for(algo_idx).run(queries);
+    } else if (site == fault::kSiteReplicaCrash || site == fault::kSiteReplicaStraggle ||
+               site == fault::kSiteReplicaCorruptReply) {
+      // The replica sites only exist on the replicated router. Serve the
+      // campaign stream through a fresh R=3 replica set each iteration so
+      // crash/eviction windows from one iteration can't leak into the next
+      // (the router's health state is engine-lifetime by design).
+      serve::StreamingOptions so;
+      so.engine.algorithm = algos[algo_idx];
+      so.engine.gpu = gpu;
+      so.engine.use_snapshot = true;
+      so.engine.num_threads = 1;
+      so.mode = serve::DispatchMode::kBuffered;
+      so.buffer_capacity = 4;
+      so.engine.warp_queries = so.buffer_capacity;
+      so.deadline_us = 1'000'000'000;
+      so.admission_queue_bound = 0;
+      so.cell_bits = 2;
+      so.replica.replicas = 3;
+      so.replica.groups = 2;
+      so.replica.health_seed = base_seed + 7;
+      serve::StreamingEngine seng(built.tree, so);
+      serve::StreamingReport rep = seng.run(campaign_stream);
+      got.queries.resize(rep.queries.size());
+      for (std::size_t q = 0; q < rep.queries.size(); ++q) {
+        PSB_ASSERT(!rep.queries[q].shed, context + ": unbounded stream shed a query");
+        got.queries[q].neighbors = std::move(rep.queries[q].neighbors);
+        got.queries[q].status = rep.queries[q].status;
+      }
     } else if (site == fault::kSiteStreamFlush) {
       // The flush site only exists on the streaming front-end; replay the
       // fixed-cadence stream and hold the per-arrival answers (arrival order
@@ -958,7 +1095,11 @@ int cmd_faultcamp(const Args& args) {
     if (scope.fired(site) > 0) {
       ++t.fired;
       if (!got.all_ok()) {
+        // Engine-side detections always surface as a non-kOk QueryStatus on
+        // some answer, so they are flagged as well as detected (the io sites
+        // above detect via a typed error instead — detected, flagged 0).
         ++t.detected;
+        ++t.flagged;
       } else {
         // Exact and unflagged: the fault was absorbed invisibly (e.g. the
         // snapshot fell back to the pointer path before any query started).
@@ -978,33 +1119,338 @@ int cmd_faultcamp(const Args& args) {
   std::uint64_t total_fired = 0;
   std::uint64_t total_detected = 0;
   std::uint64_t total_masked = 0;
-  obs::JsonWriter w;
-  w.begin_object();
-  w.field("schema", "psb.faultcamp.v1");
-  w.field("iterations", static_cast<std::uint64_t>(iterations));
-  w.field("seed", base_seed);
-  for (std::size_t i = 0; i < sites.size(); ++i) {
-    const std::string prefix = std::string(sites[i].name);
-    w.field(prefix + ".iterations", tally[i].iterations);
-    w.field(prefix + ".fired", tally[i].fired);
-    w.field(prefix + ".detected", tally[i].detected);
-    w.field(prefix + ".masked", tally[i].masked);
-    total_fired += tally[i].fired;
-    total_detected += tally[i].detected;
-    total_masked += tally[i].masked;
+  for (const fault::SiteTally& t : tally) {
+    total_fired += t.fired;
+    total_detected += t.detected;
+    total_masked += t.masked;
   }
-  w.field("total.fired", total_fired);
-  w.field("total.detected", total_detected);
-  w.field("total.masked", total_masked);
-  w.end_object();
+  fault::CampaignSummary summary;
+  summary.schema = "psb.faultcamp.v2";
+  summary.iterations = iterations;
+  summary.seed = base_seed;
+  summary.sites = tally;
+  const std::string json = fault::campaign_report_json(summary);
   if (out != "-") {
-    obs::write_text_file(out, w.str());
+    obs::write_text_file(out, json);
     std::cout << "faultcamp report written: " << out << "\n";
   }
   std::cout << "faultcamp: " << iterations << " iterations, " << total_fired << " faults fired, "
             << total_detected << " detected, " << total_masked
             << " masked by exact fallback, 0 crashes\n";
   PSB_ASSERT(total_fired + total_detected + total_masked > 0, "campaign armed no faults");
+  PSB_ASSERT(total_detected + total_masked == total_fired,
+             "some fired fault was neither detected nor masked");
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// chaoscamp — the multi-fault chaos campaign (ISSUE 9's acceptance sweep,
+// also run as the tier-2 ctest target and the CI chaos-campaign job).
+//
+// Where faultcamp arms exactly one site per iteration, chaoscamp arms 2-3
+// simultaneous sites — a primary (round-robined over the registry so all 13
+// sites rotate) plus 1-2 seeded partners drawn from the sites that can fire
+// in the primary's harness. Every iteration runs the full serving ladder
+// under the combined plan: a loader reload (phase A, where the io.envelope.*
+// sites strike) and a replicated hedged streaming serve (phase B, R = 3
+// replicas per group over the usual engine sites plus the replica.* sites).
+// The oracle is unchanged from faultcamp: every answer must be bit-exact
+// against the brute-force truth or carry a non-kOk flag — faults may
+// compound, but they may never produce a silently wrong answer.
+// ---------------------------------------------------------------------------
+
+int cmd_chaoscamp(const Args& args) {
+  const std::size_t iterations = args.num("iterations", 650);
+  const std::uint64_t base_seed = args.num("seed", 2016);
+  const std::string out = args.str("out", "-");
+  const std::string workdir = args.str("workdir", ".");
+
+  // The faultcamp workload: clustered dataset, kmeans tree, brute truth.
+  data::ClusteredSpec spec;
+  spec.dims = 8;
+  spec.num_clusters = 20;
+  spec.points_per_cluster = 100;
+  spec.stddev = 160.0;
+  spec.seed = base_seed;
+  const PointSet points = data::make_clustered(spec);
+  const PointSet queries = data::sample_queries(points, 12, 0.0, base_seed + 1);
+  sstree::KMeansBuildOptions build_opts;
+  const sstree::BuildOutput built = sstree::build_kmeans(points, 32, build_opts);
+
+  knn::GpuKnnOptions gpu;
+  gpu.k = 8;
+  const knn::BatchResult truth = knn::brute_force_batch(points, queries, gpu);
+
+  const std::string data_path = workdir + "/chaoscamp_data.psb";
+  const std::string index_path = workdir + "/chaoscamp_index.psbt";
+  data::write_binary(points, data_path);
+  sstree::write_index(built.tree, index_path);
+
+  const engine::Algorithm algos[] = {
+      engine::Algorithm::kPsb, engine::Algorithm::kBestFirst,
+      engine::Algorithm::kBranchAndBound, engine::Algorithm::kStacklessRestart,
+      engine::Algorithm::kStacklessSkip, engine::Algorithm::kImplicitStackless};
+  constexpr std::size_t kNumAlgos = sizeof(algos) / sizeof(algos[0]);
+
+  serve::ArrivalStream campaign_stream;
+  campaign_stream.queries = queries;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    campaign_stream.time_us.push_back(i * 200);
+  }
+
+  // Persistent sharded backends for the shard.slice harness (the slice site
+  // kills passes without corrupting state, so reuse across iterations is
+  // safe — unlike the in-place arena corruption sites, which always get a
+  // fresh engine below).
+  std::unique_ptr<shard::ShardedEngine> sharded[kNumAlgos];
+  const auto sharded_for = [&](std::size_t algo_idx) -> shard::ShardedEngine& {
+    if (sharded[algo_idx] == nullptr) {
+      shard::ShardedEngineOptions sopts;
+      sopts.num_shards = 4;
+      sopts.degree = 32;
+      sopts.engine.algorithm = algos[algo_idx];
+      sopts.engine.gpu = gpu;
+      sopts.engine.use_snapshot = true;
+      sopts.engine.num_threads = 1;
+      sharded[algo_idx] = std::make_unique<shard::ShardedEngine>(points, sopts);
+    }
+    return *sharded[algo_idx];
+  };
+
+  const std::span<const fault::SiteInfo> sites = fault::sites();
+  std::vector<fault::SiteTally> tally(sites.size());
+  for (std::size_t i = 0; i < sites.size(); ++i) tally[i].site = std::string(sites[i].name);
+  const auto site_index = [&](std::string_view site) -> std::size_t {
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      if (sites[i].name == site) return i;
+    }
+    throw InternalError("chaoscamp: unregistered site " + std::string(site));
+  };
+
+  // Per-site Spec factory; the trigger table mirrors faultcamp's per-site
+  // evaluation-cadence math, with the count parity alternating recoverable
+  // single faults and fallback-forcing bursts every full rotation.
+  const auto spec_for = [&](std::string_view site, std::size_t iter) -> fault::Spec {
+    fault::Spec s;
+    s.site = std::string(site);
+    s.seed = fault::mix(base_seed ^ fault::mix((iter + 1) * 2654435761u) ^
+                        fault::mix(site_index(site) + 1));
+    const std::uint64_t parity = (iter / sites.size()) % 2;
+    if (site == fault::kSiteEnvelopeTruncate || site == fault::kSiteEnvelopeByteflip) {
+      s.trigger = iter % 2;
+    } else if (site == fault::kSiteNodeBoundsBitflip) {
+      s.trigger = s.seed % 100;
+    } else if (site == fault::kSiteQueryBudget) {
+      s.trigger = s.seed % queries.size();
+    } else if (site == fault::kSiteWorkerSlice) {
+      s.trigger = s.seed % 3;
+    } else if (site == fault::kSiteShardSlice) {
+      // The streamed capacity-4 cohorts see far fewer slice evaluations than
+      // faultcamp's full-batch runs (cross-shard bound sharing prunes most
+      // shard visits), so the trigger range is tighter here.
+      s.trigger = s.seed % 12;
+      s.count = 1 + parity;
+    } else if (site == fault::kSiteStreamFlush) {
+      s.trigger = s.seed % 6;
+      s.count = 1 + parity;
+    } else if (site == fault::kSiteExecResume) {
+      s.trigger = s.seed % 12;
+      s.count = 1 + parity;
+    } else if (site == fault::kSiteReplicaCrash || site == fault::kSiteReplicaCorruptReply) {
+      s.trigger = s.seed % 4;
+      s.count = parity == 0 ? 1 : 8;  // 8 exhausts the 4-attempt dispatch
+    } else if (site == fault::kSiteReplicaStraggle) {
+      s.trigger = s.seed % 4;
+    } else {
+      s.trigger = 0;  // snapshot.segment / implicit.escape: single per-batch eval
+    }
+    return s;
+  };
+
+  std::uint64_t combos_two = 0;
+  std::uint64_t combos_three = 0;
+
+  for (std::size_t iter = 0; iter < iterations; ++iter) {
+    const std::size_t primary_idx = iter % sites.size();
+    const std::string_view primary = sites[primary_idx].name;
+
+    // The primary picks the serving harness; the partner pool is restricted
+    // to sites that can fire there. The sharded harness additionally bars
+    // the in-place arena corruption sites — its backends persist across
+    // iterations, and a corrupted shard arena would leak into later ones.
+    enum class Harness : std::uint8_t { kSnapshot, kImplicit, kSharded };
+    Harness harness = Harness::kSnapshot;
+    if (primary == fault::kSiteShardSlice) {
+      harness = Harness::kSharded;
+    } else if (primary == fault::kSiteImplicitEscape) {
+      harness = Harness::kImplicit;
+    }
+    const auto in_pool = [&](std::string_view s) {
+      if (s == primary) return false;
+      switch (harness) {
+        case Harness::kSnapshot:
+          return s != fault::kSiteShardSlice && s != fault::kSiteImplicitEscape;
+        case Harness::kImplicit:
+          return s != fault::kSiteShardSlice && s != fault::kSiteSnapshotSegment;
+        case Harness::kSharded:
+          return s != fault::kSiteSnapshotSegment && s != fault::kSiteImplicitEscape &&
+                 s != fault::kSiteWorkerSlice && s != fault::kSiteExecResume;
+      }
+      return false;
+    };
+    std::vector<std::string_view> pool;
+    for (const fault::SiteInfo& si : sites) {
+      if (in_pool(si.name)) pool.push_back(si.name);
+    }
+
+    // 1-2 seeded partners drawn without replacement: 2-3 simultaneous sites.
+    std::uint64_t draw = fault::mix(base_seed ^ fault::mix(iter * 0x9e3779b97f4a7c15ull + 1));
+    const std::size_t partners = 1 + draw % 2;
+    std::vector<std::string_view> armed{primary};
+    for (std::size_t p = 0; p < partners; ++p) {
+      draw = fault::mix(draw);
+      const std::size_t pick = draw % pool.size();
+      armed.push_back(pool[pick]);
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    if (armed.size() == 2) {
+      ++combos_two;
+    } else {
+      ++combos_three;
+    }
+
+    std::vector<fault::Spec> specs;
+    specs.reserve(armed.size());
+    for (const std::string_view s : armed) {
+      specs.push_back(spec_for(s, iter));
+      ++tally[site_index(s)].iterations;
+    }
+    const std::string context =
+        "chaoscamp iter " + std::to_string(iter) + " primary " + std::string(primary);
+
+    fault::InjectionScope scope(std::move(specs));
+
+    // Phase A — loader hardening under the combined plan: a reload of the
+    // on-disk artifacts. A fired io corruption must yield a typed
+    // CorruptInput; a clean image must never be rejected.
+    bool caught = false;
+    try {
+      const PointSet loaded = data::read_binary(data_path);
+      const sstree::SSTree reloaded = sstree::read_index(&loaded, index_path);
+      PSB_ASSERT(reloaded.num_nodes() == built.tree.num_nodes(),
+                 context + ": clean reload diverged");
+    } catch (const CorruptInput&) {
+      caught = true;
+    }
+    const std::uint64_t io_fired = scope.fired(fault::kSiteEnvelopeTruncate) +
+                                   scope.fired(fault::kSiteEnvelopeByteflip);
+    if (io_fired > 0 && !caught) {
+      throw InternalError(context + ": corruption fired but the loader accepted the file");
+    }
+    if (io_fired == 0 && caught) {
+      throw InternalError(context + ": loader rejected an uncorrupted file");
+    }
+
+    // Phase B — the replicated hedged serving ladder under the same plan.
+    // Fresh front-end (and, off the sharded harness, fresh backend) per
+    // iteration so crash/eviction windows and in-place arena corruption
+    // cannot leak between iterations.
+    const std::size_t algo_idx = iter % kNumAlgos;
+    serve::StreamingOptions so;
+    so.engine.algorithm = algos[algo_idx];
+    so.engine.gpu = gpu;
+    so.engine.use_snapshot = true;
+    so.engine.num_threads = 1;
+    if (harness == Harness::kImplicit) so.engine.layout = engine::NodeLayout::kImplicit;
+    so.mode = serve::DispatchMode::kBuffered;
+    so.buffer_capacity = 4;
+    so.engine.warp_queries = so.buffer_capacity;
+    so.deadline_us = 1'000'000'000;  // no deadline cuts: answers stay comparable
+    so.admission_queue_bound = 0;    // no sheds: every query must be answered
+    so.cell_bits = 2;
+    so.replica.replicas = 3;
+    so.replica.groups = 2;
+    so.replica.max_attempts = 4;
+    so.replica.restart_us = 2000;  // crashed replicas return within the run
+    so.replica.hedge = true;
+    so.replica.hedge_percentile = 90.0;
+    so.replica.hedge_warmup = 4;
+    so.replica.health_seed = base_seed + 11;
+
+    serve::StreamingReport rep;
+    if (harness == Harness::kSharded) {
+      serve::StreamingEngine seng(sharded_for(algo_idx), points, so);
+      rep = seng.run(campaign_stream);
+    } else {
+      serve::StreamingEngine seng(built.tree, so);
+      rep = seng.run(campaign_stream);
+    }
+    knn::BatchResult got;
+    got.queries.resize(rep.queries.size());
+    for (std::size_t q = 0; q < rep.queries.size(); ++q) {
+      PSB_ASSERT(!rep.queries[q].shed, context + ": unbounded stream shed a query");
+      got.queries[q].neighbors = std::move(rep.queries[q].neighbors);
+      got.queries[q].status = rep.queries[q].status;
+    }
+    check_exact_or_flagged(got, truth, context);
+
+    // Attribution is iteration-granular: under simultaneous faults the
+    // flagged statuses cannot be split per site, so every fired site of a
+    // flagged iteration counts as detected, every fired site of a clean one
+    // as masked. The exact-or-flagged oracle above is per answer regardless.
+    for (const std::string_view s : armed) {
+      if (scope.fired(s) == 0) continue;
+      fault::SiteTally& t = tally[site_index(s)];
+      ++t.fired;
+      if (s == fault::kSiteEnvelopeTruncate || s == fault::kSiteEnvelopeByteflip) {
+        ++t.detected;  // typed-error detection, asserted above
+        continue;
+      }
+      if (!got.all_ok()) {
+        ++t.detected;
+        ++t.flagged;
+      } else {
+        ++t.masked;
+      }
+      if (s == fault::kSiteNodeBoundsBitflip && got.all_ok()) {
+        throw InternalError(context + ": bit flip fired without a degraded status");
+      }
+    }
+  }
+
+  std::remove(data_path.c_str());
+  std::remove(index_path.c_str());
+
+  std::uint64_t total_fired = 0;
+  std::uint64_t total_detected = 0;
+  std::uint64_t total_masked = 0;
+  for (const fault::SiteTally& t : tally) {
+    if (iterations >= sites.size()) {
+      PSB_ASSERT(t.iterations > 0, "chaoscamp: site " + t.site + " never entered the rotation");
+    }
+    if (iterations >= sites.size() * 20) {
+      PSB_ASSERT(t.fired > 0, "chaoscamp: site " + t.site + " never fired over a full campaign");
+    }
+    total_fired += t.fired;
+    total_detected += t.detected;
+    total_masked += t.masked;
+  }
+  fault::CampaignSummary summary;
+  summary.schema = "psb.chaoscamp.v1";
+  summary.iterations = iterations;
+  summary.seed = base_seed;
+  summary.sites = tally;
+  summary.extra = {{"combos.two", combos_two}, {"combos.three", combos_three}};
+  const std::string json = fault::campaign_report_json(summary);
+  if (out != "-") {
+    obs::write_text_file(out, json);
+    std::cout << "chaoscamp report written: " << out << "\n";
+  }
+  std::cout << "chaoscamp: " << iterations << " iterations (" << combos_two << " double-fault, "
+            << combos_three << " triple-fault), " << total_fired << " faults fired, "
+            << total_detected << " detected, " << total_masked
+            << " masked by exact fallback, 0 crashes\n";
+  PSB_ASSERT(total_fired > 0, "campaign armed no faults");
   PSB_ASSERT(total_detected + total_masked == total_fired,
              "some fired fault was neither detected nor masked");
   return 0;
@@ -1041,6 +1487,7 @@ int main(int argc, char** argv) {
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "bench") return cmd_bench(args);
     if (cmd == "faultcamp") return cmd_faultcamp(args);
+    if (cmd == "chaoscamp") return cmd_chaoscamp(args);
     usage("unknown command " + cmd);
   } catch (const CorruptInput& e) {
     // CorruptIndex and every other bad-bytes failure: the input file, not the
