@@ -27,6 +27,7 @@ cp "$BUILD_DIR"/tools/BENCH_gate_implicit.json "$ARTIFACT_DIR"/
 cp "$BUILD_DIR"/tools/BENCH_gate_stream.json "$ARTIFACT_DIR"/
 cp "$BUILD_DIR"/tools/BENCH_gate_exec.json "$ARTIFACT_DIR"/
 cp "$BUILD_DIR"/tools/BENCH_gate_replica.json "$ARTIFACT_DIR"/
+cp "$BUILD_DIR"/tools/BENCH_gate_join.json "$ARTIFACT_DIR"/
 
 # A small end-to-end traced run so reviewers can diff per-query behavior
 # without rebuilding: PSB over the snapshot+reorder engine path.

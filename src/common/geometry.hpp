@@ -9,6 +9,8 @@
 // intersect a sphere with a rectangle.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <span>
 #include <vector>
 
@@ -101,8 +103,15 @@ class KnnHeap {
   /// conceptually; tracked separately so results stay exact.
   void tighten(Scalar dist) noexcept { external_bound_ = std::min(external_bound_, dist); }
 
-  /// Effective pruning distance = min(heap bound, external MINMAXDIST bound).
-  Scalar pruning_distance() const noexcept { return std::min(bound(), external_bound_); }
+  /// Effective pruning distance: min(heap bound, external MINMAXDIST bound),
+  /// inflated by one ULP. Pruning tests are strict (`mindist < threshold`),
+  /// and a subtree whose MINDIST exactly ties the k-th distance can still
+  /// hold an equidistant point with a smaller id — under the lexicographic
+  /// (dist, id) contract that candidate must be refined, not pruned. The raw
+  /// k-th distance is still available via bound().
+  Scalar pruning_distance() const noexcept {
+    return std::nextafter(std::min(bound(), external_bound_), kInfinity);
+  }
 
   /// Extract results sorted ascending by distance (ties broken by id).
   struct Entry {

@@ -244,7 +244,7 @@ class LoopExecutor final : public Executor {
 
  private:
   std::function<void()> run_;
-  const simt::DeviceSpec& device_;
+  simt::DeviceSpec device_;  // by value: callers pass temporaries
   const simt::Metrics* metrics_;
   int threads_;
 };

@@ -22,6 +22,7 @@ constexpr SiteInfo kSites[] = {
     {kSiteShardSlice, "kill one (query, shard) pass of the sharded engine"},
     {kSiteStreamFlush, "kill one flush dispatch of the streaming serving layer"},
     {kSiteExecResume, "kill one resume step of a suspended traversal executor"},
+    {kSiteJoinPair, "kill one cohort's pair walk of the dual-tree join engine"},
     {kSiteReplicaCrash, "crash one virtual replica server until a counted restart"},
     {kSiteReplicaStraggle, "multiply one replica dispatch's service time"},
     {kSiteReplicaCorruptReply, "flip one bit of a replica's serialized reply"},

@@ -53,6 +53,12 @@ inline constexpr std::string_view kSiteStreamFlush = "engine.stream.flush";
 /// it by an exact brute-force scan, flagged kDegradedFallback).
 inline constexpr std::string_view kSiteExecResume = "exec.resume";
 
+/// Kill one cohort's pair walk of the dual-tree join engine (simulates a
+/// worker dying mid-walk; recovered by a counted single-tree rerun of the
+/// cohort and, failing that, an exact brute-force join, flagged
+/// kDegradedFallback — never silently lost).
+inline constexpr std::string_view kSiteJoinPair = "engine.join.pair";
+
 /// Crash one virtual replica server at dispatch (simulates a process or
 /// machine death; the server stops answering until a counted restart after
 /// ReplicaOptions::restart_us, and the router fails the request over to the

@@ -1,5 +1,7 @@
 #include "mbs/parallel_ritter.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "common/error.hpp"
@@ -87,6 +89,20 @@ Sphere parallel_ritter(simt::Block& block, std::span<const Sphere> children) {
       block.serialize(dims + 2);  // one lane updates the center/radius
     }
   }
+  // Cover snap (mirrors ritter_spheres): the grow loop's 1e-6 slack leaves
+  // children up to radius*1e-6 outside, which breaks the MINDIST lower-bound
+  // contract every traversal prunes with. One more distance pass + argmax
+  // snaps the radius to the exact covering value; two ULPs up absorb the
+  // double->float cast and the children's own per-level radius rounding.
+  block.par_for(n, dist_ops, [&](std::size_t t2) {
+    distances[t2] = far_distance(s.center, children[t2]);
+  });
+  const std::size_t far_child = block.reduce_argmax(distances);
+  double cover = static_cast<double>(distance(s.center, children[far_child].center)) +
+                 static_cast<double>(children[far_child].radius);
+  Scalar snapped = static_cast<Scalar>(cover);
+  snapped = std::nextafter(std::nextafter(snapped, kInfinity), kInfinity);
+  s.radius = std::max(s.radius, snapped);
   return s;
 }
 

@@ -67,6 +67,14 @@ Sphere ritter_points(const PointSet& points, std::span<const PointId> ids) {
       }
     }
   }
+  // Cover snap: the grow loop tolerates points up to radius*1e-6 outside the
+  // sphere, but every traversal prunes with MINDIST = |q-c| - r, which is
+  // only a valid lower bound if containment holds in the same arithmetic.
+  // Snapping the radius to the exact covering distance (identical
+  // double-accumulate as the traversal kernels) makes |p-c| <= r bit-exact.
+  Scalar cover = 0;
+  for (const PointId id : ids) cover = std::max(cover, distance(s.center, points[id]));
+  s.radius = std::max(s.radius, cover);
   return s;
 }
 
@@ -153,6 +161,18 @@ Sphere ritter_spheres(std::span<const Sphere> children) {
       }
     }
   }
+  // Cover snap (see ritter_points): child spheres must sit entirely inside
+  // the parent under the traversal's own float arithmetic. The far distance
+  // is kept in double and rounded up two ULPs to absorb the cast and the
+  // per-level rounding of the child radii themselves.
+  double cover = 0;
+  for (const Sphere& c : children) {
+    cover = std::max(cover, static_cast<double>(distance(s.center, c.center)) +
+                                static_cast<double>(c.radius));
+  }
+  Scalar snapped = static_cast<Scalar>(cover);
+  snapped = std::nextafter(std::nextafter(snapped, kInfinity), kInfinity);
+  s.radius = std::max(s.radius, snapped);
   return s;
 }
 

@@ -72,6 +72,8 @@
 #include "shard/result_cache.hpp"    // IWYU pragma: export
 #include "shard/sharded_engine.hpp"  // IWYU pragma: export
 
+#include "join/join_engine.hpp"  // IWYU pragma: export
+
 #include "replica/replica.hpp"  // IWYU pragma: export
 
 #include "serve/arrivals.hpp"          // IWYU pragma: export

@@ -11,6 +11,7 @@
 #include "fault/fault.hpp"
 #include "fault/report.hpp"
 #include "fault/sites.hpp"
+#include "join/join_engine.hpp"
 #include "serve/arrivals.hpp"
 #include "serve/streaming_engine.hpp"
 #include "shard/sharded_engine.hpp"
@@ -22,7 +23,7 @@ namespace {
 
 TEST(FaultRegistry, AllSitesRegisteredAndNamed) {
   const auto all = sites();
-  ASSERT_GE(all.size(), 13u);
+  ASSERT_GE(all.size(), 14u);
   for (const SiteInfo& s : all) {
     EXPECT_FALSE(s.name.empty());
     EXPECT_FALSE(s.description.empty());
@@ -41,6 +42,7 @@ TEST(FaultRegistry, AllSitesRegisteredAndNamed) {
   EXPECT_TRUE(is_site(kSiteReplicaCrash));
   EXPECT_TRUE(is_site(kSiteReplicaStraggle));
   EXPECT_TRUE(is_site(kSiteReplicaCorruptReply));
+  EXPECT_TRUE(is_site(kSiteJoinPair));
   EXPECT_FALSE(is_site("no.such.site"));
 }
 
@@ -294,6 +296,64 @@ TEST(StreamFlushFault, RetryMasksThenBruteForceFlags) {
     EXPECT_EQ(got.flush_retries, 0u);
     EXPECT_EQ(got.flush_brute_forced, 1u);
     EXPECT_GT(got.degraded, 0u) << "double flush death must surface a degraded status";
+    bool degraded = false;
+    for (const auto& q : got.queries) {
+      degraded |= q.status == knn::QueryStatus::kDegradedFallback;
+    }
+    EXPECT_TRUE(degraded);
+    expect_same(got, "brute fallback");
+  }
+}
+
+// engine.join.pair end to end: a killed cohort pair walk is rerun through
+// the single-tree path (masked — exact, all statuses kOk) and, when the
+// rerun leg dies too, the cohort is answered by the exact brute-force join
+// flagged kDegradedFallback. Both legs stay bit-identical to the fault-free
+// dual walk: never unflagged-wrong.
+TEST(JoinPairFault, RerunMasksThenBruteForceFlags) {
+  const PointSet data = test::small_clustered(3, 300, 5051);
+  const sstree::BuildOutput built = sstree::build_kmeans(data, 16, {});
+
+  join::JoinOptions jo;
+  jo.k = 5;
+  jo.engine.gpu.k = jo.k;
+  jo.engine.num_threads = 1;
+
+  join::JoinEngine clean_eng(built.tree, jo);
+  const knn::BatchResult clean = clean_eng.all_knn();
+  ASSERT_TRUE(clean.all_ok());
+
+  const auto expect_same = [&](const knn::BatchResult& got, const char* label) {
+    ASSERT_EQ(got.queries.size(), clean.queries.size()) << label;
+    for (std::size_t q = 0; q < clean.queries.size(); ++q) {
+      const auto& want = clean.queries[q].neighbors;
+      const auto& have = got.queries[q].neighbors;
+      ASSERT_EQ(have.size(), want.size()) << label << " query " << q;
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(have[i].id, want[i].id) << label << " query " << q;
+        EXPECT_EQ(have[i].dist, want[i].dist) << label << " query " << q;
+      }
+    }
+  };
+
+  {
+    // One-shot death: the single-tree rerun sees a quiet site and masks the
+    // fault — exact answers, every status still kOk.
+    InjectionScope scope(Spec{std::string(kSiteJoinPair), 31, /*trigger=*/1, /*count=*/1});
+    join::JoinEngine eng(built.tree, jo);
+    const knn::BatchResult got = eng.all_knn();
+    EXPECT_EQ(scope.fired(kSiteJoinPair), 1u);
+    EXPECT_TRUE(got.all_ok()) << "single-tree rerun should mask a one-shot pair death";
+    expect_same(got, "masked");
+  }
+  {
+    // Double death: the rerun leg dies too, forcing the flagged exact
+    // brute-force join for that cohort only.
+    InjectionScope scope(Spec{std::string(kSiteJoinPair), 31, /*trigger=*/1, /*count=*/2});
+    join::JoinEngine eng(built.tree, jo);
+    const knn::BatchResult got = eng.all_knn();
+    EXPECT_EQ(scope.fired(kSiteJoinPair), 2u);
+    EXPECT_FALSE(got.all_ok()) << "double pair death must surface a degraded status";
     bool degraded = false;
     for (const auto& q : got.queries) {
       degraded |= q.status == knn::QueryStatus::kDegradedFallback;

@@ -1,0 +1,221 @@
+// Metamorphic invariants of the dual-tree join engine: relations between
+// runs that must hold exactly, whatever the data.
+//
+//   1. Variant equivalence — the dual pair-pruning walk and the single-tree
+//      per-point path return byte-identical results and flags, and the dual
+//      walk never reads more bytes (the cohort amortization is the variant's
+//      entire reason to exist).
+//   2. Point-permutation invariance — relabeling the dataset permutes the
+//      answers without changing any (dist, id)-ordered content.
+//   3. Join algebra — self-join(D) equals kNN-join(D, D) at k+1 with the
+//      query's own row excluded and the list truncated to k.
+//   4. Determinism — results and every exported counter are a pure function
+//      of (tree, targets, options): independent of num_threads and identical
+//      across runs, which is what makes `psbtool allknn --out` byte-stable.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/geometry.hpp"
+#include "common/points.hpp"
+#include "common/rng.hpp"
+#include "join/join_engine.hpp"
+#include "sstree/builders.hpp"
+#include "test_util.hpp"
+
+namespace psb {
+namespace {
+
+constexpr engine::NodeLayout kLayouts[] = {
+    engine::NodeLayout::kPointer,
+    engine::NodeLayout::kSnapshot,
+    engine::NodeLayout::kImplicit,
+};
+
+void expect_equal_results(const knn::BatchResult& a, const knn::BatchResult& b,
+                          const char* label) {
+  ASSERT_EQ(a.queries.size(), b.queries.size()) << label;
+  for (std::size_t q = 0; q < a.queries.size(); ++q) {
+    EXPECT_EQ(a.queries[q].status, b.queries[q].status) << label << " query " << q;
+    const auto& av = a.queries[q].neighbors;
+    const auto& bv = b.queries[q].neighbors;
+    ASSERT_EQ(av.size(), bv.size()) << label << " query " << q;
+    for (std::size_t i = 0; i < av.size(); ++i) {
+      EXPECT_EQ(av[i].id, bv[i].id) << label << " query " << q << " rank " << i;
+      EXPECT_EQ(av[i].dist, bv[i].dist) << label << " query " << q << " rank " << i;
+    }
+  }
+}
+
+TEST(JoinMetamorphicTest, DualMatchesSingleBitIdenticalAndReadsFewerBytes) {
+  const PointSet data = test::small_clustered(4, 600, 71);
+  const sstree::BuildOutput built = sstree::build_kmeans(data, 32, {});
+  PointSet targets(4);
+  for (std::size_t i = 0; i < data.size(); i += 5) targets.append(data[i]);
+
+  for (const engine::NodeLayout layout : kLayouts) {
+    join::JoinOptions jo;
+    jo.k = 8;
+    jo.engine.gpu.k = jo.k;
+    jo.engine.layout = layout;
+
+    jo.variant = join::JoinVariant::kDual;
+    join::JoinEngine dual_eng(built.tree, jo);
+    const knn::BatchResult dual = dual_eng.all_knn();
+    const knn::BatchResult dual_join = dual_eng.knn_join(targets);
+
+    jo.variant = join::JoinVariant::kSingle;
+    join::JoinEngine single_eng(built.tree, jo);
+    const knn::BatchResult single = single_eng.all_knn();
+    const knn::BatchResult single_join = single_eng.knn_join(targets);
+
+    EXPECT_TRUE(dual.all_ok());
+    EXPECT_TRUE(single.all_ok());
+    expect_equal_results(dual, single, "all_knn");
+    expect_equal_results(dual_join, single_join, "knn_join");
+    // The gate invariant in miniature: the cohort-amortized walk must not
+    // read more global-memory bytes than per-point traversal.
+    EXPECT_LE(dual.metrics.total_bytes(), single.metrics.total_bytes())
+        << "layout " << static_cast<int>(layout);
+    EXPECT_LE(dual_join.metrics.total_bytes(), single_join.metrics.total_bytes())
+        << "layout " << static_cast<int>(layout);
+  }
+}
+
+TEST(JoinMetamorphicTest, PointPermutationInvariance) {
+  const PointSet data = test::small_clustered(3, 240, 99);
+  const std::size_t n = data.size();
+
+  // Seeded Fisher-Yates relabeling: permuted row j holds original row src[j].
+  std::vector<PointId> src(n);
+  for (std::size_t i = 0; i < n; ++i) src[i] = static_cast<PointId>(i);
+  Rng rng(123);
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(src[i - 1], src[rng.next_below(i)]);
+  }
+  PointSet permuted(3);
+  permuted.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) permuted.append(data[src[j]]);
+  std::vector<std::size_t> pos(n);  // pos[original id] = permuted row
+  for (std::size_t j = 0; j < n; ++j) pos[src[j]] = j;
+
+  join::JoinOptions jo;
+  jo.k = 8;
+  jo.engine.gpu.k = jo.k;
+  const sstree::BuildOutput ta = sstree::build_kmeans(data, 16, {});
+  const sstree::BuildOutput tb = sstree::build_kmeans(permuted, 16, {});
+  join::JoinEngine ea(ta.tree, jo);
+  join::JoinEngine eb(tb.tree, jo);
+  const knn::BatchResult ra = ea.all_knn();
+  const knn::BatchResult rb = eb.all_knn();
+
+  for (std::size_t q = 0; q < n; ++q) {
+    const auto& a = ra.queries[q].neighbors;
+    const auto& b = rb.queries[pos[q]].neighbors;
+    ASSERT_EQ(a.size(), b.size()) << "query " << q;
+    std::vector<PointId> mapped(b.size());
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      EXPECT_EQ(a[i].dist, b[i].dist) << "query " << q << " rank " << i;
+      mapped[i] = src[b[i].id];  // relabel the permuted answer back
+    }
+    // Ids are invariant as multisets within each equal-distance run: the
+    // (dist, id) order re-ranks relabeled ties inside a run, and a run cut
+    // by the k boundary may legitimately retain different members, so the
+    // final run is checked only for its distances above.
+    std::size_t i = 0;
+    while (i < a.size()) {
+      std::size_t j = i;
+      while (j < a.size() && a[j].dist == a[i].dist) ++j;
+      if (j < a.size()) {
+        std::vector<PointId> want, got;
+        for (std::size_t r = i; r < j; ++r) {
+          want.push_back(a[r].id);
+          got.push_back(mapped[r]);
+        }
+        std::sort(want.begin(), want.end());
+        std::sort(got.begin(), got.end());
+        EXPECT_EQ(got, want) << "query " << q << " run at rank " << i;
+      }
+      i = j;
+    }
+  }
+}
+
+TEST(JoinMetamorphicTest, SelfJoinEqualsKnnJoinPlusSelfExclusion) {
+  // Mix clustered points with exact duplicates so the k+1 boundary lands on
+  // distance-0 ties — the case where the order-statistics argument for the
+  // k+1 trick has to carry the weight.
+  PointSet data = test::small_clustered(3, 180, 5);
+  for (std::size_t i = 0; i < 24; ++i) data.append(data[i * 7 % 180]);
+  const sstree::BuildOutput built = sstree::build_kmeans(data, 16, {});
+  constexpr std::size_t kK = 6;
+
+  join::JoinOptions jo;
+  jo.k = kK;
+  jo.engine.gpu.k = jo.k;
+  join::JoinEngine self_eng(built.tree, jo);
+  const knn::BatchResult self = self_eng.all_knn();
+
+  join::JoinOptions jo1 = jo;
+  jo1.k = kK + 1;
+  jo1.engine.gpu.k = jo1.k;
+  join::JoinEngine join_eng(built.tree, jo1);
+  const knn::BatchResult joined = join_eng.knn_join(data);
+
+  ASSERT_EQ(self.queries.size(), joined.queries.size());
+  for (std::size_t q = 0; q < self.queries.size(); ++q) {
+    std::vector<KnnHeap::Entry> derived = joined.queries[q].neighbors;
+    for (std::size_t i = 0; i < derived.size(); ++i) {
+      if (derived[i].id == static_cast<PointId>(q)) {
+        derived.erase(derived.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+    if (derived.size() > kK) derived.resize(kK);
+    const auto& want = self.queries[q].neighbors;
+    ASSERT_EQ(derived.size(), want.size()) << "query " << q;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(derived[i].id, want[i].id) << "query " << q << " rank " << i;
+      EXPECT_EQ(derived[i].dist, want[i].dist) << "query " << q << " rank " << i;
+    }
+  }
+}
+
+TEST(JoinMetamorphicTest, ThreadCountAndRunToRunStability) {
+  // Everything `psbtool allknn --out` exports is derived from these values,
+  // so equality here is what makes the JSON byte-stable across --threads
+  // and across invocations.
+  const PointSet data = test::small_clustered(4, 500, 2718);
+  const sstree::BuildOutput built = sstree::build_kmeans(data, 24, {});
+
+  const auto run = [&](std::size_t threads) {
+    join::JoinOptions jo;
+    jo.k = 8;
+    jo.engine.gpu.k = jo.k;
+    jo.engine.num_threads = threads;
+    join::JoinEngine eng(built.tree, jo);
+    return eng.all_knn();
+  };
+
+  const knn::BatchResult ref = run(1);
+  EXPECT_TRUE(ref.all_ok());
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    for (int rep = 0; rep < 2; ++rep) {
+      const knn::BatchResult got = run(threads);
+      expect_equal_results(got, ref,
+                           (std::string("threads=") + std::to_string(threads)).c_str());
+      EXPECT_EQ(got.stats.nodes_visited, ref.stats.nodes_visited) << threads;
+      EXPECT_EQ(got.stats.leaves_visited, ref.stats.leaves_visited) << threads;
+      EXPECT_EQ(got.stats.points_examined, ref.stats.points_examined) << threads;
+      EXPECT_EQ(got.stats.backtracks, ref.stats.backtracks) << threads;
+      EXPECT_EQ(got.stats.heap_inserts, ref.stats.heap_inserts) << threads;
+      EXPECT_EQ(got.metrics.total_bytes(), ref.metrics.total_bytes()) << threads;
+      EXPECT_EQ(got.timing.avg_query_ms, ref.timing.avg_query_ms) << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psb

@@ -1,0 +1,275 @@
+// Property-based correctness battery for the dual-tree join engine.
+//
+// Each seeded trial draws a random configuration — dimensionality, k (often
+// past n-1), dataset shape (including duplicate-coordinate palettes where
+// every distance ties), arena layout, thread count — and asserts the dual
+// pair-pruning walk is *bit-identical* to the exhaustive O(n*m) join oracle:
+// same ids, same float distances, same order. Every kernel computes point
+// distances with the same double-accumulate arithmetic as psb::distance, so
+// exact equality is the contract, not an approximation; the per-query
+// confirm step of the pair pruning (see docs/join.md) is what keeps that
+// true on adversarially tied data.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/geometry.hpp"
+#include "common/points.hpp"
+#include "common/rng.hpp"
+#include "join/join_engine.hpp"
+#include "sstree/builders.hpp"
+#include "test_util.hpp"
+
+namespace psb {
+namespace {
+
+/// Exhaustive join oracle under the repository's (dist, id) tie order:
+/// the k nearest source points to `q`, skipping `skip` (kInvalidPoint = none).
+std::vector<KnnHeap::Entry> oracle_join(const PointSet& data, std::span<const Scalar> q,
+                                        std::size_t k, PointId skip) {
+  KnnHeap heap(std::max<std::size_t>(k, 1));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const PointId id = static_cast<PointId>(i);
+    if (id == skip) continue;
+    heap.offer(distance(q, data[i]), id);
+  }
+  return heap.sorted();
+}
+
+void expect_bit_identical(const std::vector<KnnHeap::Entry>& got,
+                          const std::vector<KnnHeap::Entry>& want, std::uint64_t trial,
+                          std::size_t query) {
+  ASSERT_EQ(got.size(), want.size()) << "trial " << trial << " query " << query;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id)
+        << "trial " << trial << " query " << query << " rank " << i;
+    EXPECT_EQ(got[i].dist, want[i].dist)  // exact float equality, not NEAR
+        << "trial " << trial << " query " << query << " rank " << i;
+  }
+}
+
+/// Random dataset mixing three shapes: clustered, uniform, and duplicate-heavy
+/// (every point drawn from a tiny palette, so distance ties are everywhere).
+PointSet random_dataset(Rng& rng, std::size_t dims, std::size_t n) {
+  const std::uint64_t shape = rng.next_below(3);
+  PointSet out(dims);
+  out.reserve(n);
+  std::vector<Scalar> p(dims);
+  if (shape == 2) {
+    const std::size_t palette_size = 1 + rng.next_below(5);
+    std::vector<std::vector<Scalar>> palette(palette_size, std::vector<Scalar>(dims));
+    for (auto& pal : palette) {
+      for (auto& v : pal) v = static_cast<Scalar>(rng.uniform(0.0, 100.0));
+    }
+    for (std::size_t i = 0; i < n; ++i) out.append(palette[rng.next_below(palette_size)]);
+    return out;
+  }
+  const double extent = shape == 0 ? 1000.0 : 50.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& v : p) v = static_cast<Scalar>(rng.uniform(0.0, extent));
+    out.append(p);
+  }
+  return out;
+}
+
+constexpr engine::NodeLayout kLayouts[] = {
+    engine::NodeLayout::kPointer,
+    engine::NodeLayout::kSnapshot,
+    engine::NodeLayout::kImplicit,
+};
+
+join::JoinOptions random_options(Rng& rng, std::uint64_t trial, std::size_t n) {
+  join::JoinOptions jo;
+  // k regularly reaches past n-1 (and past n), so the oracle's "return every
+  // admissible point" clamp is exercised constantly.
+  jo.k = 1 + rng.next_below(n + 4);
+  jo.variant = join::JoinVariant::kDual;
+  jo.engine.gpu.k = jo.k;
+  jo.engine.layout = kLayouts[trial % std::size(kLayouts)];
+  jo.engine.num_threads = 1 + rng.next_below(3);
+  return jo;
+}
+
+void run_allknn_trial(std::uint64_t trial) {
+  Rng rng(0x10151u * 1000003u + trial);
+  const std::size_t dims = 1 + rng.next_below(6);  // 1..6
+  const std::size_t n = 1 + rng.next_below(150);   // 1..150, incl. degenerate
+  const PointSet data = random_dataset(rng, dims, n);
+
+  join::JoinOptions jo = random_options(rng, trial, n);
+  jo.include_self = rng.next_below(4) == 0;
+
+  const std::size_t degree = 4 + rng.next_below(29);  // 4..32
+  const sstree::BuildOutput built = sstree::build_kmeans(data, degree, {});
+  join::JoinEngine eng(built.tree, jo);
+  const knn::BatchResult res = eng.all_knn();
+
+  ASSERT_EQ(res.queries.size(), n);
+  EXPECT_TRUE(res.all_ok()) << "trial " << trial;
+  for (std::size_t q = 0; q < n; ++q) {
+    const PointId skip = jo.include_self ? kInvalidPoint : static_cast<PointId>(q);
+    std::vector<KnnHeap::Entry> want = oracle_join(data, data[q], jo.k, skip);
+    expect_bit_identical(res.queries[q].neighbors, want, trial, q);
+  }
+}
+
+void run_knn_join_trial(std::uint64_t trial) {
+  Rng rng(0x70171u * 1000003u + trial);
+  const std::size_t dims = 1 + rng.next_below(6);
+  const std::size_t n = 1 + rng.next_below(120);
+  const PointSet data = random_dataset(rng, dims, n);
+  // Targets down to zero: the empty join must return an empty batch.
+  const std::size_t m = rng.next_below(61);
+  PointSet targets(dims);
+  std::vector<Scalar> p(dims);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (rng.next_below(3) == 0) {
+      targets.append(data[rng.next_below(n)]);  // on-point targets: exact ties
+    } else {
+      for (auto& v : p) v = static_cast<Scalar>(rng.uniform(-50.0, 1050.0));
+      targets.append(p);
+    }
+  }
+
+  const join::JoinOptions jo = random_options(rng, trial, n);
+  const std::size_t degree = 4 + rng.next_below(29);
+  const sstree::BuildOutput built = sstree::build_kmeans(data, degree, {});
+  join::JoinEngine eng(built.tree, jo);
+  const knn::BatchResult res = eng.knn_join(targets);
+
+  ASSERT_EQ(res.queries.size(), m);
+  EXPECT_TRUE(res.all_ok()) << "trial " << trial;
+  for (std::size_t q = 0; q < m; ++q) {
+    std::vector<KnnHeap::Entry> want = oracle_join(data, targets[q], jo.k, kInvalidPoint);
+    expect_bit_identical(res.queries[q].neighbors, want, trial, q);
+  }
+}
+
+TEST(JoinPropertyTest, AllKnnSeededTrialsMatchBruteOracle) {
+  for (std::uint64_t trial = 0; trial < 140; ++trial) run_allknn_trial(trial);
+}
+
+TEST(JoinPropertyTest, KnnJoinSeededTrialsMatchBruteOracle) {
+  for (std::uint64_t trial = 140; trial < 210; ++trial) run_knn_join_trial(trial);
+}
+
+TEST(JoinPropertyTest, SingleAndBruteVariantsMatchTheSameOracle) {
+  // The fallback rungs of the degradation ladder are exact in their own
+  // right — the property the dual walk's recovery correctness rests on.
+  for (std::uint64_t trial = 0; trial < 24; ++trial) {
+    Rng rng(0xABCD0u + trial * 7919u);
+    const std::size_t dims = 1 + rng.next_below(5);
+    const std::size_t n = 1 + rng.next_below(90);
+    const PointSet data = random_dataset(rng, dims, n);
+    join::JoinOptions jo = random_options(rng, trial, n);
+    jo.variant = trial % 2 == 0 ? join::JoinVariant::kSingle : join::JoinVariant::kBrute;
+    jo.include_self = rng.next_below(4) == 0;
+    const sstree::BuildOutput built = sstree::build_kmeans(data, 4 + rng.next_below(13), {});
+    join::JoinEngine eng(built.tree, jo);
+    const knn::BatchResult res = eng.all_knn();
+    ASSERT_EQ(res.queries.size(), n);
+    for (std::size_t q = 0; q < n; ++q) {
+      const PointId skip = jo.include_self ? kInvalidPoint : static_cast<PointId>(q);
+      expect_bit_identical(res.queries[q].neighbors, oracle_join(data, data[q], jo.k, skip),
+                           trial, q);
+    }
+  }
+}
+
+TEST(JoinPropertyTest, KPastDatasetSizeReturnsEveryAdmissiblePoint) {
+  // k >= n-1 self-joins: the list is every other point, in (dist, id) order.
+  for (const std::size_t n : {1u, 2u, 3u, 7u, 33u}) {
+    Rng rng(40'000 + n);
+    const PointSet data = random_dataset(rng, 3, n);
+    for (const bool include_self : {false, true}) {
+      join::JoinOptions jo;
+      jo.k = n + 5;
+      jo.engine.gpu.k = jo.k;
+      jo.include_self = include_self;
+      const sstree::BuildOutput built = sstree::build_kmeans(data, 4, {});
+      join::JoinEngine eng(built.tree, jo);
+      const knn::BatchResult res = eng.all_knn();
+      ASSERT_EQ(res.queries.size(), n);
+      for (std::size_t q = 0; q < n; ++q) {
+        ASSERT_EQ(res.queries[q].neighbors.size(), include_self ? n : n - 1)
+            << "n " << n << " query " << q;
+        const PointId skip = include_self ? kInvalidPoint : static_cast<PointId>(q);
+        expect_bit_identical(res.queries[q].neighbors, oracle_join(data, data[q], jo.k, skip),
+                             n, q);
+      }
+    }
+  }
+}
+
+TEST(JoinPropertyTest, SelfExclusionDropsExactlyTheQueryRow) {
+  // On an all-duplicates palette every cross distance is 0, so the only
+  // difference exclusion can make is the id set: each query's own id must be
+  // absent with include_self=false and present with include_self=true.
+  PointSet data(2);
+  const std::vector<Scalar> p = {42.0F, 17.0F};
+  for (int i = 0; i < 9; ++i) data.append(p);
+  const sstree::BuildOutput built = sstree::build_kmeans(data, 3, {});
+  for (const bool include_self : {false, true}) {
+    join::JoinOptions jo;
+    jo.k = 4;
+    jo.engine.gpu.k = jo.k;
+    jo.include_self = include_self;
+    join::JoinEngine eng(built.tree, jo);
+    const knn::BatchResult res = eng.all_knn();
+    for (std::size_t q = 0; q < data.size(); ++q) {
+      const auto& nb = res.queries[q].neighbors;
+      ASSERT_EQ(nb.size(), 4u);
+      const PointId skip = include_self ? kInvalidPoint : static_cast<PointId>(q);
+      expect_bit_identical(nb, oracle_join(data, data[q], jo.k, skip), include_self, q);
+      for (const auto& e : nb) {
+        EXPECT_EQ(e.dist, 0.0F);
+        if (!include_self) {
+          EXPECT_NE(e.id, static_cast<PointId>(q));
+        }
+      }
+    }
+  }
+}
+
+TEST(JoinPropertyTest, AdversariallyTiedDistancesStayExact) {
+  // Satellite regression for exact-tie soundness: coordinates at a
+  // magnitude where one float ULP is 2.0, so every rounding slip in the
+  // per-query MAXDIST tightening (its two-ULP inflation plus tighten's one)
+  // or in a bounding sphere that under-covers its contents (the cover-snap
+  // in the mbs builders) would drop or reorder a tied candidate. Every pair
+  // prune is confirmed per query — the dual walk must stay bit-exact.
+  constexpr Scalar kBase = 16777216.0F;  // 2^24: ULP(kBase) == 2.0
+  for (std::uint64_t trial = 0; trial < 30; ++trial) {
+    Rng rng(0xF10A7u + trial * 104729u);
+    const std::size_t dims = 1 + rng.next_below(3);
+    const std::size_t n = 2 + rng.next_below(79);
+    const Scalar ulp = 2.0F;
+    PointSet data(dims);
+    std::vector<Scalar> p(dims);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (auto& v : p) {
+        // Each coordinate a few ULPs around 2^24: adjacent representable
+        // floats, exact duplicates, and near-misses all mixed together.
+        v = kBase + ulp * static_cast<Scalar>(rng.next_below(4));
+      }
+      data.append(p);
+    }
+    join::JoinOptions jo;
+    jo.k = 1 + rng.next_below(n + 2);
+    jo.engine.gpu.k = jo.k;
+    jo.engine.layout = kLayouts[trial % std::size(kLayouts)];
+    const sstree::BuildOutput built = sstree::build_kmeans(data, 4 + rng.next_below(9), {});
+    join::JoinEngine eng(built.tree, jo);
+    const knn::BatchResult res = eng.all_knn();
+    ASSERT_EQ(res.queries.size(), n);
+    for (std::size_t q = 0; q < n; ++q) {
+      expect_bit_identical(res.queries[q].neighbors,
+                           oracle_join(data, data[q], jo.k, static_cast<PointId>(q)), trial, q);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psb

@@ -63,7 +63,8 @@ commands:
             [--k N] [--degree N] [--seed N] [--algos a,b,...]
             [--variants base,snapshot,snapshot_reorder,implicit,
              implicit_stackless,sharded,sharded_nobound,
-             stream_naive,stream_buffered,replicated,replicated_hedged]
+             stream_naive,stream_buffered,replicated,replicated_hedged,
+             join_single,join_dual]
             [--warp-queries N] [--shards N]
             [--stream-rate QPS] [--stream-duration-s S] [--stream-deadline-ms X]
             [--stream-horizon-ms X] [--stream-capacity N] [--stream-cell-bits N]
@@ -77,6 +78,21 @@ commands:
              replicas under a seeded straggler profile, without and with
              tail-latency hedging; listing replicated first adds the hedged
              run's p99_latency_vs_unhedged_ratio gate field)
+            (join_single/join_dual run the all-kNN self-join over the whole
+             dataset through the per-point and dual-tree join engines;
+             listing join_single first adds the dual run's
+             accessed_bytes_vs_single_ratio gate field)
+  allknn    --data FILE [--k N] [--builder kmeans|hilbert|topdown] [--degree N]
+            [--bounds sphere|rect] [--variant dual|single|brute]
+            [--include-self 0|1] [--algo ...] [--snapshot 0|1]
+            [--layout pointer|snapshot|implicit] [--threads N]
+            [--print N] [--out FILE.json]
+            (all-kNN self-join: every point's k nearest other points, via the
+             dual-tree pair-pruning walk by default; --out writes a flat,
+             byte-stable JSON summary with a per-query result digest)
+  join      --data FILE --targets FILE [--k N] [... same knobs as allknn]
+            (kNN-join: each target point's k nearest source points; neighbor
+             ids index --data)
   faultcamp [--iterations N] [--seed N] [--out FILE.json] [--workdir DIR]
             (single-fault campaign; defaults to 1000 iterations round-robined
              over the registered sites, reported as the stable per-site
@@ -327,6 +343,108 @@ int cmd_query(const Args& args) {
   return 0;
 }
 
+// Join front end (`allknn` / `join`): build the source tree, run the
+// requested join variant, and report deterministic counters plus a CRC32
+// digest over every (id, dist, status) in query order — the compact
+// bit-identity witness the metamorphic battery compares across variants,
+// layouts and thread counts. With --out the flat JSON summary is byte-stable:
+// two invocations with the same arguments write identical files.
+int cmd_join_like(const Args& args, bool self_join) {
+  const PointSet points = data::read_binary(args.str("data"));
+  PointSet targets(points.dims());
+  if (!self_join) targets = data::read_binary(args.str("targets"));
+
+  const std::size_t degree = args.num("degree", 64);
+  const std::string builder = args.str("builder", "kmeans");
+  const std::string bounds_s = args.str("bounds", "sphere");
+  const sstree::BoundsMode bounds =
+      bounds_s == "rect" ? sstree::BoundsMode::kRect : sstree::BoundsMode::kSphere;
+  const sstree::BuildOutput built = [&] {
+    if (builder == "kmeans") {
+      sstree::KMeansBuildOptions opts;
+      opts.bounds = bounds;
+      return sstree::build_kmeans(points, degree, opts);
+    }
+    if (builder == "hilbert") {
+      sstree::HilbertBuildOptions opts;
+      opts.bounds = bounds;
+      return sstree::build_hilbert(points, degree, opts);
+    }
+    if (builder == "topdown") {
+      if (bounds == sstree::BoundsMode::kRect) usage("topdown supports sphere bounds only");
+      return sstree::build_topdown(points, degree);
+    }
+    usage("unknown --builder " + builder);
+  }();
+
+  join::JoinOptions jo;
+  jo.k = args.num("k", 8);
+  jo.variant = join::parse_join_variant(args.str("variant", "dual"));
+  jo.include_self = args.num("include-self", 0) != 0;
+  jo.engine.algorithm = algo_from_flag(args.str("algo", "psb"));
+  jo.engine.gpu.k = jo.k;
+  jo.engine.use_snapshot = args.num("snapshot", 0) != 0;
+  jo.engine.layout = engine::parse_node_layout(args.str("layout", "pointer"));
+  jo.engine.num_threads = args.num("threads", 0);
+  jo.engine.warp_queries = args.num("warp-queries", 32);
+
+  join::JoinEngine eng(built.tree, jo);
+  const knn::BatchResult r = self_join ? eng.all_knn() : eng.knn_join(targets);
+
+  Crc32 digest;
+  std::uint64_t flagged = 0;
+  for (const knn::QueryResult& q : r.queries) {
+    for (const auto& e : q.neighbors) {
+      digest.update_value(e.id);
+      digest.update_value(e.dist);
+    }
+    digest.update_value(static_cast<std::uint8_t>(q.status));
+    if (q.status != knn::QueryStatus::kOk) ++flagged;
+  }
+
+  const std::size_t print_n = std::min(args.num("print", 0), r.queries.size());
+  for (std::size_t i = 0; i < print_n; ++i) {
+    std::cout << "query " << i << ":";
+    for (const auto& e : r.queries[i].neighbors) {
+      std::cout << " (" << e.id << ", " << e.dist << ")";
+    }
+    std::cout << "\n";
+  }
+
+  const char* kind = self_join ? "allknn" : "join";
+  std::printf(
+      "%s %s: %zu queries, k=%zu, digest %08x, flagged %llu, %.4f ms/query, "
+      "%.3f MB accessed\n",
+      kind, join_variant_name(jo.variant).data(), r.queries.size(), jo.k,
+      digest.value(), static_cast<unsigned long long>(flagged),
+      r.timing.avg_query_ms, r.accessed_mb());
+
+  const std::string out = args.str("out", "-");
+  if (out != "-") {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("schema", "psb.join.v1");
+    w.field("join.kind", std::string(kind));
+    w.field("join.variant", std::string(join_variant_name(jo.variant)));
+    w.field("join.queries", static_cast<std::uint64_t>(r.queries.size()));
+    w.field("join.k", static_cast<std::uint64_t>(jo.k));
+    w.field("join.include_self", static_cast<std::uint64_t>(jo.include_self ? 1 : 0));
+    w.field("join.digest", static_cast<std::uint64_t>(digest.value()));
+    w.field("join.flagged", flagged);
+    w.field("join.nodes_visited", r.stats.nodes_visited);
+    w.field("join.leaves_visited", r.stats.leaves_visited);
+    w.field("join.points_examined", r.stats.points_examined);
+    w.field("join.heap_inserts", r.stats.heap_inserts);
+    w.field("join.accessed_bytes", r.metrics.total_bytes());
+    w.field("join.avg_query_ms", r.timing.avg_query_ms);
+    w.field("join.warp_efficiency", r.metrics.warp_efficiency());
+    w.end_object();
+    obs::write_text_file(out, w.str());
+    std::cout << "join json written: " << out << "\n";
+  }
+  return 0;
+}
+
 // Streaming serving demo / measurement: replay a seeded arrival stream on the
 // virtual clock through the streaming front-end. Everything printed (and
 // written with --out) is a pure function of the dataset and the flags — two
@@ -542,6 +660,8 @@ int cmd_bench(const Args& args) {
     double stream_naive_bytes = -1.0;
     // unhedged replicated p99, for the hedging gate ratio.
     double replicated_p99 = -1.0;
+    // single-tree join accessed bytes, for the dual-walk gate ratio.
+    double join_single_bytes = -1.0;
     for (const std::string& variant : variants) {
       engine::BatchEngineOptions eng_opts;
       eng_opts.algorithm = engine::parse_algorithm(name);
@@ -684,6 +804,44 @@ int cmd_bench(const Args& args) {
           // unhedged replica set on p99 under the same straggler profile.
           w.field(prefix + ".p99_latency_vs_unhedged_ratio",
                   static_cast<double>(rep.p99_us()) / replicated_p99);
+        }
+        continue;
+      } else if (variant == "join_single" || variant == "join_dual") {
+        // Dual-tree join variants: the all-kNN self-join over the whole
+        // dataset, answered per point through the single-tree engine and by
+        // the pair-pruning dual walk. Both are exact and bit-identical; the
+        // dual walk pays each source-node fetch once per cohort instead of
+        // once per query, and its accessed-bytes ratio against the
+        // single-tree run is the BENCH_gate_join headline (< 1.0 = the
+        // cohort amortization paid). Both run on the snapshot arena — the
+        // single-tree path's strongest configuration, where its warp windows
+        // already share one fetch session across consecutive queries — so
+        // the gated ratio measures the dual walk against the best per-point
+        // baseline, not the refetch-heavy pointer path. List join_single
+        // before join_dual to get the ratio field.
+        const bool dual = variant == "join_dual";
+        join::JoinOptions jo;
+        jo.k = gpu.k;
+        jo.variant = dual ? join::JoinVariant::kDual : join::JoinVariant::kSingle;
+        jo.engine = eng_opts;
+        jo.engine.use_snapshot = true;
+        join::JoinEngine jeng(built.tree, jo);
+        const knn::BatchResult jr = jeng.all_knn();
+        const std::uint64_t jbytes = jr.metrics.total_bytes();
+        prefix = name + "_" + variant;
+        w.field(prefix + ".queries", static_cast<std::uint64_t>(jr.queries.size()));
+        w.field(prefix + ".nodes_visited", jr.stats.nodes_visited);
+        w.field(prefix + ".leaves_visited", jr.stats.leaves_visited);
+        w.field(prefix + ".points_examined", jr.stats.points_examined);
+        w.field(prefix + ".heap_inserts", jr.stats.heap_inserts);
+        w.field(prefix + ".accessed_bytes", jbytes);
+        w.field(prefix + ".avg_query_ms", jr.timing.avg_query_ms);
+        w.field(prefix + ".warp_efficiency", jr.metrics.warp_efficiency());
+        if (!dual) {
+          join_single_bytes = static_cast<double>(jbytes);
+        } else if (join_single_bytes > 0.0) {
+          w.field(prefix + ".accessed_bytes_vs_single_ratio",
+                  static_cast<double>(jbytes) / join_single_bytes);
         }
         continue;
       } else if (variant != "base") {
@@ -906,6 +1064,25 @@ int cmd_faultcamp(const Args& args) {
     return *sharded[algo_idx];
   };
 
+  // Join engines for the engine.join.pair site, one per algorithm, lazy like
+  // the sharded pool. A kNN-join of the 12 workload queries against the tree
+  // answers the same question as the batch runs, so the brute-force ground
+  // truth carries over unchanged; the 12 targets pack into a single cohort,
+  // so the site sees exactly one evaluation per iteration.
+  std::unique_ptr<join::JoinEngine> joins[kNumAlgos];
+  const auto join_for = [&](std::size_t algo_idx) -> join::JoinEngine& {
+    if (joins[algo_idx] == nullptr) {
+      join::JoinOptions jo;
+      jo.k = gpu.k;
+      jo.engine.algorithm = algos[algo_idx];
+      jo.engine.gpu = gpu;
+      jo.engine.use_snapshot = true;
+      jo.engine.num_threads = 1;
+      joins[algo_idx] = std::make_unique<join::JoinEngine>(built.tree, jo);
+    }
+    return *joins[algo_idx];
+  };
+
   // Streaming engines for the engine.stream.flush site, one per algorithm,
   // lazy like the sharded pool. The campaign stream replays the 12 workload
   // queries at a fixed 200 us cadence with a far-away deadline and no
@@ -990,6 +1167,13 @@ int cmd_faultcamp(const Args& args) {
       // rung of the ladder.
       fspec.trigger = fspec.seed % 4;
       fspec.count = (iter / sites.size()) % 2 == 0 ? 1 : 8;
+    } else if (site == fault::kSiteJoinPair) {
+      // One evaluation per target-leaf cohort; the 12-target kNN-join packs
+      // a single cohort, so trigger 0 always lands. Alternate one-shot pair
+      // deaths (the single-tree rerun masks them) with double deaths (the
+      // rerun leg dies too, forcing the flagged brute-force join).
+      fspec.trigger = 0;
+      fspec.count = 1 + (iter / sites.size()) % 2;
     } else if (site == fault::kSiteReplicaStraggle) {
       // A straggling replica inflates its service time but — with no
       // per-attempt timeout and a far-away deadline — still completes
@@ -1065,6 +1249,11 @@ int cmd_faultcamp(const Args& args) {
         got.queries[q].neighbors = std::move(rep.queries[q].neighbors);
         got.queries[q].status = rep.queries[q].status;
       }
+    } else if (site == fault::kSiteJoinPair) {
+      // The pair site only exists on the dual-tree join engine; a kNN-join
+      // of the workload queries returns each query's k nearest dataset
+      // points, so the answers face the same ground truth as the batch runs.
+      got = join_for(algo_idx).knn_join(queries);
     } else if (site == fault::kSiteStreamFlush) {
       // The flush site only exists on the streaming front-end; replay the
       // fixed-cadence stream and hold the per-arrival answers (arrival order
@@ -1148,7 +1337,7 @@ int cmd_faultcamp(const Args& args) {
 // also run as the tier-2 ctest target and the CI chaos-campaign job).
 //
 // Where faultcamp arms exactly one site per iteration, chaoscamp arms 2-3
-// simultaneous sites — a primary (round-robined over the registry so all 13
+// simultaneous sites — a primary (round-robined over the registry so all 14
 // sites rotate) plus 1-2 seeded partners drawn from the sites that can fire
 // in the primary's harness. Every iteration runs the full serving ladder
 // under the combined plan: a loader reload (phase A, where the io.envelope.*
@@ -1261,6 +1450,12 @@ int cmd_chaoscamp(const Args& args) {
       s.count = parity == 0 ? 1 : 8;  // 8 exhausts the 4-attempt dispatch
     } else if (site == fault::kSiteReplicaStraggle) {
       s.trigger = s.seed % 4;
+    } else if (site == fault::kSiteJoinPair) {
+      // Single cohort on the join harness's 12-target kNN-join: trigger 0
+      // always lands; the parity alternates the masked single-tree rerun
+      // with the flagged brute-force rung.
+      s.trigger = 0;
+      s.count = 1 + parity;
     } else {
       s.trigger = 0;  // snapshot.segment / implicit.escape: single per-batch eval
     }
@@ -1278,23 +1473,35 @@ int cmd_chaoscamp(const Args& args) {
     // to sites that can fire there. The sharded harness additionally bars
     // the in-place arena corruption sites — its backends persist across
     // iterations, and a corrupted shard arena would leak into later ones.
-    enum class Harness : std::uint8_t { kSnapshot, kImplicit, kSharded };
+    enum class Harness : std::uint8_t { kSnapshot, kImplicit, kSharded, kJoin };
     Harness harness = Harness::kSnapshot;
     if (primary == fault::kSiteShardSlice) {
       harness = Harness::kSharded;
     } else if (primary == fault::kSiteImplicitEscape) {
       harness = Harness::kImplicit;
+    } else if (primary == fault::kSiteJoinPair) {
+      harness = Harness::kJoin;
     }
     const auto in_pool = [&](std::string_view s) {
       if (s == primary) return false;
+      // The join pair site only evaluates on the dual-tree join engine, so
+      // it is a valid partner nowhere but its own harness; the join harness
+      // in turn has no streaming front-end, shards or replicas.
       switch (harness) {
         case Harness::kSnapshot:
-          return s != fault::kSiteShardSlice && s != fault::kSiteImplicitEscape;
+          return s != fault::kSiteShardSlice && s != fault::kSiteImplicitEscape &&
+                 s != fault::kSiteJoinPair;
         case Harness::kImplicit:
-          return s != fault::kSiteShardSlice && s != fault::kSiteSnapshotSegment;
+          return s != fault::kSiteShardSlice && s != fault::kSiteSnapshotSegment &&
+                 s != fault::kSiteJoinPair;
         case Harness::kSharded:
           return s != fault::kSiteSnapshotSegment && s != fault::kSiteImplicitEscape &&
-                 s != fault::kSiteWorkerSlice && s != fault::kSiteExecResume;
+                 s != fault::kSiteWorkerSlice && s != fault::kSiteExecResume &&
+                 s != fault::kSiteJoinPair;
+        case Harness::kJoin:
+          return s != fault::kSiteShardSlice && s != fault::kSiteImplicitEscape &&
+                 s != fault::kSiteStreamFlush && s != fault::kSiteReplicaCrash &&
+                 s != fault::kSiteReplicaStraggle && s != fault::kSiteReplicaCorruptReply;
       }
       return false;
     };
@@ -1356,6 +1563,40 @@ int cmd_chaoscamp(const Args& args) {
     // iteration so crash/eviction windows and in-place arena corruption
     // cannot leak between iterations.
     const std::size_t algo_idx = iter % kNumAlgos;
+    if (harness == Harness::kJoin) {
+      // The pair site only exists on the dual-tree join engine; serve the
+      // workload queries as a kNN-join against the tree (same answers as
+      // the batch ground truth). Fresh engine per iteration: a partner
+      // fault may corrupt the engine-owned snapshot arena in place.
+      join::JoinOptions jo;
+      jo.k = gpu.k;
+      jo.engine.algorithm = algos[algo_idx];
+      jo.engine.gpu = gpu;
+      jo.engine.use_snapshot = true;
+      jo.engine.num_threads = 1;
+      join::JoinEngine jeng(built.tree, jo);
+      knn::BatchResult got = jeng.knn_join(queries);
+      check_exact_or_flagged(got, truth, context);
+      for (const std::string_view s : armed) {
+        if (scope.fired(s) == 0) continue;
+        fault::SiteTally& t = tally[site_index(s)];
+        ++t.fired;
+        if (s == fault::kSiteEnvelopeTruncate || s == fault::kSiteEnvelopeByteflip) {
+          ++t.detected;
+          continue;
+        }
+        if (!got.all_ok()) {
+          ++t.detected;
+          ++t.flagged;
+        } else {
+          ++t.masked;
+        }
+        if (s == fault::kSiteNodeBoundsBitflip && got.all_ok()) {
+          throw InternalError(context + ": bit flip fired without a degraded status");
+        }
+      }
+      continue;
+    }
     serve::StreamingOptions so;
     so.engine.algorithm = algos[algo_idx];
     so.engine.gpu = gpu;
@@ -1484,6 +1725,8 @@ int main(int argc, char** argv) {
     if (cmd == "info") return cmd_info(args);
     if (cmd == "query") return cmd_query(args);
     if (cmd == "radius") return cmd_radius(args);
+    if (cmd == "allknn") return cmd_join_like(args, /*self_join=*/true);
+    if (cmd == "join") return cmd_join_like(args, /*self_join=*/false);
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "bench") return cmd_bench(args);
     if (cmd == "faultcamp") return cmd_faultcamp(args);
